@@ -1,0 +1,213 @@
+(* hpfc — compile and simulate mini-HPF programs with dynamic mappings.
+
+     hpfc compile FILE [--naive] [--dump-gr] [--dump-gr-opt] [--dump-code]
+     hpfc run FILE [--entry NAME] [-s x=3] [--naive] [--compare]
+     hpfc figures [ID]
+
+   See README.md for the language. *)
+
+open Cmdliner
+module I = Hpfc_interp.Interp
+module Machine = Hpfc_runtime.Machine
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let handle f =
+  try f () with
+  | Hpfc_base.Error.Hpf_error _ as e ->
+    Fmt.epr "hpfc: %s@." (Hpfc_base.Error.to_string e);
+    exit 1
+
+(* --- compile ---------------------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-HPF source file")
+
+let naive_flag =
+  Arg.(value & flag & info [ "naive" ] ~doc:"Disable all remapping optimizations.")
+
+let pipeline_of_naive naive =
+  if naive then I.naive_pipeline else I.full_pipeline
+
+let compile_cmd =
+  let dump_gr = Arg.(value & flag & info [ "dump-gr" ] ~doc:"Print the remapping graph before optimization.") in
+  let dump_gr_opt = Arg.(value & flag & info [ "dump-gr-opt" ] ~doc:"Print the remapping graph after optimization.") in
+  let dump_code = Arg.(value & flag & info [ "dump-code" ] ~doc:"Print the generated static program with copy code.") in
+  let dump_dot = Arg.(value & flag & info [ "dot" ] ~doc:"Print the optimized remapping graph in Graphviz format.") in
+  let run file naive dump_gr' dump_gr_opt' dump_code' dump_dot' =
+    handle (fun () ->
+        let src = read_file file in
+        let prog = Hpfc_parser.Parser.parse_program src in
+        List.iter
+          (fun (r : Hpfc_lang.Ast.routine) ->
+            let compiled, report =
+              Hpfc_driver.Pipeline.analyze ~pipeline:(pipeline_of_naive naive) r
+            in
+            Fmt.pr "%a" Hpfc_driver.Pipeline.pp_report report;
+            if dump_gr' then begin
+              let g = Hpfc_remap.Construct.build r in
+              Fmt.pr "--- remapping graph (before optimization) ---@.%a"
+                Hpfc_remap.Graph.pp g
+            end;
+            if dump_gr_opt' then
+              Fmt.pr "--- remapping graph (after optimization) ---@.%a"
+                Hpfc_remap.Graph.pp compiled.Hpfc_codegen.Gen.graph;
+            if dump_code' then
+              Fmt.pr "--- generated code ---@.%a" Hpfc_codegen.Gen.pp_routine
+                compiled;
+            if dump_dot' then
+              Fmt.pr "%a" Hpfc_remap.Graph.pp_dot
+                compiled.Hpfc_codegen.Gen.graph)
+          prog.Hpfc_lang.Ast.routines)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Analyze and compile a mini-HPF program.")
+    Term.(const run $ file_arg $ naive_flag $ dump_gr $ dump_gr_opt $ dump_code $ dump_dot)
+
+(* --- run --------------------------------------------------------------------- *)
+
+let scalar_assignments =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+      let name = String.sub s 0 i
+      and v = String.sub s (i + 1) (String.length s - i - 1) in
+      (match int_of_string_opt v with
+      | Some n -> Ok (name, I.VInt n)
+      | None -> (
+        match float_of_string_opt v with
+        | Some f -> Ok (name, I.VFloat f)
+        | None -> Error (`Msg "expected name=int-or-float")))
+    | None -> Error (`Msg "expected name=value")
+  in
+  let print ppf (n, v) =
+    Fmt.pf ppf "%s=%s" n
+      (match v with I.VInt i -> string_of_int i | I.VFloat f -> string_of_float f)
+  in
+  Arg.conv (parse, print)
+
+let run_cmd =
+  let entry = Arg.(value & opt (some string) None & info [ "entry" ] ~docv:"NAME" ~doc:"Entry routine (default: first).") in
+  let distributed = Arg.(value & flag & info [ "distributed" ] ~doc:"Execute with per-processor local buffers instead of canonical global payloads.") in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the remapping event timeline after execution.") in
+  let scalars = Arg.(value & opt_all scalar_assignments [] & info [ "s"; "set" ] ~docv:"X=V" ~doc:"Set a scalar before execution.") in
+  let compare = Arg.(value & flag & info [ "compare" ] ~doc:"Run the naive and the optimized compilations and compare.") in
+  let compare_lex (a, _) (b, _) = Stdlib.compare a b in
+  let run file naive entry scalars compare distributed trace =
+    handle (fun () ->
+        let src = read_file file in
+        if compare then begin
+          let c = Hpfc_driver.Pipeline.compare_pipelines ~scalars ?entry src in
+          Fmt.pr "%a" Hpfc_driver.Pipeline.pp_comparison c
+        end
+        else begin
+          let backend =
+            if distributed then Hpfc_runtime.Store.Distributed
+            else Hpfc_runtime.Store.Canonical
+          in
+          let machine =
+            Machine.create ~nprocs:4 ~record_trace:trace ()
+          in
+          let r =
+            Hpfc_driver.Pipeline.run_source ~pipeline:(pipeline_of_naive naive)
+              ~scalars ?entry ~backend ~machine src
+          in
+          if trace then
+            Fmt.pr "--- remapping timeline ---@.%a" Machine.pp_trace
+              r.I.machine;
+          Fmt.pr "%a@." Machine.pp_counters r.I.machine.Machine.counters;
+          List.iter
+            (fun (n, v) ->
+              Fmt.pr "%s = %s@." n
+                (match v with
+                | I.VInt i -> string_of_int i
+                | I.VFloat f -> Fmt.str "%g" f))
+            (List.sort compare_lex r.I.final_scalars)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute on the simulated machine.")
+    Term.(const run $ file_arg $ naive_flag $ entry $ scalars $ compare $ distributed $ trace)
+
+(* --- schedule ------------------------------------------------------------------ *)
+
+let dist_format_conv =
+  let parse s =
+    let s = String.lowercase_ascii s in
+    let num name =
+      match String.index_opt s ':' with
+      | Some i -> (
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some k -> Ok k
+        | None -> Error (`Msg ("bad " ^ name ^ " size")))
+      | None -> Ok 1
+    in
+    if s = "block" then Ok Hpfc_mapping.Dist.block
+    else if s = "cyclic" then Ok Hpfc_mapping.Dist.cyclic
+    else if s = "star" || s = "*" then Ok Hpfc_mapping.Dist.star
+    else if String.length s > 6 && String.sub s 0 6 = "block:" then
+      Result.map (fun k -> Hpfc_mapping.Dist.block_sized k) (num "block")
+    else if String.length s > 7 && String.sub s 0 7 = "cyclic:" then
+      Result.map (fun k -> Hpfc_mapping.Dist.cyclic_sized k) (num "cyclic")
+    else Error (`Msg "expected block[:k] | cyclic[:k] | star")
+  in
+  Arg.conv (parse, Hpfc_mapping.Dist.pp)
+
+let schedule_cmd =
+  let src = Arg.(required & pos 0 (some (list dist_format_conv)) None & info [] ~docv:"SRC" ~doc:"Source distribution, one format per dimension (e.g. block,star).") in
+  let dst = Arg.(required & pos 1 (some (list dist_format_conv)) None & info [] ~docv:"DST" ~doc:"Target distribution.") in
+  let extents = Arg.(value & opt (list int) [ 16 ] & info [ "n" ] ~docv:"N,N" ~doc:"Array extents.") in
+  let nprocs = Arg.(value & opt int 4 & info [ "p" ] ~docv:"P" ~doc:"Number of processors (linear grid).") in
+  let run src dst extents nprocs =
+    handle (fun () ->
+        let mk dists =
+          Hpfc_mapping.Layout.of_mapping ~extents:(Array.of_list extents)
+            (Hpfc_mapping.Mapping.direct ~array_name:"a"
+               ~extents:(Array.of_list extents)
+               ~dist:(Array.of_list dists)
+               ~procs:(Hpfc_mapping.Procs.linear "P" nprocs))
+        in
+        let s = mk src and d = mk dst in
+        let plan = Hpfc_runtime.Redist.plan_intervals ~src:s ~dst:d in
+        Fmt.pr "%a@." Hpfc_runtime.Redist.pp plan;
+        Fmt.pr "%a" Hpfc_runtime.Redist.pp_schedule
+          (Hpfc_runtime.Redist.schedule ~src:s ~dst:d ()))
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Print the per-processor message schedule of a redistribution.")
+    Term.(const run $ src $ dst $ extents $ nprocs)
+
+(* --- figures ------------------------------------------------------------------ *)
+
+let figures_cmd =
+  let id = Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Figure id (fig1, fig11, ...).") in
+  let run id =
+    handle (fun () ->
+        let reports = Hpfc_driver.Report.figure_reports () in
+        match id with
+        | None -> Fmt.pr "%a" Hpfc_driver.Report.pp_all ()
+        | Some id -> (
+          match List.find_opt (fun (i, _, _) -> i = id) reports with
+          | Some (i, claim, text) -> Fmt.pr "=== %s: %s ===@.%s@." i claim text
+          | None ->
+            Fmt.epr "unknown figure %s; known: %a@." id
+              (Hpfc_base.Util.pp_list Fmt.string)
+              (List.map (fun (i, _, _) -> i) reports);
+            exit 1))
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Reproduce the paper's figure artifacts.")
+    Term.(const run $ id)
+
+let () =
+  let doc = "compiling dynamic HPF mappings with array copies (PPoPP'97)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "hpfc" ~doc)
+          [ compile_cmd; run_cmd; figures_cmd; schedule_cmd ]))

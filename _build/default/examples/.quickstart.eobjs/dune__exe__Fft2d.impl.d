@@ -1,0 +1,1 @@
+examples/fft2d.ml: Array Fmt Hpfc_driver Hpfc_interp Hpfc_kernels Hpfc_parser Hpfc_runtime List String Sys

@@ -1,0 +1,1 @@
+examples/fft2d.mli:

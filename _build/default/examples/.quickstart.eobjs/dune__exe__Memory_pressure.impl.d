@@ -1,0 +1,1 @@
+examples/memory_pressure.ml: Array Fmt Hpfc_driver Hpfc_interp Hpfc_runtime List Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ast Build Fmt Hpfc_codegen Hpfc_interp Hpfc_lang Hpfc_mapping Hpfc_opt Hpfc_remap Hpfc_runtime List Pp_ast

@@ -1,0 +1,1 @@
+examples/sar_pipeline.ml: Array Fmt Hpfc_driver Hpfc_interp Hpfc_kernels Hpfc_lang Hpfc_parser Hpfc_runtime List Sys

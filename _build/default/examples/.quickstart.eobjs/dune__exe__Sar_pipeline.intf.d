@@ -1,0 +1,1 @@
+examples/sar_pipeline.mli:

@@ -1,0 +1,35 @@
+(* ADI: the paper's flagship motivation.  Each timestep sweeps rows (local
+   under block-star) then columns (local under star-block), remapping the
+   solution array between phases.  The aligned read-only RHS array is the
+   live-copy showcase (Sec. 4.2): both its copies stay live, so after the
+   first timestep its remappings never move data again.
+
+     dune exec examples/adi.exe [-- n steps] *)
+
+module I = Hpfc_interp.Interp
+module Machine = Hpfc_runtime.Machine
+module Apps = Hpfc_kernels.Apps
+
+let () =
+  let n = try int_of_string Sys.argv.(1) with _ -> 32 in
+  let steps = try int_of_string Sys.argv.(2) with _ -> 4 in
+  let src = Apps.adi_src ~n () in
+  Fmt.pr "ADI %dx%d, %d timesteps, 4 processors@.@." n n steps;
+
+  (* compile report *)
+  let routine = Hpfc_parser.Parser.parse_routine_string src in
+  let _, report = Hpfc_driver.Pipeline.analyze routine in
+  Fmt.pr "%a@." Hpfc_driver.Pipeline.pp_report report;
+
+  (* naive vs optimized execution *)
+  let c =
+    Hpfc_driver.Pipeline.compare_pipelines
+      ~scalars:[ ("t", I.VInt steps) ]
+      src
+  in
+  Fmt.pr "%a@." Hpfc_driver.Pipeline.pp_comparison c;
+  let o = c.Hpfc_driver.Pipeline.optimized.I.machine.Machine.counters in
+  let nv = c.Hpfc_driver.Pipeline.naive.I.machine.Machine.counters in
+  Fmt.pr "RHS moves once, then its live copies are reused: %d%% of the \
+          naive traffic remains.@."
+    (if nv.Machine.volume = 0 then 100 else 100 * o.Machine.volume / nv.Machine.volume)

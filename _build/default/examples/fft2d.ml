@@ -1,0 +1,34 @@
+(* 2-D FFT by transposition [10]: transform rows locally, remap (the
+   "corner turn"), transform the other dimension, remap back.  The final
+   remapping back to block-star is followed by a single touch, so it stays;
+   drop the touch and the optimizer removes it — both variants are shown.
+
+     dune exec examples/fft2d.exe [-- n] *)
+
+module I = Hpfc_interp.Interp
+module Machine = Hpfc_runtime.Machine
+module Apps = Hpfc_kernels.Apps
+
+let () =
+  let n = try int_of_string Sys.argv.(1) with _ -> 32 in
+  Fmt.pr "2-D FFT (transpose method), %dx%d on 4 processors@.@." n n;
+  let src = Apps.fft2d_src ~n () in
+  let routine = Hpfc_parser.Parser.parse_routine_string src in
+  let _, report = Hpfc_driver.Pipeline.analyze routine in
+  Fmt.pr "%a@." Hpfc_driver.Pipeline.pp_report report;
+  let c = Hpfc_driver.Pipeline.compare_pipelines src in
+  Fmt.pr "%a@." Hpfc_driver.Pipeline.pp_comparison c;
+
+  (* variant: no reference after the transform — the trailing remap is
+     useless and disappears *)
+  let trimmed =
+    (* drop the "X(0, 0) = ..." line after the final remapping *)
+    String.concat "\n"
+      (List.filter
+         (fun line -> not (String.length line > 2 && String.sub line 2 5 = "X(0, "))
+         (String.split_on_char '\n' src))
+  in
+  let routine' = Hpfc_parser.Parser.parse_routine_string trimmed in
+  let _, report' = Hpfc_driver.Pipeline.analyze routine' in
+  Fmt.pr "without the final touch, the trailing remapping is removed:@.%a@."
+    Hpfc_driver.Pipeline.pp_report report'

@@ -1,0 +1,34 @@
+(* SAR-like signal-processing pipeline [17]: subroutine stages whose dummy
+   arguments prescribe their preferred mappings, so every remapping is
+   implicit at a call site.  The caller-side optimization (Sec. 2.2)
+   removes the useless restore-remap between the two consecutive
+   range_compress calls and merges the restore+inbound pair between
+   range and azimuth into one direct remapping.
+
+     dune exec examples/sar_pipeline.exe [-- n t] *)
+
+module I = Hpfc_interp.Interp
+module Machine = Hpfc_runtime.Machine
+module Apps = Hpfc_kernels.Apps
+
+let () =
+  let n = try int_of_string Sys.argv.(1) with _ -> 32 in
+  let t = try int_of_string Sys.argv.(2) with _ -> 3 in
+  Fmt.pr "SAR pipeline, %dx%d image, %d passes, stages: range, range, azimuth@.@." n n t;
+  let src = Apps.sar_src ~n in
+  let prog = Hpfc_parser.Parser.parse_program src in
+  List.iter
+    (fun r ->
+      let _, report = Hpfc_driver.Pipeline.analyze r in
+      Fmt.pr "%a@." Hpfc_driver.Pipeline.pp_report report)
+    prog.Hpfc_lang.Ast.routines;
+  let c =
+    Hpfc_driver.Pipeline.compare_pipelines ~entry:"sar"
+      ~scalars:[ ("t", I.VInt t) ]
+      src
+  in
+  Fmt.pr "%a@." Hpfc_driver.Pipeline.pp_comparison c;
+  Fmt.pr
+    "Per pass, the naive compilation remaps the image at every call \
+     boundary (6 remappings); the optimized one drops the useless \
+     restores and remaps directly between stage mappings (3).@."

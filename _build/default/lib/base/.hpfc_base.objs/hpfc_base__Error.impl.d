@@ -1,0 +1,1 @@
+lib/base/error.ml: Fmt Printexc

@@ -1,0 +1,1 @@
+lib/base/util.ml: Fmt List

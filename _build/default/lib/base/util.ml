@@ -1,0 +1,57 @@
+(* Small shared helpers used throughout the compiler. *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a * b) / gcd a b
+
+(* Ceiling division for non-negative dividends and positive divisors. *)
+let cdiv a b =
+  assert (b > 0);
+  if a >= 0 then (a + b - 1) / b else -((-a) / b)
+
+(* Floor division and Euclidean modulo, valid for negative dividends. *)
+let fdiv a b =
+  assert (b > 0);
+  if a >= 0 then a / b else -(cdiv (-a) b)
+
+let emod a b =
+  let m = a mod b in
+  if m < 0 then m + abs b else m
+
+let rec range lo hi = if lo >= hi then [] else lo :: range (lo + 1) hi
+
+let sum = List.fold_left ( + ) 0
+
+let max_list = function
+  | [] -> invalid_arg "Util.max_list: empty"
+  | x :: rest -> List.fold_left max x rest
+
+(* Deduplicate preserving first-occurrence order. *)
+let dedup_stable equal items =
+  let rec loop seen = function
+    | [] -> List.rev seen
+    | x :: rest ->
+      if List.exists (equal x) seen then loop seen rest
+      else loop (x :: seen) rest
+  in
+  loop [] items
+
+let list_equal_as_sets equal xs ys =
+  List.for_all (fun x -> List.exists (equal x) ys) xs
+  && List.for_all (fun y -> List.exists (equal y) xs) ys
+
+(* Union of two lists seen as sets, keeping the order of [xs] then new
+   elements of [ys]. *)
+let union_stable equal xs ys =
+  xs @ List.filter (fun y -> not (List.exists (equal y) xs)) ys
+
+let diff equal xs ys = List.filter (fun x -> not (List.exists (equal x) ys)) xs
+
+let intersect equal xs ys = List.filter (fun x -> List.exists (equal x) ys) xs
+
+let pp_list ?(sep = ", ") pp_item ppf items =
+  Fmt.pf ppf "%a" Fmt.(list ~sep:(fun ppf () -> string ppf sep) pp_item) items
+
+let pp_comma_ints ppf ints = pp_list Fmt.int ppf ints
+
+let string_of_pp pp v = Fmt.str "%a" pp v

@@ -1,0 +1,53 @@
+(** Small shared helpers used throughout the compiler. *)
+
+(** [gcd a b] is the non-negative greatest common divisor. *)
+val gcd : int -> int -> int
+
+(** [lcm a b] is the least common multiple; 0 when either argument is 0. *)
+val lcm : int -> int -> int
+
+(** [cdiv a b] is ceiling division; [b] must be positive. *)
+val cdiv : int -> int -> int
+
+(** [fdiv a b] is floor division; [b] must be positive. *)
+val fdiv : int -> int -> int
+
+(** [emod a b] is the Euclidean modulo, always in [\[0, |b|)]. *)
+val emod : int -> int -> int
+
+(** [range lo hi] is [\[lo; ...; hi - 1\]]. *)
+val range : int -> int -> int list
+
+(** Sum of a list of integers. *)
+val sum : int list -> int
+
+(** Maximum of a non-empty list.
+    @raise Invalid_argument on the empty list. *)
+val max_list : int list -> int
+
+(** [dedup_stable equal l] removes duplicates, keeping the first occurrence
+    of each element in order. *)
+val dedup_stable : ('a -> 'a -> bool) -> 'a list -> 'a list
+
+(** Set equality of two lists under a user equality. *)
+val list_equal_as_sets : ('a -> 'a -> bool) -> 'a list -> 'a list -> bool
+
+(** Set union keeping the order of the first list, then new elements of the
+    second. *)
+val union_stable : ('a -> 'a -> bool) -> 'a list -> 'a list -> 'a list
+
+(** [diff equal xs ys] is [xs] without the elements of [ys]. *)
+val diff : ('a -> 'a -> bool) -> 'a list -> 'a list -> 'a list
+
+(** [intersect equal xs ys] keeps the elements of [xs] present in [ys]. *)
+val intersect : ('a -> 'a -> bool) -> 'a list -> 'a list -> 'a list
+
+(** Print a list with a separator (default [", "]). *)
+val pp_list :
+  ?sep:string -> 'a Fmt.t -> Format.formatter -> 'a list -> unit
+
+(** Print a comma-separated list of integers. *)
+val pp_comma_ints : Format.formatter -> int list -> unit
+
+(** Render a value with its printer. *)
+val string_of_pp : 'a Fmt.t -> 'a -> string

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Ast Fmt Hpfc_base Hpfc_lang List

@@ -1,0 +1,198 @@
+(* Control-flow graph of one routine, in the shape the paper's construction
+   algorithm expects (Appendix B):
+
+   - a call-context vertex v_c, an entry vertex v_0 (edge v_c -> v_0) and an
+     exit vertex v_e;
+   - one vertex per simple statement;
+   - branch vertices for IF conditions, loop-head vertices for DO loops with
+     an explicit zero-trip edge (head -> continuation) so remappings inside
+     a loop body may be skipped at run time (the paper's "1 -> E" edges);
+   - every CALL with array arguments is bracketed by a call-before vertex
+     (args remapped to the callee's prescribed dummy mappings) and a
+     call-after vertex (mappings restored), per Figure 24.
+
+   Loop membership is recorded per vertex (innermost first) for the
+   loop-invariant remapping motion pass. *)
+
+open Hpfc_lang
+
+type vkind =
+  | V_call_context  (* v_c *)
+  | V_entry  (* v_0 *)
+  | V_exit  (* v_e *)
+  | V_stmt of Ast.stmt
+  | V_branch of { sid : int; cond : Ast.expr }
+  | V_loop_head of { sid : int; index : string; lo : Ast.expr; hi : Ast.expr }
+  | V_call_before of Ast.stmt  (* the bracketed Call statement *)
+  | V_call_after of Ast.stmt
+
+type vertex = {
+  vid : int;
+  kind : vkind;
+  mutable succs : int list;
+  mutable preds : int list;
+  mutable in_loops : int list;  (* enclosing loop ids, innermost first *)
+}
+
+type loop_info = {
+  loop_id : int;
+  head_vid : int;
+  mutable members : int list;  (* vertex ids strictly inside the loop *)
+}
+
+type t = {
+  vertices : vertex array;
+  call_context : int;
+  entry : int;
+  exit_ : int;
+  loops : loop_info array;
+  routine : Ast.routine;
+}
+
+let vertex t vid = t.vertices.(vid)
+let succs t vid = (vertex t vid).succs
+let preds t vid = (vertex t vid).preds
+let nb_vertices t = Array.length t.vertices
+
+let sid_of_kind = function
+  | V_stmt s | V_call_before s | V_call_after s -> Some s.Ast.sid
+  | V_branch { sid; _ } | V_loop_head { sid; _ } -> Some sid
+  | V_call_context | V_entry | V_exit -> None
+
+let kind_to_string = function
+  | V_call_context -> "v_c"
+  | V_entry -> "v_0"
+  | V_exit -> "v_e"
+  | V_stmt s -> Fmt.str "stmt#%d" s.Ast.sid
+  | V_branch { sid; _ } -> Fmt.str "if#%d" sid
+  | V_loop_head { sid; _ } -> Fmt.str "do#%d" sid
+  | V_call_before s -> Fmt.str "before-call#%d" s.Ast.sid
+  | V_call_after s -> Fmt.str "after-call#%d" s.Ast.sid
+
+(* --- construction ------------------------------------------------------ *)
+
+type builder = {
+  mutable rev_vertices : vertex list;
+  mutable count : int;
+  mutable rev_loops : loop_info list;
+  mutable loop_count : int;
+  mutable loop_stack : int list;
+}
+
+let new_vertex b kind =
+  let v =
+    { vid = b.count; kind; succs = []; preds = []; in_loops = b.loop_stack }
+  in
+  b.rev_vertices <- v :: b.rev_vertices;
+  b.count <- b.count + 1;
+  (match b.loop_stack with
+  | innermost :: _ ->
+    let l = List.find (fun l -> l.loop_id = innermost) b.rev_loops in
+    l.members <- v.vid :: l.members
+  | [] -> ());
+  v
+
+(* Call with at least one array argument?  We bracket every call; calls with
+   only scalar args do not occur in the language (args are arrays). *)
+let rec build_block b (preds : vertex list) (block : Ast.block) : vertex list =
+  List.fold_left (build_stmt b) preds block
+
+and connect preds v = List.iter (fun p ->
+    p.succs <- v.vid :: p.succs;
+    v.preds <- p.vid :: v.preds)
+    preds
+
+and build_stmt b preds (s : Ast.stmt) : vertex list =
+  match s.Ast.skind with
+  | Ast.Assign _ | Ast.Full_assign _ | Ast.Scalar_assign _ | Ast.Realign _
+  | Ast.Redistribute _ | Ast.Kill _ ->
+    let v = new_vertex b (V_stmt s) in
+    connect preds v;
+    [ v ]
+  | Ast.Call _ ->
+    let vb = new_vertex b (V_call_before s) in
+    let vc = new_vertex b (V_stmt s) in
+    let va = new_vertex b (V_call_after s) in
+    connect preds vb;
+    connect [ vb ] vc;
+    connect [ vc ] va;
+    [ va ]
+  | Ast.If (cond, then_, else_) ->
+    let v = new_vertex b (V_branch { sid = s.Ast.sid; cond }) in
+    connect preds v;
+    (* an empty branch falls through the branch vertex itself, since
+       build_block on [] returns its predecessors unchanged *)
+    let then_tails = build_block b [ v ] then_ in
+    let else_tails = build_block b [ v ] else_ in
+    Hpfc_base.Util.dedup_stable
+      (fun (a : vertex) b -> a.vid = b.vid)
+      (then_tails @ else_tails)
+  | Ast.Do { index; lo; hi; body } ->
+    let head = new_vertex b (V_loop_head { sid = s.Ast.sid; index; lo; hi }) in
+    connect preds head;
+    let loop_id = b.loop_count in
+    b.loop_count <- loop_id + 1;
+    b.rev_loops <-
+      { loop_id; head_vid = head.vid; members = [] } :: b.rev_loops;
+    b.loop_stack <- loop_id :: b.loop_stack;
+    let tails = build_block b [ head ] body in
+    b.loop_stack <- List.tl b.loop_stack;
+    (* back edges; the zero-trip path continues from the head itself *)
+    connect tails head;
+    [ head ]
+
+let of_routine (r : Ast.routine) : t =
+  let b =
+    {
+      rev_vertices = [];
+      count = 0;
+      rev_loops = [];
+      loop_count = 0;
+      loop_stack = [];
+    }
+  in
+  let vc = new_vertex b V_call_context in
+  let v0 = new_vertex b V_entry in
+  connect [ vc ] v0;
+  let tails = build_block b [ v0 ] r.Ast.r_body in
+  let ve = new_vertex b V_exit in
+  connect tails ve;
+  let vertices = Array.make b.count vc in
+  List.iter (fun v -> vertices.(v.vid) <- v) b.rev_vertices;
+  let loops = Array.make b.loop_count { loop_id = 0; head_vid = 0; members = [] } in
+  List.iter (fun l -> loops.(l.loop_id) <- l) b.rev_loops;
+  {
+    vertices;
+    call_context = vc.vid;
+    entry = v0.vid;
+    exit_ = ve.vid;
+    loops;
+    routine = r;
+  }
+
+(* --- traversal helpers -------------------------------------------------- *)
+
+(* Vertices in reverse-postorder from the entry (stable iteration order for
+   dataflow). *)
+let reverse_postorder t =
+  let seen = Array.make (nb_vertices t) false in
+  let order = ref [] in
+  let rec visit vid =
+    if not seen.(vid) then begin
+      seen.(vid) <- true;
+      List.iter visit (succs t vid);
+      order := vid :: !order
+    end
+  in
+  visit t.call_context;
+  !order
+
+let pp ppf t =
+  Array.iter
+    (fun v ->
+      Fmt.pf ppf "%d: %s -> [%a]  loops:[%a]@." v.vid (kind_to_string v.kind)
+        (Hpfc_base.Util.pp_list Fmt.int)
+        (List.sort compare v.succs)
+        (Hpfc_base.Util.pp_list Fmt.int)
+        v.in_loops)
+    t.vertices

@@ -1,0 +1,61 @@
+(** Control-flow graph of one routine, shaped for the paper's construction
+    algorithm (Appendix B): call-context (v_c), entry (v_0) and exit (v_e)
+    vertices; explicit zero-trip edges on DO loops; every CALL bracketed by
+    a call-before vertex (arguments remapped to the callee's dummy
+    mappings) and a call-after vertex (mappings restored), per Fig. 24. *)
+
+type vkind =
+  | V_call_context  (** v_c *)
+  | V_entry  (** v_0 *)
+  | V_exit  (** v_e *)
+  | V_stmt of Hpfc_lang.Ast.stmt
+  | V_branch of { sid : int; cond : Hpfc_lang.Ast.expr }
+  | V_loop_head of {
+      sid : int;
+      index : string;
+      lo : Hpfc_lang.Ast.expr;
+      hi : Hpfc_lang.Ast.expr;
+    }
+  | V_call_before of Hpfc_lang.Ast.stmt  (** carries the Call statement *)
+  | V_call_after of Hpfc_lang.Ast.stmt
+
+type vertex = {
+  vid : int;
+  kind : vkind;
+  mutable succs : int list;
+  mutable preds : int list;
+  mutable in_loops : int list;  (** enclosing loop ids, innermost first *)
+}
+
+type loop_info = {
+  loop_id : int;
+  head_vid : int;
+  mutable members : int list;  (** vertex ids strictly inside the loop *)
+}
+
+type t = {
+  vertices : vertex array;
+  call_context : int;
+  entry : int;
+  exit_ : int;
+  loops : loop_info array;
+  routine : Hpfc_lang.Ast.routine;
+}
+
+val vertex : t -> int -> vertex
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+val nb_vertices : t -> int
+
+(** The statement id a vertex carries, when any. *)
+val sid_of_kind : vkind -> int option
+
+val kind_to_string : vkind -> string
+
+(** Build the CFG of a routine. *)
+val of_routine : Hpfc_lang.Ast.routine -> t
+
+(** Vertex ids in reverse postorder from the call-context vertex. *)
+val reverse_postorder : t -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/codegen/gen.ml: Ast Env Fmt Graph Hashtbl Hpfc_base Hpfc_cfg Hpfc_effects Hpfc_lang Hpfc_opt Hpfc_remap List Option Pp_ast Rt_ir String Version

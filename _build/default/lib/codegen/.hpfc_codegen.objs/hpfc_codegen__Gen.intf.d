@@ -1,0 +1,1 @@
+lib/codegen/gen.mli: Format Hashtbl Hpfc_lang Hpfc_opt Hpfc_remap Rt_ir

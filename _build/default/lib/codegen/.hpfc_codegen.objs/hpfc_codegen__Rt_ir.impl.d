@@ -1,0 +1,1 @@
+lib/codegen/rt_ir.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/codegen/rt_ir.mli: Format

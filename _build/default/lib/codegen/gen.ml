@@ -1,0 +1,358 @@
+(* Copy code generation (Sec. 5.2, Fig. 19).
+
+   For each remapping-graph vertex v and array A with a leaving copy l:
+
+     if status(A) /= l then
+       allocate A_l if needed
+       if not live(A_l) then            -- live copy: free remapping
+         if U_A(v) /= D then
+           for a in R_A(v) \ {l}: if status(A) == a then A_l := A_a
+         live(A_l) := true
+       endif
+       status(A) := l
+     endif
+     if U_A(v) in {W, D}: live(A_a) := false for a /= l
+     for a in copies(A) \ M_A(v): free A_a   -- may-live pruning
+
+   Restore vertices (call-after with flow-dependent reaching, Fig. 18) save
+   status(A) before the call-before code and dispatch on it afterwards.
+
+   [options] ablate the paper's refinements to give the baseline compilers
+   the benchmarks compare against:
+   - [use_use_info = false]: every remapping copies data and invalidates
+     the other copies (no D short-cut);
+   - [use_live_copies = false]: no live flags — the copy always runs and
+     every non-current copy is freed immediately (the "first idea" of
+     Sec. 4.2). *)
+
+open Hpfc_lang
+module Cfg = Hpfc_cfg.Cfg
+module Use_info = Hpfc_effects.Use_info
+open Hpfc_remap
+open Rt_ir
+
+type options = {
+  use_use_info : bool;
+  use_live_copies : bool;
+}
+
+let default_options = { use_use_info = true; use_live_copies = true }
+
+type routine = {
+  source : Ast.routine;
+  graph : Graph.t;
+  options : options;
+  entry_code : code;
+  exit_code : code;  (* v_e remappings (argument restore) *)
+  cleanup_code : code;  (* frees at the very end *)
+  remap_codes : (int, code) Hashtbl.t;  (* remap statement sid -> code *)
+  pre_call : (int, code) Hashtbl.t;  (* call sid -> save + v_b code *)
+  post_call : (int, code) Hashtbl.t;  (* call sid -> v_a code *)
+  refs : (int * string, int) Hashtbl.t;  (* (stmt sid, array) -> version *)
+  live_sets : Hpfc_opt.Live_copies.t;
+}
+
+(* Fig. 19 body for one (array, leaving copy). *)
+let gen_one (opts : options) ~array ~leaving ~reaching ~use ~nb_versions ~keep
+    : code =
+  let copy_data =
+    Seq
+      (List.filter_map
+         (fun a ->
+           if a = leaving then None
+           else
+             Some
+               (If_status_is
+                  { array; version = a; body = Copy { array; dst = leaving; src = a } }))
+         reaching)
+  in
+  let data_or_dead =
+    if (not opts.use_use_info) || Use_info.needs_data use then copy_data
+    else Dead_copy (array, leaving)
+  in
+  let establish =
+    if opts.use_live_copies then
+      If_live_else
+        {
+          array;
+          version = leaving;
+          live = Note_live_reuse;
+          dead =
+            Seq [ data_or_dead; Set_live { array; version = leaving; live = true } ];
+        }
+    else Seq [ data_or_dead; Set_live { array; version = leaving; live = true } ]
+  in
+  let kills =
+    if opts.use_use_info then
+      match use with
+      | Use_info.W | Use_info.D -> Kill_others (array, leaving)
+      | Use_info.R | Use_info.N -> Nop
+    else Kill_others (array, leaving)
+  in
+  let frees =
+    if opts.use_live_copies then
+      Seq
+        (List.filter_map
+           (fun a ->
+             if List.mem a keep || a = leaving then None
+             else Some (Free (array, a)))
+           (Hpfc_base.Util.range 0 nb_versions))
+    else
+      Seq
+        (List.filter_map
+           (fun a -> if a = leaving then None else Some (Free (array, a)))
+           (Hpfc_base.Util.range 0 nb_versions))
+  in
+  Seq
+    [
+      If_status_not
+        {
+          array;
+          version = leaving;
+          body = Seq [ Alloc (array, leaving); establish; Set_status (array, leaving) ];
+        };
+      kills;
+      frees;
+    ]
+
+(* Code for one G_R vertex.  [demand] supplies the data-demand qualifier
+   (Opt.Demand) used instead of the paper's U for the D shortcut and the
+   copy invalidation: the paper's may-join U can claim D on a vertex whose
+   data still flows to a downstream remapping on some path. *)
+let gen_vertex (g : Graph.t) (opts : options) (live_sets : Hpfc_opt.Live_copies.t)
+    ~(demand : (int * string, Use_info.t) Hashtbl.t option)
+    (info : Graph.vertex_info) : code =
+  let codes =
+    List.filter_map
+      (fun ((array, l) : string * Graph.label) ->
+        let use_of l =
+          match demand with
+          | Some table ->
+            Option.value
+              (Hashtbl.find_opt table (info.Graph.vid, array))
+              ~default:l.Graph.use
+          | None -> l.Graph.use
+        in
+        let nb_versions = Version.count g.Graph.registry array in
+        let keep =
+          if opts.use_live_copies then
+            Hpfc_opt.Live_copies.get live_sets info.Graph.vid array
+          else l.Graph.leaving
+        in
+        match l.Graph.leaving with
+        | [] -> None
+        | [ leaving ] ->
+          Some
+            (gen_one opts ~array ~leaving ~reaching:l.Graph.reaching
+               ~use:(use_of l) ~nb_versions ~keep)
+        | multiple when l.Graph.restore ->
+          (* Fig. 18: dispatch on the saved reaching status *)
+          let slot =
+            match Cfg.sid_of_kind info.Graph.vkind with
+            | Some sid -> sid
+            | None -> assert false
+          in
+          Some
+            (Seq
+               (List.map
+                  (fun target ->
+                    If_saved_is
+                      {
+                        array;
+                        slot;
+                        version = target;
+                        body =
+                          gen_one opts ~array ~leaving:target
+                            ~reaching:l.Graph.reaching ~use:(use_of l)
+                            ~nb_versions ~keep;
+                      })
+                  multiple))
+        | _multiple -> (
+          (* Fig. 21: several leaving mappings without a saved status; the
+             reaching copy determines the target, so dispatch on the
+             current status per transition *)
+          match l.Graph.transitions with
+          | Some pairs ->
+            Some
+              (Seq
+                 (List.filter_map
+                    (fun (src, dst) ->
+                      if src = dst then None  (* unchanged on this path *)
+                      else
+                        Some
+                          (If_status_is
+                             {
+                               array;
+                               version = src;
+                               body =
+                                 gen_one opts ~array ~leaving:dst
+                                   ~reaching:[ src ] ~use:(use_of l)
+                                   ~nb_versions ~keep;
+                             }))
+                    pairs))
+          | None ->
+            Hpfc_base.Error.fail Multiple_leaving_mappings
+              "array %s has several leaving mappings whose target depends \
+               on run-time state (ambiguous REALIGN target); rewrite with \
+               an unambiguous target"
+              array)
+      )
+      info.Graph.labels
+  in
+  simplify (Seq codes)
+
+(* Entry initialization: dummy arguments are present in their version-0
+   copy; values are imported for in/inout only (Fig. 22).  A baseline
+   compiler without use information assumes every argument carries
+   values. *)
+let gen_entry_dummies (opts : options) (g : Graph.t) : code =
+  Seq
+    (List.filter_map
+       (fun (i : Env.array_info) ->
+         match i.ai_intent with
+         | None -> None
+         | Some intent ->
+           Some
+             (Seq
+                [
+                  Alloc (i.ai_name, 0);
+                  Set_status (i.ai_name, 0);
+                  Set_live
+                    {
+                      array = i.ai_name;
+                      version = 0;
+                      live =
+                        (not opts.use_use_info)
+                        || (match intent with
+                           | Ast.In | Ast.Inout -> true
+                           | Ast.Out -> false);
+                    };
+                ]))
+       (Env.arrays g.Graph.env))
+
+(* Exit cleanup: free everything local; arguments keep their version-0 copy
+   (it belongs to the caller). *)
+let gen_exit_cleanup (g : Graph.t) : code =
+  Seq
+    (List.concat_map
+       (fun (i : Env.array_info) ->
+         let nb = Version.count g.Graph.registry i.ai_name in
+         List.filter_map
+           (fun v ->
+             if i.ai_intent <> None && v = 0 then None
+             else Some (Free (i.ai_name, v)))
+           (Hpfc_base.Util.range 0 nb))
+       (Env.arrays g.Graph.env))
+
+let generate ?(options = default_options) (g : Graph.t) : routine =
+  let live_sets = Hpfc_opt.Live_copies.compute g in
+  let demand =
+    if options.use_use_info then Some (Hpfc_opt.Demand.compute g) else None
+  in
+  let remap_codes = Hashtbl.create 16 in
+  let pre_call = Hashtbl.create 8 in
+  let post_call = Hashtbl.create 8 in
+  let entry = ref Nop and v0_code = ref Nop and exit_remaps = ref Nop in
+  List.iter
+    (fun vid ->
+      let info = Graph.info g vid in
+      let code = gen_vertex g options live_sets ~demand info in
+      match info.Graph.vkind with
+      | Cfg.V_call_context -> entry := gen_entry_dummies options g
+      | Cfg.V_entry -> v0_code := code
+      | Cfg.V_exit -> exit_remaps := code
+      | Cfg.V_stmt s -> Hashtbl.replace remap_codes s.Ast.sid code
+      | Cfg.V_call_before s ->
+        (* prepend the status save when the matching call-after restores *)
+        let saves =
+          Seq
+            (List.filter_map
+               (fun ((a, _) : string * Graph.label) ->
+                 let restores =
+                   Hashtbl.fold
+                     (fun _ (i : Graph.vertex_info) acc ->
+                       match i.Graph.vkind with
+                       | Cfg.V_call_after s' when s'.Ast.sid = s.Ast.sid ->
+                         (match List.assoc_opt a i.Graph.labels with
+                         | Some l' -> l'.Graph.restore || acc
+                         | None -> acc)
+                       | _ -> acc)
+                     g.Graph.infos false
+                 in
+                 if restores then
+                   Some (Save_status { array = a; slot = s.Ast.sid })
+                 else None)
+               info.Graph.labels)
+        in
+        Hashtbl.replace pre_call s.Ast.sid (simplify (Seq [ saves; code ]))
+      | Cfg.V_call_after s -> Hashtbl.replace post_call s.Ast.sid code
+      | Cfg.V_branch _ | Cfg.V_loop_head _ -> assert false)
+    (Graph.vertex_ids g);
+  (* re-key references by statement id *)
+  let refs = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (vid, a) version ->
+      match Cfg.sid_of_kind (Cfg.vertex g.Graph.cfg vid).Cfg.kind with
+      | Some sid -> Hashtbl.replace refs (sid, a) version
+      | None -> ())
+    g.Graph.refs;
+  {
+    source = g.Graph.cfg.Cfg.routine;
+    graph = g;
+    options;
+    entry_code = simplify (Seq [ !entry; !v0_code ]);
+    exit_code = simplify !exit_remaps;
+    cleanup_code = simplify (gen_exit_cleanup g);
+    remap_codes;
+    pre_call;
+    post_call;
+    refs;
+    live_sets;
+  }
+
+(* The full static program text: original control flow with remapping
+   statements replaced by their generated copy code (Figs. 7/20). *)
+let pp_routine ppf (r : routine) =
+  let rec pp_block n block =
+    List.iter
+      (fun (s : Ast.stmt) ->
+        match s.Ast.skind with
+        | Ast.Realign _ | Ast.Redistribute _ -> (
+          match Hashtbl.find_opt r.remap_codes s.Ast.sid with
+          | Some code -> Rt_ir.pp_ind n ppf code
+          | None -> ())
+        | Ast.Call _ ->
+          (match Hashtbl.find_opt r.pre_call s.Ast.sid with
+          | Some code -> Rt_ir.pp_ind n ppf code
+          | None -> ());
+          Pp_ast.pp_stmt ~level:n ppf s;
+          (match Hashtbl.find_opt r.post_call s.Ast.sid with
+          | Some code -> Rt_ir.pp_ind n ppf code
+          | None -> ())
+        | Ast.If (cond, t, e) ->
+          Fmt.pf ppf "%sif (%a) then@." (String.make (2 * n) ' ') Pp_ast.pp_expr cond;
+          pp_block (n + 1) t;
+          if e <> [] then begin
+            Fmt.pf ppf "%selse@." (String.make (2 * n) ' ');
+            pp_block (n + 1) e
+          end;
+          Fmt.pf ppf "%sendif@." (String.make (2 * n) ' ')
+        | Ast.Do { index; lo; hi; body } ->
+          Fmt.pf ppf "%sdo %s = %a, %a@." (String.make (2 * n) ' ') index
+            Pp_ast.pp_expr lo Pp_ast.pp_expr hi;
+          pp_block (n + 1) body;
+          Fmt.pf ppf "%senddo@." (String.make (2 * n) ' ')
+        | Ast.Assign _ | Ast.Full_assign _ | Ast.Scalar_assign _ | Ast.Kill _
+          ->
+          Pp_ast.pp_stmt ~level:n ppf s)
+      block
+  in
+  Fmt.pf ppf "subroutine %s  ! generated@." r.source.Ast.r_name;
+  Fmt.pf ppf "! --- entry ---@.";
+  Rt_ir.pp ppf r.entry_code;
+  Fmt.pf ppf "! --- body ---@.";
+  pp_block 1 r.source.Ast.r_body;
+  Fmt.pf ppf "! --- exit ---@.";
+  Rt_ir.pp ppf r.exit_code;
+  Rt_ir.pp ppf r.cleanup_code;
+  Fmt.pf ppf "end subroutine@."

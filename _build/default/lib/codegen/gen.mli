@@ -1,0 +1,41 @@
+(** Copy code generation (Sec. 5.2, Fig. 19): for every remapping-graph
+    label, a status test guarding allocation, a live test enabling free
+    live-copy reuse, data copies from the status-matching reaching copy
+    (skipped for D labels), liveness updates, and may-live-based frees;
+    Fig. 18 status save/restore around flow-dependent calls. *)
+
+type options = {
+  use_use_info : bool;
+      (** false: every remapping copies data and invalidates other copies
+          (no D shortcut, no dead-import optimization) *)
+  use_live_copies : bool;
+      (** false: no live flags — copies always run and non-current copies
+          are freed immediately (the "first idea" of Sec. 4.2) *)
+}
+
+(** Both refinements on. *)
+val default_options : options
+
+type routine = {
+  source : Hpfc_lang.Ast.routine;
+  graph : Hpfc_remap.Graph.t;
+  options : options;
+  entry_code : Rt_ir.code;  (** dummy init + v_0 materializations *)
+  exit_code : Rt_ir.code;  (** v_e remappings (argument restore) *)
+  cleanup_code : Rt_ir.code;  (** frees at the very end *)
+  remap_codes : (int, Rt_ir.code) Hashtbl.t;  (** remap statement sid -> code *)
+  pre_call : (int, Rt_ir.code) Hashtbl.t;  (** call sid -> save + v_b code *)
+  post_call : (int, Rt_ir.code) Hashtbl.t;  (** call sid -> v_a code *)
+  refs : (int * string, int) Hashtbl.t;  (** (stmt sid, array) -> version *)
+  live_sets : Hpfc_opt.Live_copies.t;
+}
+
+(** Generate the runtime code for a (possibly optimized) remapping graph.
+    With [options.use_use_info], the D shortcut and copy invalidation use
+    the {!Hpfc_opt.Demand} qualifiers rather than the paper's U (see that
+    module for why). *)
+val generate : ?options:options -> Hpfc_remap.Graph.t -> routine
+
+(** The full static program: original control flow with remapping
+    statements replaced by their generated copy code (Figs. 7/20). *)
+val pp_routine : Format.formatter -> routine -> unit

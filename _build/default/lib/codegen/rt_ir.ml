@@ -1,0 +1,91 @@
+(* Runtime IR: the copy-management code woven around the original control
+   flow by the Fig. 19 generation algorithm.  It is interpreted against the
+   runtime store (and pretty-prints in the shape of the paper's Fig. 20). *)
+
+type code =
+  | Seq of code list
+  | If_status_not of { array : string; version : int; body : code }
+      (* `if status(A) /= v then body` — the status test whose false branch
+         is a remapping skipped at run time *)
+  | If_status_is of { array : string; version : int; body : code }
+  | If_live_else of { array : string; version : int; live : code; dead : code }
+  | If_saved_is of { array : string; slot : int; version : int; body : code }
+  | Alloc of string * int
+  | Free of string * int  (* free + live := false *)
+  | Copy of { array : string; dst : int; src : int }
+  | Dead_copy of string * int  (* allocation-only materialization (D) *)
+  | Set_status of string * int
+  | Set_live of { array : string; version : int; live : bool }
+  | Kill_others of string * int  (* live(A_a) := false for all a <> v *)
+  | Save_status of { array : string; slot : int }
+  | Note_skip  (* executed when a status test finds nothing to do *)
+  | Note_live_reuse  (* a live copy satisfied the remapping: no data moved *)
+  | Nop
+
+let rec simplify = function
+  | Seq codes -> (
+    let codes =
+      List.filter_map
+        (fun c -> match simplify c with Nop -> None | c -> Some c)
+        codes
+    in
+    match codes with [] -> Nop | [ c ] -> c | cs -> Seq cs)
+  | If_status_not r -> (
+    match simplify r.body with
+    | Nop -> Nop
+    | body -> If_status_not { r with body })
+  | If_status_is r -> (
+    match simplify r.body with Nop -> Nop | body -> If_status_is { r with body })
+  | If_saved_is r -> (
+    match simplify r.body with Nop -> Nop | body -> If_saved_is { r with body })
+  | If_live_else r ->
+    If_live_else { r with live = simplify r.live; dead = simplify r.dead }
+  | ( Alloc _ | Free _ | Copy _ | Dead_copy _ | Set_status _ | Set_live _
+    | Kill_others _ | Save_status _ | Note_skip | Note_live_reuse | Nop ) as c
+    ->
+    c
+
+let rec pp_ind n ppf code =
+  let ind = String.make (2 * n) ' ' in
+  match code with
+  | Seq codes -> List.iter (pp_ind n ppf) codes
+  | If_status_not { array; version; body } ->
+    Fmt.pf ppf "%sif status(%s) /= %d then@." ind array version;
+    pp_ind (n + 1) ppf body;
+    Fmt.pf ppf "%sendif@." ind
+  | If_status_is { array; version; body } ->
+    Fmt.pf ppf "%sif status(%s) == %d then@." ind array version;
+    pp_ind (n + 1) ppf body;
+    Fmt.pf ppf "%sendif@." ind
+  | If_live_else { array; version; live; dead } -> (
+    match live with
+    | Nop | Note_live_reuse ->
+      Fmt.pf ppf "%sif .not. live(%s_%d) then@." ind array version;
+      pp_ind (n + 1) ppf dead;
+      Fmt.pf ppf "%sendif@." ind
+    | _ ->
+      Fmt.pf ppf "%sif live(%s_%d) then@." ind array version;
+      pp_ind (n + 1) ppf live;
+      Fmt.pf ppf "%selse@." ind;
+      pp_ind (n + 1) ppf dead;
+      Fmt.pf ppf "%sendif@." ind)
+  | If_saved_is { array; slot; version; body } ->
+    Fmt.pf ppf "%sif reaching%d(%s) == %d then@." ind slot array version;
+    pp_ind (n + 1) ppf body;
+    Fmt.pf ppf "%sendif@." ind
+  | Alloc (a, v) -> Fmt.pf ppf "%sallocate %s_%d if needed@." ind a v
+  | Free (a, v) -> Fmt.pf ppf "%sfree %s_%d@." ind a v
+  | Copy { array; dst; src } -> Fmt.pf ppf "%s%s_%d = %s_%d@." ind array dst array src
+  | Dead_copy (a, v) -> Fmt.pf ppf "%smaterialize %s_%d (no copy: dead values)@." ind a v
+  | Set_status (a, v) -> Fmt.pf ppf "%sstatus(%s) = %d@." ind a v
+  | Set_live { array; version; live } ->
+    Fmt.pf ppf "%slive(%s_%d) = %s@." ind array version
+      (if live then ".true." else ".false.")
+  | Kill_others (a, v) -> Fmt.pf ppf "%slive(%s_a) = .false. for a /= %d@." ind a v
+  | Save_status { array; slot } ->
+    Fmt.pf ppf "%sreaching%d(%s) = status(%s)@." ind slot array array
+  | Note_skip | Note_live_reuse | Nop -> ()
+
+let pp ppf code = pp_ind 0 ppf (simplify code)
+
+let to_string code = Fmt.str "%a" pp code

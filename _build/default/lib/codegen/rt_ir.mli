@@ -1,0 +1,33 @@
+(** Runtime IR: the copy-management code woven around the original control
+    flow by the Fig. 19 generation algorithm.  Interpreted against the
+    runtime store; pretty-prints in the shape of the paper's Fig. 20. *)
+
+type code =
+  | Seq of code list
+  | If_status_not of { array : string; version : int; body : code }
+      (** [if status(A) /= v then body] — a false test is a remapping
+          skipped at run time *)
+  | If_status_is of { array : string; version : int; body : code }
+  | If_live_else of { array : string; version : int; live : code; dead : code }
+  | If_saved_is of { array : string; slot : int; version : int; body : code }
+      (** Fig. 18 restore dispatch on the saved reaching status *)
+  | Alloc of string * int
+  | Free of string * int  (** free + live := false *)
+  | Copy of { array : string; dst : int; src : int }
+  | Dead_copy of string * int  (** allocation-only materialization (D) *)
+  | Set_status of string * int
+  | Set_live of { array : string; version : int; live : bool }
+  | Kill_others of string * int  (** live(A_a) := false for all a <> v *)
+  | Save_status of { array : string; slot : int }
+  | Note_skip
+  | Note_live_reuse  (** a live copy satisfied the remapping: no data moved *)
+  | Nop
+
+(** Flatten nests and drop empty branches. *)
+val simplify : code -> code
+
+(** Print at a given indentation level. *)
+val pp_ind : int -> Format.formatter -> code -> unit
+
+val pp : Format.formatter -> code -> unit
+val to_string : code -> string

@@ -1,0 +1,1 @@
+lib/dataflow/solver.ml: Array Hpfc_base List Queue

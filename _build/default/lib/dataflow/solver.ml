@@ -1,0 +1,84 @@
+(* Generic iterative dataflow solver over an integer-indexed graph.
+
+   All the paper's analyses are instances:
+   - reaching/leaving mappings: may-forward over the CFG (Appendix B);
+   - use summarization (EffectsAfter/From): may-backward over the CFG;
+   - RemappedAfter/From: may-backward over the CFG;
+   - reaching-copy recomputation: may-forward over G_R (Appendix C);
+   - may-live copies: may-backward over G_R (Appendix D).
+
+   The lattice is supplied as a join-semilattice with equality; the solver
+   iterates transfer functions with a worklist until fixpoint.  Monotone
+   transfer + finite-height lattice guarantee termination, as the paper
+   argues for each of its problems. *)
+
+type 'a graph = {
+  nb_vertices : int;
+  succs : int -> int list;
+  preds : int -> int list;
+}
+
+type 'a lattice = {
+  bottom : 'a;
+  equal : 'a -> 'a -> bool;
+  join : 'a -> 'a -> 'a;
+}
+
+type 'a solution = { value_in : 'a array; value_out : 'a array }
+
+type direction = Forward | Backward
+
+(* [init vid] seeds the in-value of each vertex (typically bottom except at
+   the entry/exit); [transfer vid in_value] computes the out-value. *)
+let solve ~(direction : direction) ~(graph : _ graph) ~(lattice : 'a lattice)
+    ~(init : int -> 'a) ~(transfer : int -> 'a -> 'a) : 'a solution =
+  let n = graph.nb_vertices in
+  let sources, _targets =
+    match direction with
+    | Forward -> (graph.preds, graph.succs)
+    | Backward -> (graph.succs, graph.preds)
+  in
+  let value_in = Array.init n init in
+  let value_out =
+    Array.init n (fun vid -> transfer vid value_in.(vid))
+  in
+  (* simple round-robin worklist; graphs here are tiny *)
+  let queue = Queue.create () in
+  let queued = Array.make n false in
+  let enqueue vid =
+    if not queued.(vid) then begin
+      queued.(vid) <- true;
+      Queue.add vid queue
+    end
+  in
+  for vid = 0 to n - 1 do
+    enqueue vid
+  done;
+  while not (Queue.is_empty queue) do
+    let vid = Queue.pop queue in
+    queued.(vid) <- false;
+    let incoming =
+      List.fold_left
+        (fun acc src -> lattice.join acc value_out.(src))
+        (init vid) (sources vid)
+    in
+    let changed_in = not (lattice.equal incoming value_in.(vid)) in
+    if changed_in then value_in.(vid) <- incoming;
+    let out = transfer vid value_in.(vid) in
+    if not (lattice.equal out value_out.(vid)) then begin
+      value_out.(vid) <- out;
+      List.iter enqueue
+        (match direction with
+        | Forward -> graph.succs vid
+        | Backward -> graph.preds vid)
+    end
+  done;
+  { value_in; value_out }
+
+(* Set lattice over lists with a user equality (order-insensitive). *)
+let list_set_lattice (equal_elt : 'e -> 'e -> bool) : 'e list lattice =
+  {
+    bottom = [];
+    equal = Hpfc_base.Util.list_equal_as_sets equal_elt;
+    join = Hpfc_base.Util.union_stable equal_elt;
+  }

@@ -1,0 +1,41 @@
+(** Generic iterative dataflow solver over an integer-indexed graph.
+
+    All the paper's analyses are instances: reaching/leaving mapping
+    propagation (may-forward), use summarization and RemappedAfter
+    (may-backward) on the control-flow graph, and the Appendix C/D
+    problems on the remapping graph.  Monotone transfer functions over a
+    finite-height join-semilattice guarantee termination. *)
+
+type 'a graph = {
+  nb_vertices : int;
+  succs : int -> int list;
+  preds : int -> int list;
+}
+
+type 'a lattice = {
+  bottom : 'a;
+  equal : 'a -> 'a -> bool;
+  join : 'a -> 'a -> 'a;
+}
+
+type 'a solution = {
+  value_in : 'a array;
+      (** forward: join over predecessors' out-values; backward: join over
+          successors' (the "after" value) *)
+  value_out : 'a array;  (** [transfer vid value_in.(vid)] at fixpoint *)
+}
+
+type direction = Forward | Backward
+
+(** Worklist fixpoint.  [init vid] seeds each vertex's in-value (typically
+    bottom except at entry/exit); [transfer] must be total and monotone. *)
+val solve :
+  direction:direction ->
+  graph:'b graph ->
+  lattice:'a lattice ->
+  init:(int -> 'a) ->
+  transfer:(int -> 'a -> 'a) ->
+  'a solution
+
+(** The set lattice over lists with a user equality (order-insensitive). *)
+val list_set_lattice : ('e -> 'e -> bool) -> 'e list lattice

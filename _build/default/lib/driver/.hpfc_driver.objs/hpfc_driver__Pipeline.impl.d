@@ -1,0 +1,1 @@
+lib/driver/pipeline.ml: Array Ast Fmt Hpfc_base Hpfc_cfg Hpfc_codegen Hpfc_interp Hpfc_lang Hpfc_opt Hpfc_parser Hpfc_remap Hpfc_runtime List

@@ -1,0 +1,1 @@
+lib/driver/pipeline.mli: Format Hpfc_codegen Hpfc_interp Hpfc_lang Hpfc_remap Hpfc_runtime

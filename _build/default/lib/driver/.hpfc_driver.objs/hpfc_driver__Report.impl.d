@@ -1,0 +1,1 @@
+lib/driver/report.ml: Buffer Fmt Hpfc_base Hpfc_codegen Hpfc_kernels Hpfc_lang Hpfc_opt Hpfc_parser Hpfc_remap List Pp_ast

@@ -1,0 +1,140 @@
+(* End-to-end driver: parse -> remapping graph -> optimizations -> copy code
+   -> (optionally) simulated execution, with a per-routine compile report.
+   This is the library behind the hpfc CLI, the examples, and the bench
+   harness. *)
+
+open Hpfc_lang
+module Graph = Hpfc_remap.Graph
+module Construct = Hpfc_remap.Construct
+module Version = Hpfc_remap.Version
+module Gen = Hpfc_codegen.Gen
+module I = Hpfc_interp.Interp
+module Machine = Hpfc_runtime.Machine
+
+type compile_report = {
+  routine : string;
+  gr_vertices : int;
+  gr_edges : int;
+  versions : (string * int) list;  (* copies per array *)
+  hoisted : int;
+  removed : int;  (* useless remappings deleted (Appendix C) *)
+  noops : int;  (* remappings turned into static no-ops *)
+  remappings_before : int;  (* (vertex, array) remap label count pre-opt *)
+  remappings_after : int;
+}
+
+let count_remappings (g : Graph.t) =
+  List.fold_left
+    (fun acc vid ->
+      let info = Graph.info g vid in
+      if info.Graph.vkind = Hpfc_cfg.Cfg.V_exit then acc
+      else
+        acc
+        + List.length
+            (List.filter
+               (fun ((_, l) : string * Graph.label) -> l.Graph.leaving <> [])
+               info.Graph.labels))
+    0 (Graph.vertex_ids g)
+
+(* Compile one routine under [pipeline]; also return the report and the
+   pre/post-optimization graphs for inspection. *)
+let analyze ?(pipeline = I.full_pipeline) (r : Ast.routine) :
+    Gen.routine * compile_report =
+  let r', hoisted =
+    if pipeline.I.hoist then
+      Hpfc_opt.Hoist.run ~default_nprocs:pipeline.I.default_nprocs r
+    else (r, 0)
+  in
+  let g = Construct.build ~default_nprocs:pipeline.I.default_nprocs r' in
+  let before = count_remappings g in
+  let removed, noops =
+    if pipeline.I.remove_useless then begin
+      let s = Hpfc_opt.Remove_useless.run g in
+      (s.Hpfc_opt.Remove_useless.removed, s.Hpfc_opt.Remove_useless.noops)
+    end
+    else (0, 0)
+  in
+  let after = count_remappings g in
+  let compiled = Gen.generate ~options:pipeline.I.codegen g in
+  let versions =
+    List.map
+      (fun a -> (a, Version.count g.Graph.registry a))
+      (Version.arrays g.Graph.registry)
+  in
+  ( compiled,
+    {
+      routine = r.Ast.r_name;
+      gr_vertices = Graph.nb_vertices g;
+      gr_edges = Graph.nb_edges g;
+      versions;
+      hoisted;
+      removed;
+      noops;
+      remappings_before = before;
+      remappings_after = after;
+    } )
+
+let pp_report ppf (r : compile_report) =
+  Fmt.pf ppf "routine %s:@." r.routine;
+  Fmt.pf ppf "  G_R: %d vertices, %d edges@." r.gr_vertices r.gr_edges;
+  Fmt.pf ppf "  copies: %a@."
+    (Hpfc_base.Util.pp_list (fun ppf (a, n) -> Fmt.pf ppf "%s:%d" a n))
+    r.versions;
+  Fmt.pf ppf "  hoisted %d, removed %d useless + %d no-ops@." r.hoisted
+    r.removed r.noops;
+  Fmt.pf ppf "  remapping operations: %d -> %d@." r.remappings_before
+    r.remappings_after
+
+(* Parse, compile and run a whole program from source. *)
+let run_source ?(pipeline = I.full_pipeline) ?(scalars = []) ?entry
+    ?use_interval_engine ?backend ?machine src : I.result =
+  let prog = Hpfc_parser.Parser.parse_program src in
+  let entry =
+    match entry with
+    | Some e -> e
+    | None -> (List.hd prog.Ast.routines).Ast.r_name
+  in
+  let compiled = I.compile ~pipeline prog in
+  I.run ?machine ?use_interval_engine ?backend compiled ~entry ~scalars ()
+
+(* Compare the naive and the fully optimized pipeline on the same program;
+   used by every Q experiment. *)
+type comparison = {
+  naive : I.result;
+  optimized : I.result;
+  values_agree : bool;
+}
+
+let compare_pipelines ?(scalars = []) ?entry src : comparison =
+  let naive = run_source ~pipeline:I.naive_pipeline ~scalars ?entry src in
+  let optimized = run_source ~pipeline:I.full_pipeline ~scalars ?entry src in
+  (* compare only program-defined elements: copies of killed or
+     never-written data legitimately differ between compilations *)
+  let values_agree =
+    List.for_all
+      (fun (n, a1) ->
+        match
+          (List.assoc_opt n optimized.I.final_arrays,
+           List.assoc_opt n naive.I.final_defined)
+        with
+        | Some a2, Some mask ->
+          Array.for_all (fun x -> x)
+            (Array.mapi (fun i def -> (not def) || a1.(i) = a2.(i)) mask)
+        | Some a2, None -> a1 = a2
+        | None, _ -> true (* never materialized: never referenced *))
+      naive.I.final_arrays
+  in
+  { naive; optimized; values_agree }
+
+let pp_comparison ppf (c : comparison) =
+  let n = c.naive.I.machine.Machine.counters
+  and o = c.optimized.I.machine.Machine.counters in
+  Fmt.pf ppf
+    "          %12s %12s@.remaps    %12d %12d@.skipped   %12d %12d@.reuses   \
+     %12d %12d@.messages  %12d %12d@.volume    %12d %12d@.time      %12.1f \
+     %12.1f@.values    %s@."
+    "naive" "optimized" n.Machine.remaps_performed o.Machine.remaps_performed
+    n.Machine.remaps_skipped o.Machine.remaps_skipped n.Machine.live_reuses
+    o.Machine.live_reuses n.Machine.messages o.Machine.messages
+    n.Machine.volume o.Machine.volume n.Machine.time o.Machine.time
+    (if c.values_agree then "agree" else "DIFFER")

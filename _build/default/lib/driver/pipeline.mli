@@ -1,0 +1,55 @@
+(** End-to-end driver: parse -> remapping graph -> optimizations -> copy
+    code -> simulated execution, with per-routine compile reports and a
+    naive-vs-optimized comparison used by the CLI, the examples and the
+    bench harness. *)
+
+type compile_report = {
+  routine : string;
+  gr_vertices : int;
+  gr_edges : int;
+  versions : (string * int) list;  (** copies per array *)
+  hoisted : int;
+  removed : int;  (** useless remappings deleted (Appendix C) *)
+  noops : int;  (** remappings turned into static no-ops *)
+  remappings_before : int;
+  remappings_after : int;
+}
+
+(** Remapping labels with a leaving copy, excluding the exit vertex. *)
+val count_remappings : Hpfc_remap.Graph.t -> int
+
+(** Compile one routine under a pipeline; returns the generated code and
+    the report. *)
+val analyze :
+  ?pipeline:Hpfc_interp.Interp.pipeline ->
+  Hpfc_lang.Ast.routine ->
+  Hpfc_codegen.Gen.routine * compile_report
+
+val pp_report : Format.formatter -> compile_report -> unit
+
+(** Parse, compile and run a whole program from source. *)
+val run_source :
+  ?pipeline:Hpfc_interp.Interp.pipeline ->
+  ?scalars:(string * Hpfc_interp.Interp.value) list ->
+  ?entry:string ->
+  ?use_interval_engine:bool ->
+  ?backend:Hpfc_runtime.Store.backend ->
+  ?machine:Hpfc_runtime.Machine.t ->
+  string ->
+  Hpfc_interp.Interp.result
+
+type comparison = {
+  naive : Hpfc_interp.Interp.result;
+  optimized : Hpfc_interp.Interp.result;
+  values_agree : bool;
+      (** program-defined elements equal (undefined data may differ) *)
+}
+
+(** Run the naive and the fully optimized pipeline on the same program. *)
+val compare_pipelines :
+  ?scalars:(string * Hpfc_interp.Interp.value) list ->
+  ?entry:string ->
+  string ->
+  comparison
+
+val pp_comparison : Format.formatter -> comparison -> unit

@@ -1,0 +1,24 @@
+(** Per-figure reproduction reports: for each figure of the paper, the
+    artifact it shows — remapping graphs before/after optimization,
+    generated copy code, the transformed loop, or the accept/reject
+    verdict.  Used by `hpfc figures` and the bench harness. *)
+
+(** Remapping graph of a source routine, unoptimized. *)
+val graph_before : string -> string
+
+(** Remapping graph after useless-remapping removal, with counts. *)
+val graph_after : string -> string
+
+(** Generated static program with copy code (optimized by default). *)
+val generated_code : ?optimize:bool -> string -> string
+
+(** "accepted" or "rejected: <reason>". *)
+val verdict : string -> string
+
+(** Source after loop-invariant remapping motion, with the count. *)
+val hoisted_source : string -> string
+
+(** One (id, claim, reproduction) triple per paper figure. *)
+val figure_reports : unit -> (string * string * string) list
+
+val pp_all : Format.formatter -> unit -> unit

@@ -1,0 +1,1 @@
+lib/effects/effects.ml: Ast Env Hpfc_base Hpfc_cfg Hpfc_lang List Option Use_info

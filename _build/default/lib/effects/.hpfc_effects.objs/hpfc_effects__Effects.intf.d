@@ -1,0 +1,1 @@
+lib/effects/effects.mli: Hpfc_cfg Hpfc_lang Use_info

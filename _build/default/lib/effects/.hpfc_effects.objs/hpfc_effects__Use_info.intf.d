@@ -1,0 +1,1 @@
+lib/effects/use_info.mli: Format

@@ -1,0 +1,94 @@
+(* Proper effects of CFG vertices on distributed arrays (the paper's
+   EffectsOf, Appendix B).  Effects on dummy arguments at call sites come
+   from intent attributes in the explicit interface (Fig. 23: in -> R,
+   inout -> W, out -> D); the call-context and exit vertices model imported
+   and exported values (Fig. 22). *)
+
+open Hpfc_lang
+
+type effect_map = (string * Use_info.t) list
+
+let find (m : effect_map) a = Option.value (List.assoc_opt a m) ~default:Use_info.N
+
+(* Join an effect into a map. *)
+let add (m : effect_map) a u =
+  let u' = Use_info.join u (find m a) in
+  (a, u') :: List.remove_assoc a m
+
+let join_maps (m1 : effect_map) (m2 : effect_map) =
+  List.fold_left (fun acc (a, u) -> add acc a u) m1 m2
+
+let equal_maps (m1 : effect_map) (m2 : effect_map) =
+  let arrays = List.map fst (m1 @ m2) |> Hpfc_base.Util.dedup_stable ( = ) in
+  List.for_all (fun a -> Use_info.equal (find m1 a) (find m2 a)) arrays
+
+(* Array reads of an expression, as R effects. *)
+let of_expr (env : Env.t) expr : effect_map =
+  Ast.arrays_read expr
+  |> List.filter (Env.is_array env)
+  |> List.map (fun a -> (a, Use_info.R))
+
+(* Proper effect of a statement-kind vertex.  Within a statement, reads
+   happen before the write, so:
+   - a full assignment that does not read its own array is D;
+   - any other write (partial, or full-with-self-read) is W;
+   - everything read on the right-hand side or in subscripts is R. *)
+let of_vertex (env : Env.t) (kind : Hpfc_cfg.Cfg.vkind) : effect_map =
+  match kind with
+  | V_call_context ->
+    (* Fig. 22: imported values — in/inout dummies are defined by the
+       caller before entry. *)
+    Env.arrays env
+    |> List.filter_map (fun (info : Env.array_info) ->
+         match info.ai_intent with
+         | Some (Ast.In | Ast.Inout) -> Some (info.ai_name, Use_info.D)
+         | Some Ast.Out | None -> None)
+  | V_exit ->
+    (* Fig. 22: exported values — inout/out dummies are used after exit. *)
+    Env.arrays env
+    |> List.filter_map (fun (info : Env.array_info) ->
+         match info.ai_intent with
+         | Some (Ast.Inout | Ast.Out) -> Some (info.ai_name, Use_info.W)
+         | Some Ast.In | None -> None)
+  | V_entry -> []
+  | V_branch { cond; _ } -> of_expr env cond
+  | V_loop_head { lo; hi; _ } -> join_maps (of_expr env lo) (of_expr env hi)
+  | V_call_before _ | V_call_after _ -> []  (* remapping vertices *)
+  | V_stmt s -> (
+    match s.Ast.skind with
+    | Ast.Assign { array; indices; rhs } ->
+      let reads =
+        List.fold_left
+          (fun acc e -> join_maps acc (of_expr env e))
+          (of_expr env rhs) indices
+      in
+      add reads array Use_info.W
+    | Ast.Full_assign { array; rhs } ->
+      let reads = of_expr env rhs in
+      if List.mem_assoc array reads then add reads array Use_info.W
+      else add reads array Use_info.D
+    | Ast.Scalar_assign (_, rhs) -> of_expr env rhs
+    | Ast.Kill array -> [ (array, Use_info.D) ]
+    | Ast.Call { callee; args } ->
+      (* Fig. 23: intent effect on each actual argument array. *)
+      let iface = Env.iface_for_call env callee in
+      let dummies = iface.Env.if_dummies in
+      let array_args = List.filter (Env.is_array env) args in
+      if List.length array_args <> List.length dummies then
+        Hpfc_base.Error.fail Rank_mismatch
+          "call %s: %d array arguments for %d dummies" callee
+          (List.length array_args) (List.length dummies)
+      else
+        List.fold_left2
+          (fun acc actual (_, (info : Env.array_info), _) ->
+            let u =
+              match info.ai_intent with
+              | Some Ast.In -> Use_info.R
+              | Some Ast.Out -> Use_info.D
+              | Some Ast.Inout | None -> Use_info.W
+            in
+            add acc actual u)
+          [] array_args dummies
+    | Ast.Realign _ | Ast.Redistribute _ ->
+      []  (* remapping statements have no proper effects *)
+    | Ast.If _ | Ast.Do _ -> assert false (* structured; not a V_stmt *))

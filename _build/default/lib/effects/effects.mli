@@ -1,0 +1,28 @@
+(** Proper effects of CFG vertices on distributed arrays (the paper's
+    EffectsOf, Appendix B).  Call-site effects come from the callee's
+    intent declarations (Fig. 23: in -> R, inout -> W, out -> D); the
+    call-context and exit vertices model imported and exported argument
+    values (Fig. 22). *)
+
+(** Per-array use qualifiers; absent arrays are N. *)
+type effect_map = (string * Use_info.t) list
+
+val find : effect_map -> string -> Use_info.t
+
+(** Join one effect into a map. *)
+val add : effect_map -> string -> Use_info.t -> effect_map
+
+(** Pointwise join of two maps. *)
+val join_maps : effect_map -> effect_map -> effect_map
+
+val equal_maps : effect_map -> effect_map -> bool
+
+(** Array reads of an expression, as R effects. *)
+val of_expr : Hpfc_lang.Env.t -> Hpfc_lang.Ast.expr -> effect_map
+
+(** Proper effect of one CFG vertex.  Within a statement reads happen
+    before the write: a full assignment that does not read its own array
+    is D; any other write is W.
+    @raise Hpfc_base.Error.Hpf_error on a call without interface or with
+    mismatched arguments. *)
+val of_vertex : Hpfc_lang.Env.t -> Hpfc_cfg.Cfg.vkind -> effect_map

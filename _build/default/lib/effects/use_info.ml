@@ -1,0 +1,41 @@
+(* The paper's use qualifiers (Sec. 3.1 / Appendix A): how an array copy
+   may be used after a point.
+
+     N : never referenced
+     D : fully redefined before any use (allocation needed, no data copy)
+     R : only read (data needed; other live copies remain valid)
+     W : maybe modified (data needed; other copies are invalidated)
+
+   "The use information qualifiers supersede one another in the given
+   order" N < D < R < W; but the qualifiers are really the product of two
+   independent bits — does the copy's data need to be communicated
+   (R, W), and does the region modify the array, invalidating its other
+   copies (D, W)?  Joining along that product is essential: a region that
+   reads the copy and later fully redefines it is *not* "only read" — it
+   must come out W, or stale copies would survive the redefinition as
+   live.  (Our differential fuzzer found exactly that miscompilation with
+   a chain-max join.) *)
+
+type t = N | D | R | W
+
+let rank = function N -> 0 | D -> 1 | R -> 2 | W -> 3
+
+let join a b =
+  match (a, b) with
+  | D, R | R, D -> W  (* read + redefined: data needed and copies killed *)
+  | _ -> if rank a >= rank b then a else b
+
+let equal a b = rank a = rank b
+
+let to_string = function N -> "N" | D -> "D" | R -> "R" | W -> "W"
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+(* Does a remapping toward a copy with this use qualifier need the data to
+   be communicated?  (Fig. 19: dead arrays D require no actual copy.) *)
+let needs_data = function R | W -> true | N | D -> false
+
+(* Does use with this qualifier keep *other* copies of the array valid?
+   (Live-copy propagation, Appendix D: paths where the array is only
+   read.) *)
+let preserves_copies = function N | R -> true | D | W -> false

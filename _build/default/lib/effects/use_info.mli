@@ -1,0 +1,33 @@
+(** The paper's use qualifiers (Appendix A): how an array copy may be used
+    between a program point and the array's next remapping.
+
+    The four values are really the product of two bits — is the copy's
+    data needed (R, W), and is the array modified, invalidating its other
+    copies (D, W)?  {!join} combines along that product: in particular
+    [join D R = W] — a region that reads the copy and later fully
+    redefines it is not "only read".  (A chain-max join here is a
+    miscompilation our differential fuzzer caught.) *)
+
+type t =
+  | N  (** never referenced *)
+  | D  (** fully redefined before any use *)
+  | R  (** only read *)
+  | W  (** maybe modified *)
+
+(** Position in the paper's N < D < R < W chain. *)
+val rank : t -> int
+
+(** Product join (pointwise or of the two bits). *)
+val join : t -> t -> t
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Does a remapping toward a copy with this qualifier communicate data?
+    (Fig. 19: D copies are allocated without communication.) *)
+val needs_data : t -> bool
+
+(** Does use with this qualifier keep the array's {e other} copies valid?
+    (Appendix D: live copies propagate on read-only paths.) *)
+val preserves_copies : t -> bool

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Ast Construct Env Float Graph Hashtbl Hpfc_base Hpfc_codegen Hpfc_lang Hpfc_mapping Hpfc_opt Hpfc_remap Hpfc_runtime List Machine Store Version

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Hashtbl Hpfc_codegen Hpfc_lang Hpfc_runtime

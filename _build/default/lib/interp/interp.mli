@@ -1,0 +1,72 @@
+(** Interpreter: executes compiled routines (original control flow + the
+    generated copy-management code) on the simulated machine.
+
+    Every array reference goes through its statically tagged copy version,
+    checked against the run-time status word — a mismatch means the
+    compiler mismanaged mappings and raises [Runtime_fault], so every
+    end-to-end run doubles as a correctness oracle.  Values derived from
+    undefined data (KILL, unwritten intent(out)) are taint-tracked so the
+    differential tests compare only program-defined results. *)
+
+type value = VInt of int | VFloat of float
+
+val to_float : value -> float
+
+(** @raise Hpfc_base.Error.Hpf_error on a non-integral float. *)
+val to_int : value -> int
+
+val truthy : value -> bool
+
+(** A compiled program: one generated routine per subroutine. *)
+type program = {
+  compiled : (string, Hpfc_codegen.Gen.routine) Hashtbl.t;
+  share_live_args : bool;
+      (** the paper's "more advanced calling convention" (Sec. 2.2): live
+          caller copies travel with the argument *)
+}
+
+type result = {
+  machine : Hpfc_runtime.Machine.t;
+  final_scalars : (string * value) list;  (** tainted scalars excluded *)
+  final_arrays : (string * float array) list;
+      (** payload of each array's current copy when the body finished *)
+  final_defined : (string * bool array) list;
+      (** which elements hold program-defined values *)
+}
+
+(** Compilation configuration: which passes and codegen refinements run. *)
+type pipeline = {
+  hoist : bool;  (** loop-invariant remapping motion *)
+  remove_useless : bool;  (** Appendix C *)
+  codegen : Hpfc_codegen.Gen.options;
+  default_nprocs : int;
+  use_interval_engine : bool;
+  share_live_args : bool;
+      (** pass live copies along call arguments (Sec. 2.2, off by default) *)
+}
+
+(** Everything on. *)
+val full_pipeline : pipeline
+
+(** Copies between static versions, but no dataflow optimization — the
+    baseline the benchmarks compare against. *)
+val naive_pipeline : pipeline
+
+val compile_routine : pipeline -> Hpfc_lang.Ast.routine -> Hpfc_codegen.Gen.routine
+
+val compile : ?pipeline:pipeline -> Hpfc_lang.Ast.program -> program
+
+(** Run [entry] with the given scalar bindings.  Dummy arguments are
+    materialized with a deterministic fill (imported values) for
+    in/inout.
+    @raise Hpfc_base.Error.Hpf_error on runtime faults or calls to
+    unknown routines. *)
+val run :
+  ?machine:Hpfc_runtime.Machine.t ->
+  ?use_interval_engine:bool ->
+  ?backend:Hpfc_runtime.Store.backend ->
+  ?scalars:(string * value) list ->
+  program ->
+  entry:string ->
+  unit ->
+  result

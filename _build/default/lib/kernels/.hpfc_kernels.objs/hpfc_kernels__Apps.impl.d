@@ -1,0 +1,1 @@
+lib/kernels/apps.ml: Buffer Fmt Hpfc_parser

@@ -1,0 +1,1 @@
+lib/kernels/apps.mli: Hpfc_lang

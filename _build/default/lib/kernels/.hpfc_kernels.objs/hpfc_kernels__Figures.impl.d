@@ -1,0 +1,1 @@
+lib/kernels/figures.ml: Hpfc_parser

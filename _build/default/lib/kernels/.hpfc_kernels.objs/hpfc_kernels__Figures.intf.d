@@ -1,0 +1,1 @@
+lib/kernels/figures.mli: Hpfc_lang

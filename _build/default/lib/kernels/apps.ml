@@ -1,0 +1,301 @@
+(* The motivating applications of the paper's introduction, as runnable
+   mini-HPF programs: ADI [2], 2-D FFT by transposition [10], a dense-solver
+   phase change, and a SAR-like signal-processing pipeline of subroutine
+   stages [17].  Sizes are parameters so the benches can sweep them.
+
+   Each generator returns the source; [*_program ~n ...] parses it. *)
+
+let parse_program = Hpfc_parser.Parser.parse_program
+
+(* --- ADI: alternating row/column sweeps --------------------------------- *)
+
+(* Row sweeps want rows local: block-star; column sweeps want columns
+   local: star-block.  RHS is aligned with U but only read, so both its
+   copies stay live and all its remappings after the first timestep reuse
+   them without communication (Sec. 4.2).  The paper cites exactly this
+   kernel for Fig. 10's loop shape. *)
+let adi_src ?(p = 4) ~n () =
+  Fmt.str
+    {|
+subroutine adi(t)
+  parameter (n = %d)
+  integer t, it, i, j
+  real U(n, n), RHS(n, n)
+!hpf$ processors P(%d)
+!hpf$ dynamic U, RHS
+!hpf$ align RHS with U
+!hpf$ distribute U(block, *) onto P
+  U = 1.0
+  RHS = 0.25
+  do it = 1, t
+    do i = 0, n - 1
+      do j = 1, n - 1
+        U(i, j) = U(i, j) * 0.5 + U(i, j - 1) * 0.25 + RHS(i, j)
+      enddo
+    enddo
+!hpf$ redistribute U(*, block)
+    do j = 0, n - 1
+      do i = 1, n - 1
+        U(i, j) = U(i, j) * 0.5 + U(i - 1, j) * 0.25 + RHS(i, j)
+      enddo
+    enddo
+!hpf$ redistribute U(block, *)
+  enddo
+end subroutine
+|}
+    n p
+
+let adi ?p ~n () = parse_program (adi_src ?p ~n ())
+
+(* --- 2-D FFT by transposition ------------------------------------------- *)
+
+(* Stage 1 transforms rows (local under block-star), the remapping performs
+   the "corner turn", stage 2 transforms the other dimension.  The butterfly
+   is replaced by a local row combine with the same data-movement shape. *)
+let fft2d_src ?(p = 4) ~n () =
+  Fmt.str
+    {|
+subroutine fft2d()
+  parameter (n = %d)
+  integer i, j, h
+  real X(n, n)
+!hpf$ processors P(%d)
+!hpf$ dynamic X
+!hpf$ distribute X(block, *) onto P
+  do i = 0, n - 1
+    do j = 0, n - 1
+      X(i, j) = i + j * 2
+    enddo
+  enddo
+  h = n / 2
+  do i = 0, n - 1
+    do j = 0, h - 1
+      X(i, j) = X(i, j) + X(i, j + h)
+      X(i, j + h) = X(i, j) - X(i, j + h) * 2.0
+    enddo
+  enddo
+!hpf$ redistribute X(*, block)
+  do j = 0, n - 1
+    do i = 0, h - 1
+      X(i, j) = X(i, j) + X(i + h, j)
+      X(i + h, j) = X(i, j) - X(i + h, j) * 2.0
+    enddo
+  enddo
+!hpf$ redistribute X(block, *)
+  X(0, 0) = X(0, 0) + 1.0
+end subroutine
+|}
+    n p
+
+let fft2d ?p ~n () = parse_program (fft2d_src ?p ~n ())
+
+(* --- dense solver phase change -------------------------------------------- *)
+
+(* Assembly favours block locality; the elimination sweep is load-balanced
+   under cyclic; the back-substitution/output phase wants block again.
+   Classic remapping use from the linear-algebra motivation [5]. *)
+let solver_src ~n =
+  Fmt.str
+    {|
+subroutine solver()
+  parameter (n = %d)
+  integer i, j, k
+  real M(n, n), V(n)
+!hpf$ processors P(4)
+!hpf$ dynamic M, V
+!hpf$ distribute M(cyclic, *) onto P
+!hpf$ distribute V(block) onto P
+  do i = 0, n - 1
+    do j = 0, n - 1
+      M(i, j) = 1.0 / (i + j + 1)
+    enddo
+  enddo
+!hpf$ redistribute M(block, *)
+  do k = 0, n - 2
+    do i = k + 1, n - 1
+      M(i, k) = M(i, k) / M(k, k)
+      do j = k + 1, n - 1
+        M(i, j) = M(i, j) - M(i, k) * M(k, j)
+      enddo
+    enddo
+  enddo
+!hpf$ redistribute M(cyclic, *)
+  do i = 0, n - 1
+    V(i) = M(i, i)
+  enddo
+end subroutine
+|}
+    n
+
+let solver ~n = parse_program (solver_src ~n)
+
+(* --- SAR-like pipeline of subroutine stages -------------------------------- *)
+
+(* Range compression works on rows, azimuth compression on columns; each
+   stage is a subroutine whose dummy prescribes its preferred mapping, so
+   all remappings are implicit at call sites (the Fig. 4 pattern at
+   application scale; the image is assembled cyclic, unlike any stage
+   mapping, so every call boundary remaps under the naive compilation).
+   Calling range twice in a row exercises the consecutive-call
+   optimization: the optimizer drops the restore+inbound pairs. *)
+let sar_src ~n =
+  Fmt.str
+    {|
+subroutine sar(t)
+  parameter (n = %d)
+  integer t, it, i, j
+  real IMG(n, n)
+!hpf$ processors P(4)
+!hpf$ dynamic IMG
+!hpf$ distribute IMG(cyclic, *) onto P
+  interface
+    subroutine range_compress(D)
+      real D(%d, %d)
+      intent(inout) D
+!hpf$ distribute D(block, *)
+    end subroutine
+    subroutine azimuth_compress(D)
+      real D(%d, %d)
+      intent(inout) D
+!hpf$ distribute D(*, block)
+    end subroutine
+  end interface
+  do i = 0, n - 1
+    do j = 0, n - 1
+      IMG(i, j) = i - j
+    enddo
+  enddo
+  do it = 1, t
+    call range_compress(IMG)
+    call range_compress(IMG)
+    call azimuth_compress(IMG)
+  enddo
+  IMG(0, 0) = IMG(0, 0) + 1.0
+end subroutine
+
+subroutine range_compress(D)
+  parameter (n = %d)
+  integer i, j
+  real D(n, n)
+  intent(inout) D
+!hpf$ processors Q(4)
+!hpf$ distribute D(block, *) onto Q
+  do i = 0, n - 1
+    do j = 1, n - 1
+      D(i, j) = D(i, j) + D(i, j - 1) * 0.5
+    enddo
+  enddo
+end subroutine
+
+subroutine azimuth_compress(D)
+  parameter (n = %d)
+  integer i, j
+  real D(n, n)
+  intent(inout) D
+!hpf$ processors Q(4)
+!hpf$ distribute D(*, block) onto Q
+  do j = 0, n - 1
+    do i = 1, n - 1
+      D(i, j) = D(i, j) + D(i - 1, j) * 0.5
+    enddo
+  enddo
+end subroutine
+|}
+    n n n n n n n
+
+let sar ~n = parse_program (sar_src ~n)
+
+(* A repeated-calls micro-kernel for the Q3 sweep: k consecutive calls to
+   the same callee; the optimizer should keep only the first inbound and
+   last outbound remapping. *)
+let calls_src ~n ~k =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Fmt.str
+       {|
+subroutine calls()
+  parameter (n = %d)
+  integer i
+  real Y(n)
+!hpf$ processors P(4)
+!hpf$ dynamic Y
+!hpf$ distribute Y(block) onto P
+  interface
+    subroutine stage(X)
+      real X(%d)
+      intent(inout) X
+!hpf$ distribute X(cyclic)
+    end subroutine
+  end interface
+  do i = 0, n - 1
+    Y(i) = i
+  enddo
+|}
+       n n);
+  for _ = 1 to k do
+    Buffer.add_string buf "  call stage(Y)\n"
+  done;
+  Buffer.add_string buf
+    (Fmt.str
+       {|  Y(0) = Y(0) + 1.0
+end subroutine
+
+subroutine stage(X)
+  parameter (n = %d)
+  real X(n)
+  intent(inout) X
+!hpf$ processors Q(4)
+!hpf$ distribute X(cyclic) onto Q
+  X = X + 1.0
+end subroutine
+|}
+       n);
+  Buffer.contents buf
+
+let calls ~n ~k = parse_program (calls_src ~n ~k)
+
+(* --- 3-D tensor contraction phases ------------------------------------------ *)
+
+(* Tensor computations are among the paper's motivating applications: each
+   contraction phase wants a different axis local, so the rank-3 tensor is
+   redistributed between phases (the mapping algebra and the redistribution
+   engine are fully rank-generic). *)
+let tensor_src ~n =
+  Fmt.str
+    {|
+subroutine tensor()
+  parameter (n = %d)
+  integer i, j, k
+  real T3(n, n, 4), ACC(n, n)
+!hpf$ processors P(4)
+!hpf$ dynamic T3
+!hpf$ distribute T3(block, *, *) onto P
+!hpf$ distribute ACC(block, *) onto P
+  do i = 0, n - 1
+    do j = 0, n - 1
+      do k = 0, 3
+        T3(i, j, k) = i + j + k
+      enddo
+    enddo
+  enddo
+  ACC = 0.0
+  do i = 0, n - 1
+    do j = 0, n - 1
+      do k = 0, 3
+        ACC(i, j) = ACC(i, j) + T3(i, j, k)
+      enddo
+    enddo
+  enddo
+!hpf$ redistribute T3(*, block, *)
+  do j = 0, n - 1
+    do i = 0, n - 1
+      do k = 0, 3
+        ACC(i, j) = ACC(i, j) + T3(i, j, k) * 0.5
+      enddo
+    enddo
+  enddo
+end subroutine
+|}
+    n
+
+let tensor ~n = parse_program (tensor_src ~n)

@@ -1,0 +1,39 @@
+(** The motivating applications of the paper's introduction, as runnable
+    mini-HPF programs with parametric sizes: ADI, 2-D FFT by
+    transposition, a dense-solver phase change, a SAR-like pipeline of
+    subroutine stages, and a repeated-calls micro-kernel. *)
+
+(** ADI: row sweeps under block-star, column sweeps under star-block;
+    the aligned read-only RHS showcases live-copy reuse.  [p] is the
+    processor count (default 4). *)
+val adi_src : ?p:int -> n:int -> unit -> string
+
+val adi : ?p:int -> n:int -> unit -> Hpfc_lang.Ast.program
+
+(** 2-D FFT corner turns; the transform is a local row combine with the
+    FFT's data-movement shape. *)
+val fft2d_src : ?p:int -> n:int -> unit -> string
+
+val fft2d : ?p:int -> n:int -> unit -> Hpfc_lang.Ast.program
+
+(** Dense solver: cyclic assembly, block elimination, cyclic output. *)
+val solver_src : n:int -> string
+
+val solver : n:int -> Hpfc_lang.Ast.program
+
+(** SAR pipeline: range (rows) x2 then azimuth (columns) stages, [t]
+    passes; all remappings are implicit at call sites. *)
+val sar_src : n:int -> string
+
+val sar : n:int -> Hpfc_lang.Ast.program
+
+(** [k] consecutive calls to the same callee (Fig. 4 at scale). *)
+val calls_src : n:int -> k:int -> string
+
+val calls : n:int -> k:int -> Hpfc_lang.Ast.program
+
+(** Rank-3 tensor contraction phases: a different axis is local in each
+    phase, so the tensor is redistributed in between. *)
+val tensor_src : n:int -> string
+
+val tensor : n:int -> Hpfc_lang.Ast.program

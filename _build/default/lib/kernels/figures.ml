@@ -1,0 +1,357 @@
+(* The paper's figure programs, translated to mini-HPF (0-based indices).
+   Each figure keeps the paper's structure and use pattern; comments note
+   the claim the figure illustrates.  These drive the per-figure tests and
+   the FIGn experiments in EXPERIMENTS.md. *)
+
+let parse = Hpfc_parser.Parser.parse_routine_string
+
+(* Fig. 1: changing both alignment and distribution forces two remappings
+   where a single direct one would do; the realigned copy is never
+   referenced, so the optimizer merges the two remappings into one. *)
+let fig1_src =
+  {|
+subroutine fig1()
+  real A(16, 16), B(16, 16)
+!hpf$ processors P(4)
+!hpf$ dynamic A
+!hpf$ align A with B
+!hpf$ distribute B(block, *) onto P
+  A = 1.0
+!hpf$ realign A(i, j) with B(j, i)
+!hpf$ redistribute B(cyclic, *)
+  A(0, 0) = A(1, 1)
+end subroutine
+|}
+
+let fig1 () = parse fig1_src
+
+(* Fig. 2: C is remapped away and back without being referenced in between;
+   both remappings are useless and the initial copy can be reused live. *)
+let fig2_src =
+  {|
+subroutine fig2()
+  real B(16, 16), C(16, 16)
+!hpf$ processors P(4)
+!hpf$ dynamic C
+!hpf$ align C with B
+!hpf$ distribute B(block, *) onto P
+  C = 1.0
+  B = C + 1.0
+!hpf$ realign C(i, j) with B(j, i)
+  B(0, 0) = 1.0
+!hpf$ realign C(i, j) with B(i, j)
+  B(1, 1) = C(1, 1)
+end subroutine
+|}
+
+let fig2 () = parse fig2_src
+
+(* Fig. 3: redistributing template T remaps all five aligned arrays although
+   only A and D are used afterwards. *)
+let fig3_src =
+  {|
+subroutine fig3()
+  real A(16), B(16), C(16), D(16), E(16)
+!hpf$ processors P(4)
+!hpf$ template T(16)
+!hpf$ dynamic A, B, C, D, E
+!hpf$ align A with T
+!hpf$ align B with T
+!hpf$ align C with T
+!hpf$ align D with T
+!hpf$ align E with T
+!hpf$ distribute T(block) onto P
+  A = 1.0
+  B = 2.0
+  C = 3.0
+  D = 4.0
+  E = 5.0
+!hpf$ redistribute T(cyclic)
+  A(0) = D(0)
+end subroutine
+|}
+
+let fig3 () = parse fig3_src
+
+(* Fig. 4: consecutive calls remap the argument back and forth; a direct
+   cyclic -> cyclic(4) remapping between foo and bla is possible. *)
+let fig4_src =
+  {|
+subroutine fig4()
+  real Y(32)
+!hpf$ processors P(4)
+!hpf$ dynamic Y
+!hpf$ distribute Y(block) onto P
+  interface
+    subroutine foo(X)
+      real X(32)
+      intent(inout) X
+!hpf$ distribute X(cyclic)
+    end subroutine
+    subroutine bla(X)
+      real X(32)
+      intent(inout) X
+!hpf$ distribute X(cyclic(4))
+    end subroutine
+  end interface
+  Y = 1.0
+  call foo(Y)
+  call foo(Y)
+  call bla(Y)
+  Y(0) = Y(0) + 1.0
+end subroutine
+|}
+
+let fig4 () = parse fig4_src
+
+(* Fig. 5: flow-dependent ambiguity at a reference — rejected. *)
+let fig5_src =
+  {|
+subroutine fig5(c)
+  integer c
+  real A(16)
+!hpf$ processors P(4)
+!hpf$ template T1(16)
+!hpf$ template T2(16)
+!hpf$ dynamic A
+!hpf$ align A with T1
+!hpf$ distribute T1(block) onto P
+!hpf$ distribute T2(block) onto P
+  A = 1.0
+  if (c > 0) then
+!hpf$ realign A(i) with T2(i)
+    A(0) = 2.0
+  endif
+!hpf$ redistribute T2(cyclic)
+  A(1) = 3.0
+end subroutine
+|}
+
+let fig5 () = parse fig5_src
+
+(* Fig. 6: the same shape of ambiguity, but resolved by a remapping before
+   any reference — accepted; the status test skips the copy at run time on
+   the path where A is already cyclic (the Fig. 20 generated code). *)
+let fig6_src =
+  {|
+subroutine fig6(c)
+  integer c
+  real A(16)
+!hpf$ processors P(4)
+!hpf$ dynamic A
+!hpf$ distribute A(block) onto P
+  A = 1.0
+  if (c > 0) then
+!hpf$ redistribute A(cyclic)
+    A(0) = 2.0
+  endif
+  c = c + 1
+!hpf$ redistribute A(cyclic)
+  A(1) = 3.0
+end subroutine
+|}
+
+let fig6 () = parse fig6_src
+
+(* Fig. 10: the running example (ADI-like sequential loop with two
+   remappings); Figs. 11/12 are its remapping graph before/after
+   optimization. *)
+let fig10_src =
+  {|
+subroutine remap(A, m2)
+  parameter (n = 16)
+  real A(n, n), B(n, n), C(n, n)
+  real p
+  integer i
+  intent(inout) A
+!hpf$ processors P(4)
+!hpf$ dynamic A, B, C
+!hpf$ align B with A
+!hpf$ align C with A
+!hpf$ distribute A(block, *) onto P
+  B = A
+  if (B(0, 0) > 0.0) then
+!hpf$ redistribute A(cyclic, *)
+    p = A(0, 0)
+    A = A + B
+  else
+!hpf$ redistribute A(block, block)
+    p = A(1, 1)
+  endif
+  do i = 0, m2
+!hpf$ redistribute A(*, block)
+    C = A
+!hpf$ redistribute A(block, *)
+    A = A + C
+  enddo
+end subroutine
+|}
+
+let fig10 () = parse fig10_src
+
+(* Fig. 13: flow-dependent live copy.  A is modified in the then branch but
+   only read in the else branch, so the initial block copy A_0 may reach the
+   final remapping live; the runtime then restores block at zero cost. *)
+let fig13_src =
+  {|
+subroutine fig13(c)
+  integer c
+  real p
+  real A(16)
+!hpf$ processors P(4)
+!hpf$ dynamic A
+!hpf$ distribute A(block) onto P
+  A = 1.0
+  if (c > 0) then
+!hpf$ redistribute A(cyclic)
+    A(0) = 2.0
+  else
+!hpf$ redistribute A(cyclic(2))
+    p = A(1)
+  endif
+!hpf$ redistribute A(block)
+  p = A(2)
+end subroutine
+|}
+
+let fig13 () = parse fig13_src
+
+(* Fig. 15/18: a call whose argument reaches with a flow-dependent mapping;
+   the explicit remapping before the call resolves the ambiguity, and the
+   call-after vertex restores the saved reaching mapping (Fig. 18). *)
+let fig15_src =
+  {|
+subroutine fig15(c)
+  integer c
+  real A(32)
+!hpf$ processors P(4)
+!hpf$ dynamic A
+!hpf$ distribute A(cyclic(4)) onto P
+  interface
+    subroutine foo(X)
+      real X(32)
+      intent(inout) X
+!hpf$ distribute X(block)
+    end subroutine
+  end interface
+  A = 1.0
+  if (c > 0) then
+!hpf$ redistribute A(cyclic(7))
+    A(0) = 2.0
+  endif
+  call foo(A)
+end subroutine
+|}
+
+let fig15 () = parse fig15_src
+
+(* Fig. 16: loop-invariant remappings; Fig. 17 hoists the trailing one out
+   of the loop, and the status test makes the heading one cost nothing after
+   the first iteration. *)
+let fig16_src =
+  {|
+subroutine fig16(t)
+  integer t, i
+  real A(16)
+!hpf$ processors P(4)
+!hpf$ dynamic A
+!hpf$ distribute A(block) onto P
+  A = 1.0
+  do i = 0, t
+!hpf$ redistribute A(cyclic)
+    A(0) = A(0) + 1.0
+!hpf$ redistribute A(block)
+  enddo
+  A(2) = A(2) + 1.0
+end subroutine
+|}
+
+let fig16 () = parse fig16_src
+
+(* Fig. 21: several leaving mappings at one redistribute (flow-dependent
+   alignment).  Construction handles it; the optimizations leave the array
+   alone. *)
+let fig21_src =
+  {|
+subroutine fig21(c)
+  integer c
+  real A(16, 16)
+!hpf$ processors P(4)
+!hpf$ template T(16, 16)
+!hpf$ dynamic A
+!hpf$ align A with T
+!hpf$ distribute T(block, *) onto P
+  A = 1.0
+  if (c > 0) then
+!hpf$ realign A(i, j) with T(j, i)
+  endif
+!hpf$ redistribute T(block, block)
+end subroutine
+|}
+
+let fig21 () = parse fig21_src
+
+let all =
+  [
+    ("fig1", fig1_src);
+    ("fig2", fig2_src);
+    ("fig3", fig3_src);
+    ("fig4", fig4_src);
+    ("fig5", fig5_src);
+    ("fig6", fig6_src);
+    ("fig10", fig10_src);
+    ("fig13", fig13_src);
+    ("fig15", fig15_src);
+    ("fig16", fig16_src);
+    ("fig21", fig21_src);
+  ]
+
+(* Executable variant of Fig. 4: the callees are defined so the program can
+   run end-to-end (foo doubles its argument, bla adds one). *)
+let fig4_exec_src =
+  {|
+subroutine fig4main()
+  real Y(32)
+  integer i
+!hpf$ processors P(4)
+!hpf$ dynamic Y
+!hpf$ distribute Y(block) onto P
+  interface
+    subroutine foo(X)
+      real X(32)
+      intent(inout) X
+!hpf$ distribute X(cyclic)
+    end subroutine
+    subroutine bla(X)
+      real X(32)
+      intent(inout) X
+!hpf$ distribute X(cyclic(4))
+    end subroutine
+  end interface
+  do i = 0, 31
+    Y(i) = i
+  enddo
+  call foo(Y)
+  call foo(Y)
+  call bla(Y)
+  Y(0) = Y(0) + 100.0
+end subroutine
+
+subroutine foo(X)
+  real X(32)
+  intent(inout) X
+!hpf$ processors Q(4)
+!hpf$ distribute X(cyclic) onto Q
+  X = X * 2.0
+end subroutine
+
+subroutine bla(X)
+  real X(32)
+  intent(inout) X
+!hpf$ processors Q(4)
+!hpf$ distribute X(cyclic(4)) onto Q
+  X = X + 1.0
+end subroutine
+|}
+
+let fig4_exec () = Hpfc_parser.Parser.parse_program fig4_exec_src

@@ -1,0 +1,44 @@
+(** The paper's figure programs translated to mini-HPF (0-based).  Each
+    [figN_src] is the source; [figN ()] parses it.  See EXPERIMENTS.md for
+    the claim each figure illustrates. *)
+
+val fig1_src : string
+val fig1 : unit -> Hpfc_lang.Ast.routine
+
+val fig2_src : string
+val fig2 : unit -> Hpfc_lang.Ast.routine
+
+val fig3_src : string
+val fig3 : unit -> Hpfc_lang.Ast.routine
+
+val fig4_src : string
+val fig4 : unit -> Hpfc_lang.Ast.routine
+
+val fig5_src : string
+val fig5 : unit -> Hpfc_lang.Ast.routine
+
+val fig6_src : string
+val fig6 : unit -> Hpfc_lang.Ast.routine
+
+val fig10_src : string
+val fig10 : unit -> Hpfc_lang.Ast.routine
+
+val fig13_src : string
+val fig13 : unit -> Hpfc_lang.Ast.routine
+
+val fig15_src : string
+val fig15 : unit -> Hpfc_lang.Ast.routine
+
+val fig16_src : string
+val fig16 : unit -> Hpfc_lang.Ast.routine
+
+val fig21_src : string
+val fig21 : unit -> Hpfc_lang.Ast.routine
+
+(** All single-routine figure sources, by id. *)
+val all : (string * string) list
+
+(** Executable variant of Fig. 4 with defined callees. *)
+val fig4_exec_src : string
+
+val fig4_exec : unit -> Hpfc_lang.Ast.program

@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Hpfc_base Hpfc_mapping List

@@ -1,0 +1,1 @@
+lib/lang/env.ml: Align Array Ast Dist Float Fmt Hpfc_base Hpfc_mapping List Map Mapping Option Procs String Template

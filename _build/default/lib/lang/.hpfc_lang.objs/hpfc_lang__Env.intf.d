@@ -1,0 +1,1 @@
+lib/lang/env.mli: Ast Hpfc_mapping Map

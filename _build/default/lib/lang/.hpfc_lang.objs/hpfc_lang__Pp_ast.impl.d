@@ -1,0 +1,1 @@
+lib/lang/pp_ast.ml: Array Ast Float Fmt Hpfc_base Hpfc_mapping List String

@@ -1,0 +1,171 @@
+(* Abstract syntax of mini-HPF: a Fortran-like kernel language with the HPF
+   mapping directives the paper relies on (PROCESSORS, TEMPLATE, DYNAMIC,
+   ALIGN/REALIGN, DISTRIBUTE/REDISTRIBUTE, KILL, INTENT, explicit
+   interfaces).  The subset is closed over every program in the paper's
+   figures and over the motivating kernels (ADI, FFT, ...).
+
+   Arrays are real-valued; scalars are integer or real.  Array extents are
+   compile-time constants (after PARAMETER substitution in the parser). *)
+
+type var = string
+
+type unop = Neg | Not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr =
+  | Int of int
+  | Float of float
+  | Var of var  (* scalar variable *)
+  | Ref of var * expr list  (* array element reference *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+(* --- mapping directives, source form ---------------------------------- *)
+
+(* One subscript on the template side of ALIGN A(i,j) WITH T(j, 2*i+1, star).
+   [Svar] refers to one of the align dummies by position in the array-side
+   subscript list. *)
+type align_sub =
+  | Svar of { dummy : int; stride : int; offset : int }
+  | Sconst of int
+  | Sstar
+
+(* ALIGN <array>(d0,d1,...) WITH <target>(subs).  [target] may be a template
+   or another array (alignment composes). *)
+type align_spec = {
+  al_rank : int;  (* number of array-side dummies *)
+  al_target : var;
+  al_subs : align_sub list;
+}
+
+(* Identity alignment spec with a rank-[rank] target. *)
+let align_identity ~rank ~target =
+  {
+    al_rank = rank;
+    al_target = target;
+    al_subs =
+      List.map
+        (fun d -> Svar { dummy = d; stride = 1; offset = 0 })
+        (Hpfc_base.Util.range 0 rank);
+  }
+
+(* DISTRIBUTE <target>(formats) [ONTO procs]. *)
+type dist_spec = {
+  di_formats : Hpfc_mapping.Dist.format list;
+  di_onto : var option;
+}
+
+(* --- statements -------------------------------------------------------- *)
+
+type stmt = { sid : int; skind : stmt_kind }
+
+and stmt_kind =
+  | Assign of { array : var; indices : expr list; rhs : expr }
+      (* A(i,j) = e : partial (re)definition *)
+  | Full_assign of { array : var; rhs : expr }
+      (* A = e : every element redefined; e may read arrays elementwise *)
+  | Scalar_assign of var * expr
+  | If of expr * block * block
+  | Do of { index : var; lo : expr; hi : expr; body : block }
+  | Call of { callee : var; args : var list }
+  | Realign of { array : var; spec : align_spec }
+  | Redistribute of { target : var; spec : dist_spec }
+      (* target: template or array name *)
+  | Kill of var  (* user-asserted: values of the array are dead here *)
+
+and block = stmt list
+
+(* --- declarations ------------------------------------------------------ *)
+
+type intent = In | Out | Inout
+
+type array_decl = {
+  a_name : var;
+  a_extents : int list;
+  a_dynamic : bool;
+  a_intent : intent option;  (* Some iff dummy argument *)
+}
+
+type scalar_type = Tint | Treal
+
+type scalar_decl = { s_name : var; s_type : scalar_type }
+
+(* A dummy argument description inside an explicit interface: its shape,
+   intent, and the mapping directives that prescribe its mapping. *)
+type iface_routine = {
+  if_name : var;
+  if_args : var list;
+  if_arrays : array_decl list;
+  if_templates : (var * int list) list;
+  if_processors : (var * int list) list;
+  if_aligns : (var * align_spec) list;
+  if_distributes : (var * dist_spec) list;
+}
+
+type routine = {
+  r_name : var;
+  r_args : var list;
+  r_arrays : array_decl list;
+  r_scalars : scalar_decl list;
+  r_templates : (var * int list) list;
+  r_processors : (var * int list) list;
+  r_aligns : (var * align_spec) list;  (* initial alignments *)
+  r_distributes : (var * dist_spec) list;  (* initial distributions *)
+  r_interfaces : iface_routine list;
+  r_body : block;
+}
+
+type program = { routines : routine list }
+
+let find_routine program name =
+  match List.find_opt (fun r -> r.r_name = name) program.routines with
+  | Some r -> r
+  | None -> Hpfc_base.Error.fail Unknown_entity "routine %s" name
+
+(* --- traversals -------------------------------------------------------- *)
+
+let rec fold_expr_refs f acc = function
+  | Int _ | Float _ | Var _ -> acc
+  | Ref (a, indices) ->
+    let acc = f acc a in
+    List.fold_left (fold_expr_refs f) acc indices
+  | Unop (_, e) -> fold_expr_refs f acc e
+  | Binop (_, e1, e2) -> fold_expr_refs f (fold_expr_refs f acc e1) e2
+
+(* Array names read by an expression. *)
+let arrays_read expr =
+  fold_expr_refs (fun acc a -> a :: acc) [] expr
+  |> Hpfc_base.Util.dedup_stable ( = )
+
+let rec iter_stmts f block =
+  List.iter
+    (fun stmt ->
+      f stmt;
+      match stmt.skind with
+      | If (_, then_, else_) ->
+        iter_stmts f then_;
+        iter_stmts f else_
+      | Do { body; _ } -> iter_stmts f body
+      | Assign _ | Full_assign _ | Scalar_assign _ | Call _ | Realign _
+      | Redistribute _ | Kill _ ->
+        ())
+    block
+
+let max_sid routine =
+  let m = ref 0 in
+  iter_stmts (fun s -> if s.sid > !m then m := s.sid) routine.r_body;
+  !m

@@ -1,0 +1,118 @@
+(* EDSL for constructing mini-HPF programs from OCaml (used by the kernel
+   library and by tests).  Statements are built with placeholder ids and
+   renumbered when assembled into a routine, so builders stay pure. *)
+
+open Ast
+
+(* --- expressions ------------------------------------------------------- *)
+
+let int n = Int n
+let flt f = Float f
+let var v = Var v
+let ref_ a indices = Ref (a, indices)
+let whole a = Ref (a, [])
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( < ) a b = Binop (Lt, a, b)
+let ( <= ) a b = Binop (Le, a, b)
+let ( > ) a b = Binop (Gt, a, b)
+let ( >= ) a b = Binop (Ge, a, b)
+let ( == ) a b = Binop (Eq, a, b)
+let ( != ) a b = Binop (Ne, a, b)
+let and_ a b = Binop (And, a, b)
+let or_ a b = Binop (Or, a, b)
+let neg a = Unop (Neg, a)
+
+(* --- statements (sid filled in by [routine]) --------------------------- *)
+
+let stmt skind = { sid = 0; skind }
+
+let assign array indices rhs = stmt (Assign { array; indices; rhs })
+let full_assign array rhs = stmt (Full_assign { array; rhs })
+let scalar_assign v e = stmt (Scalar_assign (v, e))
+let if_ cond then_ else_ = stmt (If (cond, then_, else_))
+let do_ index lo hi body = stmt (Do { index; lo; hi; body })
+let call callee args = stmt (Call { callee; args })
+let realign array spec = stmt (Realign { array; spec })
+let redistribute target spec = stmt (Redistribute { target; spec })
+let kill array = stmt (Kill array)
+
+(* --- directive specs --------------------------------------------------- *)
+
+let dist ?onto formats = { di_formats = formats; di_onto = onto }
+
+(* align_subs builders *)
+let sub ?(stride = 1) ?(offset = 0) dummy = Svar { dummy; stride; offset }
+let sconst c = Sconst c
+let sstar = Sstar
+
+let align ~rank ~target subs = { al_rank = rank; al_target = target; al_subs = subs }
+
+(* ALIGN A(i,j) WITH T(i,j) *)
+let align_id ~rank ~target = align_identity ~rank ~target
+
+(* ALIGN A(i,j) WITH T(j,i) *)
+let align_transpose ~target =
+  align ~rank:2 ~target [ sub 1; sub 0 ]
+
+(* --- declarations ------------------------------------------------------ *)
+
+let array ?(dynamic = false) ?intent name extents =
+  { a_name = name; a_extents = extents; a_dynamic = dynamic; a_intent = intent }
+
+let scalar_int name = { s_name = name; s_type = Tint }
+let scalar_real name = { s_name = name; s_type = Treal }
+
+let iface ?(arrays = []) ?(templates = []) ?(processors = []) ?(aligns = [])
+    ?(distributes = []) name args =
+  {
+    if_name = name;
+    if_args = args;
+    if_arrays = arrays;
+    if_templates = templates;
+    if_processors = processors;
+    if_aligns = aligns;
+    if_distributes = distributes;
+  }
+
+(* --- assembly ---------------------------------------------------------- *)
+
+let rec renumber_block counter block = List.map (renumber_stmt counter) block
+
+and renumber_stmt counter s =
+  let sid = !counter in
+  incr counter;
+  let skind =
+    match s.skind with
+    | If (cond, then_, else_) ->
+      (* sequence explicitly: constructor arguments evaluate right-to-left *)
+      let then_ = renumber_block counter then_ in
+      let else_ = renumber_block counter else_ in
+      If (cond, then_, else_)
+    | Do d -> Do { d with body = renumber_block counter d.body }
+    | ( Assign _ | Full_assign _ | Scalar_assign _ | Call _ | Realign _
+      | Redistribute _ | Kill _ ) as k ->
+      k
+  in
+  { sid; skind }
+
+let routine ?(args = []) ?(arrays = []) ?(scalars = []) ?(templates = [])
+    ?(processors = []) ?(aligns = []) ?(distributes = []) ?(interfaces = [])
+    name body =
+  let counter = Stdlib.ref 1 in
+  {
+    r_name = name;
+    r_args = args;
+    r_arrays = arrays;
+    r_scalars = scalars;
+    r_templates = templates;
+    r_processors = processors;
+    r_aligns = aligns;
+    r_distributes = distributes;
+    r_interfaces = interfaces;
+    r_body = renumber_block counter body;
+  }
+
+let program routines = { routines }

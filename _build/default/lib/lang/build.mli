@@ -1,0 +1,94 @@
+(** EDSL for constructing mini-HPF programs from OCaml (kernels, tests,
+    examples).  Statements are built with placeholder ids and renumbered in
+    source order when assembled into a routine. *)
+
+(** {1 Expressions} *)
+
+val int : int -> Ast.expr
+val flt : float -> Ast.expr
+val var : Ast.var -> Ast.expr
+
+(** Array element reference [a(indices)]. *)
+val ref_ : Ast.var -> Ast.expr list -> Ast.expr
+
+(** Whole-array (elementwise) reference, valid in [full_assign] bodies. *)
+val whole : Ast.var -> Ast.expr
+
+val ( + ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( - ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( * ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( / ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( < ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( > ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( == ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( != ) : Ast.expr -> Ast.expr -> Ast.expr
+val and_ : Ast.expr -> Ast.expr -> Ast.expr
+val or_ : Ast.expr -> Ast.expr -> Ast.expr
+val neg : Ast.expr -> Ast.expr
+
+(** {1 Statements} (ids assigned by {!routine}) *)
+
+val stmt : Ast.stmt_kind -> Ast.stmt
+val assign : Ast.var -> Ast.expr list -> Ast.expr -> Ast.stmt
+val full_assign : Ast.var -> Ast.expr -> Ast.stmt
+val scalar_assign : Ast.var -> Ast.expr -> Ast.stmt
+val if_ : Ast.expr -> Ast.block -> Ast.block -> Ast.stmt
+val do_ : Ast.var -> Ast.expr -> Ast.expr -> Ast.block -> Ast.stmt
+val call : Ast.var -> Ast.var list -> Ast.stmt
+val realign : Ast.var -> Ast.align_spec -> Ast.stmt
+val redistribute : Ast.var -> Ast.dist_spec -> Ast.stmt
+val kill : Ast.var -> Ast.stmt
+
+(** {1 Directive specs} *)
+
+val dist : ?onto:Ast.var -> Hpfc_mapping.Dist.format list -> Ast.dist_spec
+
+(** Align subscript [stride * dummy + offset]. *)
+val sub : ?stride:int -> ?offset:int -> int -> Ast.align_sub
+
+val sconst : int -> Ast.align_sub
+val sstar : Ast.align_sub
+val align : rank:int -> target:Ast.var -> Ast.align_sub list -> Ast.align_spec
+val align_id : rank:int -> target:Ast.var -> Ast.align_spec
+val align_transpose : target:Ast.var -> Ast.align_spec
+
+(** {1 Declarations and assembly} *)
+
+val array :
+  ?dynamic:bool -> ?intent:Ast.intent -> Ast.var -> int list -> Ast.array_decl
+
+val scalar_int : Ast.var -> Ast.scalar_decl
+val scalar_real : Ast.var -> Ast.scalar_decl
+
+val iface :
+  ?arrays:Ast.array_decl list ->
+  ?templates:(Ast.var * int list) list ->
+  ?processors:(Ast.var * int list) list ->
+  ?aligns:(Ast.var * Ast.align_spec) list ->
+  ?distributes:(Ast.var * Ast.dist_spec) list ->
+  Ast.var ->
+  Ast.var list ->
+  Ast.iface_routine
+
+(** Renumber a block's statement ids from a counter (exposed for the
+    parser). *)
+val renumber_block : int ref -> Ast.block -> Ast.block
+
+val renumber_stmt : int ref -> Ast.stmt -> Ast.stmt
+
+val routine :
+  ?args:Ast.var list ->
+  ?arrays:Ast.array_decl list ->
+  ?scalars:Ast.scalar_decl list ->
+  ?templates:(Ast.var * int list) list ->
+  ?processors:(Ast.var * int list) list ->
+  ?aligns:(Ast.var * Ast.align_spec) list ->
+  ?distributes:(Ast.var * Ast.dist_spec) list ->
+  ?interfaces:Ast.iface_routine list ->
+  Ast.var ->
+  Ast.block ->
+  Ast.routine
+
+val program : Ast.routine list -> Ast.program

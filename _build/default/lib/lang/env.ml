@@ -1,0 +1,389 @@
+(* Static environment of one routine: declared processors, templates,
+   arrays, scalars, explicit interfaces, and the *initial* mapping state
+   (per-array mappings and per-template distributions) that the remapping
+   analysis propagates from the entry vertex.
+
+   Resolution turns source-level align/dist specs into the typed mapping
+   values of [Hpfc_mapping]; it is also reused flow-sensitively by the
+   remapping analysis (REALIGN targets and REDISTRIBUTE use the *current*
+   state, not the declared one). *)
+
+open Hpfc_mapping
+module SMap = Map.Make (String)
+
+type array_info = {
+  ai_name : string;
+  ai_extents : int array;
+  ai_dynamic : bool;
+  ai_intent : Ast.intent option;  (* Some iff dummy argument *)
+}
+
+type iface = {
+  if_source : Ast.iface_routine;
+  (* dummy arguments in call order with their prescribed mapping *)
+  if_dummies : (string * array_info * Mapping.t) list;
+}
+
+type t = {
+  procs : Procs.t SMap.t;
+  templates : Template.t SMap.t;
+  arrays : array_info SMap.t;
+  scalars : Ast.scalar_type SMap.t;
+  interfaces : iface SMap.t;
+  default_procs : Procs.t;
+  (* initial state *)
+  initial_mappings : Mapping.t SMap.t;  (* every array gets one *)
+  initial_tdists : (Dist.format array * Procs.t) SMap.t;
+}
+
+let array_info env name =
+  match SMap.find_opt name env.arrays with
+  | Some info -> info
+  | None -> Hpfc_base.Error.fail Unknown_entity "array %s" name
+
+let is_array env name = SMap.mem name env.arrays
+let is_template env name = SMap.mem name env.templates
+let is_scalar env name = SMap.mem name env.scalars
+
+let template env name =
+  match SMap.find_opt name env.templates with
+  | Some t -> t
+  | None -> Hpfc_base.Error.fail Unknown_entity "template %s" name
+
+let initial_mapping env name =
+  match SMap.find_opt name env.initial_mappings with
+  | Some m -> m
+  | None -> Hpfc_base.Error.fail Unknown_entity "array %s has no mapping" name
+
+let initial_tdist env name = SMap.find_opt name env.initial_tdists
+
+let iface_for_call env callee =
+  match SMap.find_opt callee env.interfaces with
+  | Some i -> i
+  | None ->
+    Hpfc_base.Error.fail Missing_interface
+      "call to %s requires an explicit interface" callee
+
+let arrays env = SMap.bindings env.arrays |> List.map snd
+
+(* --- spec resolution --------------------------------------------------- *)
+
+(* align_spec subscripts -> Align.t targets. *)
+let align_of_subs ~array_rank subs =
+  List.iter
+    (function
+      | Ast.Svar { dummy; _ } when dummy < 0 || dummy >= array_rank ->
+        Hpfc_base.Error.fail Invalid_directive
+          "align dummy %d out of range for rank-%d array" dummy array_rank
+      | Ast.Svar _ | Ast.Sconst _ | Ast.Sstar -> ())
+    subs;
+  Array.of_list
+    (List.map
+       (function
+         | Ast.Svar { dummy; stride; offset } ->
+           Align.Axis { array_dim = dummy; stride; offset }
+         | Ast.Sconst c -> Align.Const c
+         | Ast.Sstar -> Align.Replicated)
+       subs)
+
+(* Compose: A --f--> B (from [subs], B-rank positions) then B --g--> T
+   (an Align.t), giving A --> T. *)
+let compose_align ~(outer : Align.t) ~(inner_subs : Ast.align_sub list) :
+    Align.t =
+  let inner = Array.of_list inner_subs in
+  Array.map
+    (function
+      | Align.Axis { array_dim = bd; stride = s; offset = o } -> (
+        if bd >= Array.length inner then
+          Hpfc_base.Error.fail Rank_mismatch
+            "alignment composition: target rank mismatch";
+        match inner.(bd) with
+        | Ast.Svar { dummy; stride = s'; offset = o' } ->
+          Align.Axis { array_dim = dummy; stride = s * s'; offset = (s * o') + o }
+        | Ast.Sconst c -> Align.Const ((s * c) + o)
+        | Ast.Sstar -> Align.Replicated)
+      | Align.Const c -> Align.Const c
+      | Align.Replicated -> Align.Replicated)
+    outer
+
+(* Resolve an ALIGN/REALIGN spec for [array] into a full mapping.
+   [lookup_array_mapping] supplies the current mapping of a target array;
+   [lookup_tdist] the current distribution of a target template.  The
+   environment's initial state is used by default. *)
+let resolve_align env ?lookup_array_mapping ?lookup_tdist ~array
+    (spec : Ast.align_spec) : Mapping.t =
+  let info = array_info env array in
+  let rank = Array.length info.ai_extents in
+  if spec.al_rank <> rank then
+    Hpfc_base.Error.fail Rank_mismatch
+      "align %s: %d dummies for a rank-%d array" array spec.al_rank rank;
+  let lookup_tdist =
+    match lookup_tdist with Some f -> f | None -> initial_tdist env
+  in
+  if is_template env spec.al_target then begin
+    let tmpl = template env spec.al_target in
+    let dist, procs =
+      match lookup_tdist spec.al_target with
+      | Some td -> td
+      | None ->
+        Hpfc_base.Error.fail Invalid_directive
+          "align %s with %s: template is not distributed" array spec.al_target
+    in
+    if List.length spec.al_subs <> Template.rank tmpl then
+      Hpfc_base.Error.fail Rank_mismatch "align %s with %s: rank mismatch"
+        array spec.al_target;
+    Mapping.v ~template:tmpl ~align:(align_of_subs ~array_rank:rank spec.al_subs)
+      ~dist ~procs
+  end
+  else if is_array env spec.al_target then begin
+    let target_mapping =
+      match lookup_array_mapping with
+      | Some f -> f spec.al_target
+      | None -> initial_mapping env spec.al_target
+    in
+    let align =
+      compose_align ~outer:target_mapping.Mapping.align
+        ~inner_subs:spec.al_subs
+    in
+    Mapping.v ~template:target_mapping.Mapping.template ~align
+      ~dist:target_mapping.Mapping.dist ~procs:target_mapping.Mapping.procs
+  end
+  else
+    Hpfc_base.Error.fail Unknown_entity "align target %s" spec.al_target
+
+(* Split [total] processors into [count] near-equal grid dimensions. *)
+let rec split_grid total count =
+  if count <= 1 then [ total ]
+  else begin
+    let target =
+      max 1
+        (int_of_float
+           (Float.round (Float.pow (float_of_int total) (1. /. float_of_int count))))
+    in
+    let rec first_divisor d =
+      if d <= 1 then 1 else if total mod d = 0 then d else first_divisor (d - 1)
+    in
+    let d = first_divisor target in
+    d :: split_grid (total / d) (count - 1)
+  end
+
+(* Resolve a DISTRIBUTE/REDISTRIBUTE spec into formats + grid.  Without an
+   ONTO clause, the default grid is reshaped to the number of distributed
+   dimensions (4 procs under (block,block) become a 2x2 arrangement). *)
+let resolve_dist env (spec : Ast.dist_spec) : Dist.format array * Procs.t =
+  let formats = Array.of_list spec.di_formats in
+  let distributed =
+    Array.to_list formats |> List.filter Dist.is_distributed |> List.length
+  in
+  let procs =
+    match spec.di_onto with
+    | Some p -> (
+      match SMap.find_opt p env.procs with
+      | Some procs -> procs
+      | None -> Hpfc_base.Error.fail Unknown_entity "processors %s" p)
+    | None ->
+      let g = env.default_procs in
+      if Procs.rank g = distributed then g
+      else
+        Procs.make
+          (Fmt.str "%s$%d" g.Procs.name distributed)
+          (Array.of_list (split_grid (Procs.size g) distributed))
+  in
+  (formats, procs)
+
+(* --- construction ------------------------------------------------------ *)
+
+let default_procs_of ?(default_nprocs = 4) declared =
+  match declared with
+  | (_, procs) :: _ -> procs
+  | [] -> Procs.linear "P$" default_nprocs
+
+(* Build the environment pieces shared by routines and interfaces. *)
+let build ?default_nprocs ~name:_ ~args ~array_decls ~scalar_decls ~templates
+    ~processors ~aligns ~distributes ~interfaces () =
+  let procs_map =
+    List.fold_left
+      (fun acc (pname, shape) ->
+        SMap.add pname (Procs.make pname (Array.of_list shape)) acc)
+      SMap.empty processors
+  in
+  let default_procs =
+    default_procs_of ?default_nprocs (SMap.bindings procs_map)
+  in
+  let templates_map =
+    List.fold_left
+      (fun acc (tname, shape) ->
+        SMap.add tname (Template.make tname (Array.of_list shape)) acc)
+      SMap.empty templates
+  in
+  let arrays_map =
+    List.fold_left
+      (fun acc (d : Ast.array_decl) ->
+        let intent =
+          if List.mem d.a_name args then
+            Some (Option.value d.a_intent ~default:Ast.Inout)
+          else begin
+            if d.a_intent <> None then
+              Hpfc_base.Error.fail Invalid_directive
+                "intent on non-argument array %s" d.a_name;
+            None
+          end
+        in
+        SMap.add d.a_name
+          {
+            ai_name = d.a_name;
+            ai_extents = Array.of_list d.a_extents;
+            ai_dynamic = d.a_dynamic;
+            ai_intent = intent;
+          }
+          acc)
+      SMap.empty array_decls
+  in
+  let scalars_map =
+    List.fold_left
+      (fun acc (s : Ast.scalar_decl) -> SMap.add s.s_name s.s_type acc)
+      SMap.empty scalar_decls
+  in
+  let env0 =
+    {
+      procs = procs_map;
+      templates = templates_map;
+      arrays = arrays_map;
+      scalars = scalars_map;
+      interfaces = SMap.empty;
+      default_procs;
+      initial_mappings = SMap.empty;
+      initial_tdists = SMap.empty;
+    }
+  in
+  (* Pass 1: template distributions; direct array distributions introduce
+     implicit templates. *)
+  let env1 =
+    List.fold_left
+      (fun env (target, spec) ->
+        let formats, procs = resolve_dist env spec in
+        if is_template env target then
+          { env with initial_tdists = SMap.add target (formats, procs) env.initial_tdists }
+        else if is_array env target then begin
+          let info = array_info env target in
+          let tmpl = Template.implicit_for_array target info.ai_extents in
+          {
+            env with
+            templates = SMap.add tmpl.Template.name tmpl env.templates;
+            initial_tdists =
+              SMap.add tmpl.Template.name (formats, procs) env.initial_tdists;
+            initial_mappings =
+              SMap.add target
+                (Mapping.v ~template:tmpl
+                   ~align:(Align.identity (Array.length info.ai_extents))
+                   ~dist:formats ~procs)
+                env.initial_mappings;
+          }
+        end
+        else Hpfc_base.Error.fail Unknown_entity "distribute target %s" target)
+      env0 distributes
+  in
+  (* Pass 2: alignments (possibly chained through other arrays; iterate to
+     a fixpoint over resolvable specs). *)
+  List.iter
+    (fun (name, (spec : Ast.align_spec)) ->
+      if not (is_template env1 spec.al_target || is_array env1 spec.al_target)
+      then
+        Hpfc_base.Error.fail Unknown_entity "align %s: unknown target %s" name
+          spec.al_target)
+    aligns;
+  let rec resolve_aligns env pending progressed =
+    match (pending, progressed) with
+    | [], _ -> env
+    | _, false ->
+      let name, (spec : Ast.align_spec) = List.hd pending in
+      Hpfc_base.Error.fail Invalid_directive
+        "cannot resolve alignment of %s with %s (circular or unmapped target)"
+        name spec.al_target
+    | _, true ->
+      let env, still_pending =
+        List.fold_left
+          (fun (env, still) (name, (spec : Ast.align_spec)) ->
+            let resolvable =
+              is_template env spec.al_target
+              || SMap.mem spec.al_target env.initial_mappings
+            in
+            if resolvable then
+              let m = resolve_align env ~array:name spec in
+              ( { env with initial_mappings = SMap.add name m env.initial_mappings },
+                still )
+            else (env, (name, spec) :: still))
+          (env, []) pending
+      in
+      resolve_aligns env (List.rev still_pending)
+        (List.length still_pending < List.length pending)
+  in
+  let env2 = resolve_aligns env1 aligns true in
+  (* Pass 3: arrays with no directive at all get a default direct block
+     distribution on the default grid (never remapped, so this is purely a
+     completeness default). *)
+  let env3 =
+    SMap.fold
+      (fun aname (info : array_info) env ->
+        if SMap.mem aname env.initial_mappings then env
+        else begin
+          let tmpl = Template.implicit_for_array aname info.ai_extents in
+          let rank = Array.length info.ai_extents in
+          let formats =
+            Array.init rank (fun d -> if d = 0 then Dist.block else Dist.star)
+          in
+          let procs = env.default_procs in
+          {
+            env with
+            templates = SMap.add tmpl.Template.name tmpl env.templates;
+            initial_tdists =
+              SMap.add tmpl.Template.name (formats, procs) env.initial_tdists;
+            initial_mappings =
+              SMap.add aname
+                (Mapping.v ~template:tmpl ~align:(Align.identity rank)
+                   ~dist:formats ~procs)
+                env.initial_mappings;
+          }
+        end)
+      arrays_map env2
+  in
+  ignore interfaces;
+  env3
+
+let of_iface ?default_nprocs (i : Ast.iface_routine) : iface =
+  let env =
+    build ?default_nprocs ~name:i.if_name ~args:i.if_args
+      ~array_decls:i.if_arrays ~scalar_decls:[] ~templates:i.if_templates
+      ~processors:i.if_processors ~aligns:i.if_aligns
+      ~distributes:i.if_distributes ~interfaces:[] ()
+  in
+  let dummies =
+    List.map
+      (fun arg ->
+        let info = array_info env arg in
+        let m = initial_mapping env arg in
+        (* Namespace the template so it cannot collide with (or be
+           redistributed as) a caller template of the same name. *)
+        let m =
+          Mapping.rename_template m
+            (i.if_name ^ "$" ^ m.Mapping.template.Template.name)
+        in
+        (arg, info, m))
+      (List.filter (fun a -> SMap.mem a env.arrays) i.if_args)
+  in
+  { if_source = i; if_dummies = dummies }
+
+let of_routine ?default_nprocs (r : Ast.routine) : t =
+  let env =
+    build ?default_nprocs ~name:r.r_name ~args:r.r_args ~array_decls:r.r_arrays
+      ~scalar_decls:r.r_scalars ~templates:r.r_templates
+      ~processors:r.r_processors ~aligns:r.r_aligns
+      ~distributes:r.r_distributes ~interfaces:r.r_interfaces ()
+  in
+  let interfaces =
+    List.fold_left
+      (fun acc (i : Ast.iface_routine) ->
+        SMap.add i.if_name (of_iface ?default_nprocs i) acc)
+      SMap.empty r.r_interfaces
+  in
+  { env with interfaces }

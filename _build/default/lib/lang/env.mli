@@ -1,0 +1,87 @@
+(** Static environment of one routine: declared processors, templates,
+    arrays, scalars, explicit interfaces, and the {e initial} mapping
+    state (per-array mappings and per-template distributions) propagated
+    from the entry vertex.
+
+    Spec resolution turns source-level align/dist specs into typed mapping
+    values; it is reused flow-sensitively by the remapping analysis
+    (REALIGN and REDISTRIBUTE see the {e current} state). *)
+
+module SMap : Map.S with type key = string
+
+type array_info = {
+  ai_name : string;
+  ai_extents : int array;
+  ai_dynamic : bool;
+  ai_intent : Ast.intent option;  (** [Some _] iff dummy argument *)
+}
+
+type iface = {
+  if_source : Ast.iface_routine;
+  if_dummies : (string * array_info * Hpfc_mapping.Mapping.t) list;
+      (** dummy arguments in call order with their prescribed mapping
+          (template namespaced per callee) *)
+}
+
+type t = {
+  procs : Hpfc_mapping.Procs.t SMap.t;
+  templates : Hpfc_mapping.Template.t SMap.t;
+  arrays : array_info SMap.t;
+  scalars : Ast.scalar_type SMap.t;
+  interfaces : iface SMap.t;
+  default_procs : Hpfc_mapping.Procs.t;
+  initial_mappings : Hpfc_mapping.Mapping.t SMap.t;
+  initial_tdists : (Hpfc_mapping.Dist.format array * Hpfc_mapping.Procs.t) SMap.t;
+}
+
+(** @raise Hpfc_base.Error.Hpf_error when unknown. *)
+val array_info : t -> string -> array_info
+
+val is_array : t -> string -> bool
+val is_template : t -> string -> bool
+val is_scalar : t -> string -> bool
+
+(** @raise Hpfc_base.Error.Hpf_error when unknown. *)
+val template : t -> string -> Hpfc_mapping.Template.t
+
+(** Initial mapping of an array (every array gets one; arrays with no
+    directive default to a direct block distribution).
+    @raise Hpfc_base.Error.Hpf_error when unknown. *)
+val initial_mapping : t -> string -> Hpfc_mapping.Mapping.t
+
+val initial_tdist :
+  t -> string -> (Hpfc_mapping.Dist.format array * Hpfc_mapping.Procs.t) option
+
+(** @raise Hpfc_base.Error.Hpf_error with [Missing_interface]. *)
+val iface_for_call : t -> string -> iface
+
+val arrays : t -> array_info list
+
+(** Resolve ALIGN/REALIGN for [array] into a full mapping, against the
+    supplied current state (defaults: the initial state).  Target may be a
+    template or another array (alignments compose).
+    @raise Hpfc_base.Error.Hpf_error on rank or target errors. *)
+val resolve_align :
+  t ->
+  ?lookup_array_mapping:(string -> Hpfc_mapping.Mapping.t) ->
+  ?lookup_tdist:
+    (string -> (Hpfc_mapping.Dist.format array * Hpfc_mapping.Procs.t) option) ->
+  array:string ->
+  Ast.align_spec ->
+  Hpfc_mapping.Mapping.t
+
+(** Resolve a DISTRIBUTE/REDISTRIBUTE spec into formats + grid.  Without an
+    ONTO clause the default grid is reshaped to the number of distributed
+    dimensions. *)
+val resolve_dist :
+  t ->
+  Ast.dist_spec ->
+  Hpfc_mapping.Dist.format array * Hpfc_mapping.Procs.t
+
+(** Resolve an interface block's dummy mappings. *)
+val of_iface : ?default_nprocs:int -> Ast.iface_routine -> iface
+
+(** Build the environment of a routine ([default_nprocs] sizes the default
+    grid, default 4).
+    @raise Hpfc_base.Error.Hpf_error on ill-formed declarations. *)
+val of_routine : ?default_nprocs:int -> Ast.routine -> t

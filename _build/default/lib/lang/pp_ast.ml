@@ -1,0 +1,203 @@
+(* Pretty-printer producing mini-HPF concrete syntax.  The output parses
+   back with [Hpfc_parser] (round-trip tested), and is also what the driver
+   prints for the generated static-HPF program. *)
+
+open Ast
+
+let dummy_name d =
+  (* align dummies are named i, j, k, ... by position *)
+  let letters = [| "i"; "j"; "k"; "l"; "m2"; "n2" |] in
+  if d < Array.length letters then letters.(d) else Fmt.str "d%d" d
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "mod"
+  | Eq -> "=="
+  | Ne -> "/="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> ".and."
+  | Or -> ".or."
+
+let prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne | Lt | Le | Gt | Ge -> 3
+  | Add | Sub -> 4
+  | Mul | Div | Mod -> 5
+
+let rec pp_expr_prec p ppf = function
+  | Int n -> Fmt.int ppf n
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e9 then Fmt.pf ppf "%.1f" f
+    else Fmt.pf ppf "%g" f
+  | Var v -> Fmt.string ppf v
+  | Ref (a, []) -> Fmt.string ppf a
+  | Ref (a, indices) ->
+    Fmt.pf ppf "%s(%a)" a (Hpfc_base.Util.pp_list (pp_expr_prec 0)) indices
+  | Unop (Neg, e) -> Fmt.pf ppf "-%a" (pp_expr_prec 6) e
+  | Unop (Not, e) -> Fmt.pf ppf ".not. %a" (pp_expr_prec 6) e
+  | Binop (op, e1, e2) ->
+    let q = prec op in
+    let body ppf () =
+      Fmt.pf ppf "%a %s %a" (pp_expr_prec q) e1 (binop_to_string op)
+        (pp_expr_prec (q + 1)) e2
+    in
+    if q < p then Fmt.pf ppf "(%a)" body () else body ppf ()
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let pp_align_sub ppf = function
+  | Svar { dummy; stride = 1; offset = 0 } -> Fmt.string ppf (dummy_name dummy)
+  | Svar { dummy; stride = 1; offset } ->
+    Fmt.pf ppf "%s%+d" (dummy_name dummy) offset
+  | Svar { dummy; stride = -1; offset = 0 } ->
+    Fmt.pf ppf "-%s" (dummy_name dummy)
+  | Svar { dummy; stride = -1; offset } ->
+    Fmt.pf ppf "-%s%+d" (dummy_name dummy) offset
+  | Svar { dummy; stride; offset = 0 } ->
+    Fmt.pf ppf "%d*%s" stride (dummy_name dummy)
+  | Svar { dummy; stride; offset } ->
+    Fmt.pf ppf "%d*%s%+d" stride (dummy_name dummy) offset
+  | Sconst c -> Fmt.int ppf c
+  | Sstar -> Fmt.string ppf "*"
+
+let pp_align_spec ppf (array, spec) =
+  Fmt.pf ppf "%s(%a) with %s(%a)" array
+    (Hpfc_base.Util.pp_list Fmt.string)
+    (List.map dummy_name (Hpfc_base.Util.range 0 spec.al_rank))
+    spec.al_target
+    (Hpfc_base.Util.pp_list pp_align_sub)
+    spec.al_subs
+
+let pp_dist_spec ppf (target, spec) =
+  Fmt.pf ppf "%s(%a)" target
+    (Hpfc_base.Util.pp_list Hpfc_mapping.Dist.pp)
+    spec.di_formats;
+  match spec.di_onto with
+  | Some p -> Fmt.pf ppf " onto %s" p
+  | None -> ()
+
+let pp_intent ppf = function
+  | In -> Fmt.string ppf "in"
+  | Out -> Fmt.string ppf "out"
+  | Inout -> Fmt.string ppf "inout"
+
+let pp_shape ppf extents = Hpfc_base.Util.pp_list Fmt.int ppf extents
+
+let indent n = String.make (2 * n) ' '
+
+let rec pp_stmt ~level ppf stmt =
+  let ind = indent level in
+  match stmt.skind with
+  | Assign { array; indices; rhs } ->
+    Fmt.pf ppf "%s%s(%a) = %a@." ind array
+      (Hpfc_base.Util.pp_list pp_expr)
+      indices pp_expr rhs
+  | Full_assign { array; rhs } -> Fmt.pf ppf "%s%s = %a@." ind array pp_expr rhs
+  | Scalar_assign (v, e) -> Fmt.pf ppf "%s%s = %a@." ind v pp_expr e
+  | If (cond, then_, []) ->
+    Fmt.pf ppf "%sif (%a) then@." ind pp_expr cond;
+    pp_block ~level:(level + 1) ppf then_;
+    Fmt.pf ppf "%sendif@." ind
+  | If (cond, then_, else_) ->
+    Fmt.pf ppf "%sif (%a) then@." ind pp_expr cond;
+    pp_block ~level:(level + 1) ppf then_;
+    Fmt.pf ppf "%selse@." ind;
+    pp_block ~level:(level + 1) ppf else_;
+    Fmt.pf ppf "%sendif@." ind
+  | Do { index; lo; hi; body } ->
+    Fmt.pf ppf "%sdo %s = %a, %a@." ind index pp_expr lo pp_expr hi;
+    pp_block ~level:(level + 1) ppf body;
+    Fmt.pf ppf "%senddo@." ind
+  | Call { callee; args } ->
+    Fmt.pf ppf "%scall %s(%a)@." ind callee
+      (Hpfc_base.Util.pp_list Fmt.string)
+      args
+  | Realign { array; spec } ->
+    Fmt.pf ppf "!hpf$ realign %a@." pp_align_spec (array, spec)
+  | Redistribute { target; spec } ->
+    Fmt.pf ppf "!hpf$ redistribute %a@." pp_dist_spec (target, spec)
+  | Kill array -> Fmt.pf ppf "!hpf$ kill %s@." array
+
+and pp_block ~level ppf block = List.iter (pp_stmt ~level ppf) block
+
+let pp_array_decl ~level ppf (d : array_decl) =
+  Fmt.pf ppf "%sreal %s(%a)@." (indent level) d.a_name pp_shape d.a_extents;
+  (match d.a_intent with
+  | Some intent ->
+    Fmt.pf ppf "%sintent(%a) %s@." (indent level) pp_intent intent d.a_name
+  | None -> ());
+  if d.a_dynamic then Fmt.pf ppf "!hpf$ dynamic %s@." d.a_name
+
+let pp_iface ppf (i : iface_routine) =
+  Fmt.pf ppf "    subroutine %s(%a)@." i.if_name
+    (Hpfc_base.Util.pp_list Fmt.string)
+    i.if_args;
+  List.iter (pp_array_decl ~level:3 ppf) i.if_arrays;
+  List.iter
+    (fun (name, shape) ->
+      Fmt.pf ppf "!hpf$ processors %s(%a)@." name pp_shape shape)
+    i.if_processors;
+  List.iter
+    (fun (name, shape) ->
+      Fmt.pf ppf "!hpf$ template %s(%a)@." name pp_shape shape)
+    i.if_templates;
+  List.iter
+    (fun (a, spec) -> Fmt.pf ppf "!hpf$ align %a@." pp_align_spec (a, spec))
+    i.if_aligns;
+  List.iter
+    (fun (t, spec) ->
+      Fmt.pf ppf "!hpf$ distribute %a@." pp_dist_spec (t, spec))
+    i.if_distributes;
+  Fmt.pf ppf "    end subroutine@."
+
+let pp_routine ppf (r : routine) =
+  Fmt.pf ppf "subroutine %s(%a)@." r.r_name
+    (Hpfc_base.Util.pp_list Fmt.string)
+    r.r_args;
+  List.iter
+    (fun (s : scalar_decl) ->
+      Fmt.pf ppf "  %s %s@."
+        (match s.s_type with Tint -> "integer" | Treal -> "real")
+        s.s_name)
+    r.r_scalars;
+  List.iter (pp_array_decl ~level:1 ppf) r.r_arrays;
+  List.iter
+    (fun (name, shape) ->
+      Fmt.pf ppf "!hpf$ processors %s(%a)@." name pp_shape shape)
+    r.r_processors;
+  List.iter
+    (fun (name, shape) ->
+      Fmt.pf ppf "!hpf$ template %s(%a)@." name pp_shape shape)
+    r.r_templates;
+  List.iter
+    (fun (a, spec) -> Fmt.pf ppf "!hpf$ align %a@." pp_align_spec (a, spec))
+    r.r_aligns;
+  List.iter
+    (fun (t, spec) ->
+      Fmt.pf ppf "!hpf$ distribute %a@." pp_dist_spec (t, spec))
+    r.r_distributes;
+  if r.r_interfaces <> [] then begin
+    Fmt.pf ppf "  interface@.";
+    List.iter (pp_iface ppf) r.r_interfaces;
+    Fmt.pf ppf "  end interface@."
+  end;
+  pp_block ~level:1 ppf r.r_body;
+  Fmt.pf ppf "end subroutine@."
+
+let pp_program ppf (p : program) =
+  List.iteri
+    (fun i r ->
+      if i > 0 then Fmt.pf ppf "@.";
+      pp_routine ppf r)
+    p.routines
+
+let routine_to_string r = Fmt.str "%a" pp_routine r
+
+let program_to_string p = Fmt.str "%a" pp_program p

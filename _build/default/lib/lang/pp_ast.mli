@@ -1,0 +1,22 @@
+(** Pretty-printer producing mini-HPF concrete syntax.  The output parses
+    back with [Hpfc_parser] (round-trip tested) and is what the driver
+    prints for generated programs. *)
+
+(** Positional align-dummy names: i, j, k, ... *)
+val dummy_name : int -> string
+
+val binop_to_string : Ast.binop -> string
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_align_sub : Format.formatter -> Ast.align_sub -> unit
+val pp_align_spec : Format.formatter -> string * Ast.align_spec -> unit
+val pp_dist_spec : Format.formatter -> string * Ast.dist_spec -> unit
+val pp_intent : Format.formatter -> Ast.intent -> unit
+
+(** Print one statement at an indentation level (2 spaces per level). *)
+val pp_stmt : level:int -> Format.formatter -> Ast.stmt -> unit
+
+val pp_block : level:int -> Format.formatter -> Ast.block -> unit
+val pp_routine : Format.formatter -> Ast.routine -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val routine_to_string : Ast.routine -> string
+val program_to_string : Ast.program -> string

@@ -1,0 +1,1 @@
+lib/mapping/align.ml: Array Fmt Hpfc_base List

@@ -1,0 +1,1 @@
+lib/mapping/align.mli: Format

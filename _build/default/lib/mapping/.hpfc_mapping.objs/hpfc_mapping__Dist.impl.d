@@ -1,0 +1,1 @@
+lib/mapping/dist.ml: Fmt Hpfc_base

@@ -1,0 +1,1 @@
+lib/mapping/ivset.ml: Fmt Hpfc_base List

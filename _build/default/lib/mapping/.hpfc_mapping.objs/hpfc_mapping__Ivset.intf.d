@@ -1,0 +1,1 @@
+lib/mapping/ivset.mli: Format

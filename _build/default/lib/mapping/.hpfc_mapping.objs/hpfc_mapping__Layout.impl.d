@@ -1,0 +1,1 @@
+lib/mapping/layout.ml: Align Array Dist Error Fmt Hpfc_base Ivset List Mapping Option Procs Util

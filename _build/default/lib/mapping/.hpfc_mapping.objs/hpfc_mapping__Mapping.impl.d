@@ -1,0 +1,1 @@
+lib/mapping/mapping.ml: Align Array Dist Fmt Hpfc_base List Procs Template

@@ -1,0 +1,1 @@
+lib/mapping/mapping.mli: Align Dist Format Procs Template

@@ -1,0 +1,1 @@
+lib/mapping/procs.ml: Array Fmt Hpfc_base

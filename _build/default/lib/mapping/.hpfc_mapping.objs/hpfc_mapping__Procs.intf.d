@@ -1,0 +1,1 @@
+lib/mapping/procs.mli: Format

@@ -1,0 +1,1 @@
+lib/mapping/template.ml: Array Fmt Hpfc_base

@@ -1,0 +1,1 @@
+lib/mapping/template.mli: Format

@@ -1,0 +1,113 @@
+(* Alignments (HPF ALIGN / REALIGN).  An alignment relates each template
+   dimension to the array index space:
+
+   - [Axis {array_dim; stride; offset}]: template coordinate along this
+     dimension is [stride * x(array_dim) + offset].  Strides may be negative
+     (reversal) and axes may be permuted, which covers the paper's
+     "ALIGN A(i,j) WITH B(j,i)" examples.
+   - [Const c]: the whole array lives at template coordinate [c] along this
+     dimension (e.g. ALIGN A(i) WITH T(i, 3)).
+   - [Replicated]: the array is replicated along this template dimension
+     (ALIGN A(i) WITH T(i, star)).
+
+   Array dimensions not named by any [Axis] target are "collapsed": their
+   elements are co-located on the owner determined by the other dims. *)
+
+type target =
+  | Axis of { array_dim : int; stride : int; offset : int }
+  | Const of int
+  | Replicated
+
+type t = target array
+
+(* The identity alignment of an array of rank [rank] with a same-shape
+   template. *)
+let identity rank : t =
+  Array.init rank (fun d -> Axis { array_dim = d; stride = 1; offset = 0 })
+
+(* Permutation alignment: template dim [d] follows array dim [perm.(d)].
+   [transpose2] is the common 2-D transpose used by the paper's Figure 1. *)
+let permutation perm : t =
+  Array.map (fun ad -> Axis { array_dim = ad; stride = 1; offset = 0 }) perm
+
+let transpose2 : t = permutation [| 1; 0 |]
+
+let rank (t : t) = Array.length t
+
+(* Array dims covered by some Axis target, in template-dim order. *)
+let covered_array_dims (t : t) =
+  Array.to_list t
+  |> List.filter_map (function
+       | Axis { array_dim; _ } -> Some array_dim
+       | Const _ | Replicated -> None)
+
+(* Check well-formedness against an array rank and template extents:
+   each array dim used at most once, strides non-zero, images in range. *)
+let validate ~array_extents ~template_extents (t : t) =
+  if Array.length t <> Array.length template_extents then
+    Hpfc_base.Error.fail Rank_mismatch
+      "alignment has %d targets for a rank-%d template" (Array.length t)
+      (Array.length template_extents);
+  let used = covered_array_dims t in
+  let distinct = Hpfc_base.Util.dedup_stable ( = ) used in
+  if List.length used <> List.length distinct then
+    Hpfc_base.Error.fail Invalid_directive
+      "alignment uses an array dimension twice";
+  Array.iteri
+    (fun d target ->
+      let extent = template_extents.(d) in
+      match target with
+      | Axis { array_dim; stride; offset } ->
+        if array_dim < 0 || array_dim >= Array.length array_extents then
+          Hpfc_base.Error.fail Rank_mismatch
+            "alignment target refers to array dimension %d" array_dim;
+        if stride = 0 then
+          Hpfc_base.Error.fail Invalid_directive "alignment stride is zero";
+        let n = array_extents.(array_dim) in
+        let image_lo, image_hi =
+          if stride > 0 then (offset, (stride * (n - 1)) + offset)
+          else ((stride * (n - 1)) + offset, offset)
+        in
+        if image_lo < 0 || image_hi >= extent then
+          Hpfc_base.Error.fail Invalid_directive
+            "alignment image [%d,%d] outside template extent %d" image_lo
+            image_hi extent
+      | Const c ->
+        if c < 0 || c >= extent then
+          Hpfc_base.Error.fail Invalid_directive
+            "alignment constant %d outside template extent %d" c extent
+      | Replicated -> ())
+    t
+
+(* Template coordinates of array index vector [index] (0-based).  Replicated
+   dims get coordinate 0 here; ownership expands them separately. *)
+let image (t : t) index =
+  Array.map
+    (function
+      | Axis { array_dim; stride; offset } ->
+        (stride * index.(array_dim)) + offset
+      | Const c -> c
+      | Replicated -> 0)
+    t
+
+let equal_target a b =
+  match (a, b) with
+  | Axis a, Axis b ->
+    a.array_dim = b.array_dim && a.stride = b.stride && a.offset = b.offset
+  | Const a, Const b -> a = b
+  | Replicated, Replicated -> true
+  | (Axis _ | Const _ | Replicated), _ -> false
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  && Array.for_all2 equal_target a b
+
+let pp_target ppf = function
+  | Axis { array_dim; stride = 1; offset = 0 } -> Fmt.pf ppf "i%d" array_dim
+  | Axis { array_dim; stride; offset } ->
+    Fmt.pf ppf "%d*i%d%+d" stride array_dim offset
+  | Const c -> Fmt.int ppf c
+  | Replicated -> Fmt.string ppf "*"
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "(%a)" (Hpfc_base.Util.pp_list pp_target) (Array.to_list t)

@@ -1,0 +1,42 @@
+(** Alignments (HPF ALIGN / REALIGN): how each template dimension relates
+    to the array index space. *)
+
+type target =
+  | Axis of { array_dim : int; stride : int; offset : int }
+      (** the template coordinate along this dimension is
+          [stride * x(array_dim) + offset]; strides may be negative and
+          axes permuted (e.g. [ALIGN A(i,j) WITH B(j,i)]) *)
+  | Const of int  (** the whole array lives at a fixed coordinate *)
+  | Replicated  (** a copy at every coordinate along this dimension *)
+
+(** One target per template dimension.  Array dimensions named by no [Axis]
+    are collapsed (co-located on the owner of the other dims). *)
+type t = target array
+
+(** Identity alignment with a same-shape template. *)
+val identity : int -> t
+
+(** Template dim [d] follows array dim [perm.(d)], stride 1. *)
+val permutation : int array -> t
+
+(** The 2-D transpose alignment (Fig. 1). *)
+val transpose2 : t
+
+val rank : t -> int
+
+(** Array dims covered by an [Axis] target, in template-dim order. *)
+val covered_array_dims : t -> int list
+
+(** Check well-formedness: each array dim used at most once, strides
+    non-zero, alignment images inside the template.
+    @raise Hpfc_base.Error.Hpf_error otherwise. *)
+val validate : array_extents:int array -> template_extents:int array -> t -> unit
+
+(** Template coordinates of a (0-based) array index vector; replicated dims
+    get coordinate 0 (ownership expands them separately). *)
+val image : t -> int array -> int array
+
+val equal_target : target -> target -> bool
+val equal : t -> t -> bool
+val pp_target : Format.formatter -> target -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(* HPF distribution formats, one per template dimension.
+
+   [Block None] is HPF's default block size, resolved to ceil(n/p) when the
+   template extent [n] and processor count [p] are known.  [Cyclic 1] is the
+   plain cyclic distribution; [Cyclic k] is block-cyclic.  [Star] leaves the
+   dimension undistributed (collapsed onto the owning processors of the other
+   dimensions). *)
+
+type format =
+  | Block of int option
+  | Cyclic of int
+  | Star
+
+let block = Block None
+let block_sized k = Block (Some k)
+let cyclic = Cyclic 1
+let cyclic_sized k = Cyclic k
+let star = Star
+
+let is_distributed = function Block _ | Cyclic _ -> true | Star -> false
+
+(* Resolve the default block size for extent [n] on [p] processors. *)
+let resolve ~extent ~nprocs = function
+  | Block None -> Block (Some (Hpfc_base.Util.cdiv extent nprocs))
+  | (Block (Some _) | Cyclic _ | Star) as fmt -> fmt
+
+let equal_resolved a b =
+  match (a, b) with
+  | Block (Some ka), Block (Some kb) -> ka = kb
+  | Cyclic ka, Cyclic kb -> ka = kb
+  | Star, Star -> true
+  | Block None, _ | _, Block None ->
+    invalid_arg "Dist.equal_resolved: unresolved block"
+  | (Block _ | Cyclic _ | Star), _ -> false
+
+let pp ppf = function
+  | Block None -> Fmt.string ppf "block"
+  | Block (Some k) -> Fmt.pf ppf "block(%d)" k
+  | Cyclic 1 -> Fmt.string ppf "cyclic"
+  | Cyclic k -> Fmt.pf ppf "cyclic(%d)" k
+  | Star -> Fmt.string ppf "*"
+
+let to_string fmt = Hpfc_base.Util.string_of_pp pp fmt

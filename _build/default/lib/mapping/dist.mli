@@ -1,0 +1,27 @@
+(** HPF distribution formats, one per template dimension. *)
+
+type format =
+  | Block of int option
+      (** [Block None] is HPF's default block size, resolved to
+          [ceil (extent / nprocs)]; [Block (Some k)] is BLOCK(k). *)
+  | Cyclic of int  (** CYCLIC(k); [Cyclic 1] is plain CYCLIC. *)
+  | Star  (** undistributed (collapsed) dimension *)
+
+val block : format
+val block_sized : int -> format
+val cyclic : format
+val cyclic_sized : int -> format
+val star : format
+
+val is_distributed : format -> bool
+
+(** Resolve a default block size against a template extent and processor
+    count; other formats are unchanged. *)
+val resolve : extent:int -> nprocs:int -> format -> format
+
+(** Structural equality of resolved formats.
+    @raise Invalid_argument on an unresolved [Block None]. *)
+val equal_resolved : format -> format -> bool
+
+val pp : Format.formatter -> format -> unit
+val to_string : format -> string

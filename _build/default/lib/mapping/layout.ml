@@ -1,0 +1,334 @@
+(* Concrete element-to-processor layout of one array under one mapping.
+
+   A layout composes the alignment (array index -> template cell) with the
+   distribution (template cell -> processor coordinate) into closed-form
+   ownership functions, plus the interval views that the efficient
+   redistribution engine needs.
+
+   Global array indices are 0-based throughout. *)
+
+open Hpfc_base
+
+type fmt = FBlock of int | FCyclic of int
+
+(* How the processor coordinate along one grid dimension is determined. *)
+type source =
+  | From_axis of {
+      array_dim : int;
+      stride : int;
+      offset : int;
+      fmt : fmt;
+      textent : int;
+    }
+  | From_const of int  (* constant alignment: fixed processor coordinate *)
+  | Replicated  (* a copy lives at every coordinate along this grid dim *)
+
+type dim_role =
+  | Local  (* collapsed array dim: fully present on every owner *)
+  | Dist of int  (* this array dim drives grid dimension [pdim] *)
+
+type t = {
+  extents : int array;
+  procs : Procs.t;
+  sources : source array;  (* indexed by grid dimension *)
+  roles : dim_role array;  (* indexed by array dimension *)
+}
+
+let resolve_fmt ~textent ~nprocs ~what = function
+  | Dist.Block None -> FBlock (Util.cdiv textent nprocs)
+  | Dist.Block (Some k) ->
+    if k * nprocs < textent then
+      Error.fail Invalid_directive
+        "%s: block(%d) on %d procs cannot cover extent %d" what k nprocs
+        textent;
+    FBlock k
+  | Dist.Cyclic k ->
+    if k <= 0 then Error.fail Invalid_directive "%s: cyclic(%d)" what k;
+    FCyclic k
+  | Dist.Star -> assert false
+
+(* Processor coordinate owning template cell [cell]. *)
+let owner_of_cell ~nprocs fmt cell =
+  match fmt with
+  | FBlock k -> cell / k
+  | FCyclic k -> cell / k mod nprocs
+
+let of_mapping ~extents (m : Mapping.t) =
+  Align.validate ~array_extents:extents ~template_extents:m.template.extents
+    m.align;
+  let pdims = Mapping.proc_dim_of_tdim m in
+  let nb_pdims = Procs.rank m.procs in
+  let sources = Array.make nb_pdims Replicated in
+  let roles = Array.make (Array.length extents) Local in
+  Array.iteri
+    (fun tdim pdim_opt ->
+      match pdim_opt with
+      | None -> ()
+      | Some pdim ->
+        let nprocs = m.procs.shape.(pdim) in
+        let textent = m.template.extents.(tdim) in
+        let what = Fmt.str "template %s dim %d" m.template.name tdim in
+        let fmt = resolve_fmt ~textent ~nprocs ~what m.dist.(tdim) in
+        (match m.align.(tdim) with
+        | Align.Axis { array_dim; stride; offset } ->
+          sources.(pdim) <- From_axis { array_dim; stride; offset; fmt; textent };
+          roles.(array_dim) <- Dist pdim
+        | Align.Const c ->
+          sources.(pdim) <- From_const (owner_of_cell ~nprocs fmt c)
+        | Align.Replicated -> sources.(pdim) <- Replicated))
+    pdims;
+  { extents; procs = m.procs; sources; roles }
+
+let rank t = Array.length t.extents
+
+let nb_elements t = Array.fold_left ( * ) 1 t.extents
+
+(* --- ownership ------------------------------------------------------- *)
+
+(* Canonical owner coordinate vector of an element: replicated grid dims get
+   coordinate 0. *)
+let owner t index =
+  Array.mapi
+    (fun pdim source ->
+      let nprocs = t.procs.shape.(pdim) in
+      match source with
+      | From_axis { array_dim; stride; offset; fmt; _ } ->
+        owner_of_cell ~nprocs fmt ((stride * index.(array_dim)) + offset)
+      | From_const c -> c
+      | Replicated -> 0)
+    t.sources
+
+(* All owner coordinates (expands replication). *)
+let owners t index =
+  let base = owner t index in
+  let rec expand pdim acc =
+    if pdim >= Array.length t.sources then List.rev_map Array.of_list acc
+    else
+      match t.sources.(pdim) with
+      | Replicated ->
+        let copies =
+          List.concat_map
+            (fun prefix ->
+              List.map
+                (fun c -> prefix @ [ c ])
+                (Util.range 0 t.procs.shape.(pdim)))
+            acc
+        in
+        expand (pdim + 1) copies
+      | From_axis _ | From_const _ ->
+        expand (pdim + 1) (List.map (fun prefix -> prefix @ [ base.(pdim) ]) acc)
+  in
+  expand 0 [ [] ]
+
+let is_owner t ~proc index =
+  Array.for_all (fun _ -> true) proc
+  && Array.length proc = Procs.rank t.procs
+  &&
+  let base = owner t index in
+  let ok = ref true in
+  Array.iteri
+    (fun pdim source ->
+      match source with
+      | Replicated -> ()
+      | From_axis _ | From_const _ ->
+        if proc.(pdim) <> base.(pdim) then ok := false)
+    t.sources;
+  !ok
+
+(* --- interval views --------------------------------------------------- *)
+
+(* Template-cell intervals [lo, hi) owned by coordinate [c] along a grid
+   dimension with format [fmt] and extent [textent]. *)
+let owned_cell_intervals ~nprocs ~textent fmt c =
+  match fmt with
+  | FBlock k ->
+    let lo = c * k and hi = min ((c + 1) * k) textent in
+    if lo >= hi then [] else [ (lo, hi) ]
+  | FCyclic k ->
+    let rec loop j acc =
+      let lo = (((j * nprocs) + c) * k) in
+      if lo >= textent then List.rev acc
+      else loop (j + 1) ((lo, min (lo + k) textent) :: acc)
+    in
+    loop 0 []
+
+(* Array-index interval [lo, hi) whose alignment image falls inside the
+   template-cell interval [cl, ch).  The alignment x -> stride*x + offset is
+   monotone, so preimages of intervals are intervals. *)
+let preimage_interval ~stride ~offset ~extent (cl, ch) =
+  let lo, hi =
+    if stride > 0 then
+      (* smallest x with stride*x+offset >= cl; past-the-end for < ch *)
+      (Util.cdiv (cl - offset) stride, Util.cdiv (ch - offset) stride)
+    else
+      (* stride < 0: image decreasing in x *)
+      let s = -stride in
+      (Util.cdiv (offset - ch + 1) s, Util.cdiv (offset - cl + 1) s)
+  in
+  let lo = max lo 0 and hi = min hi extent in
+  if lo >= hi then None else Some (lo, hi)
+
+(* Array-index intervals along [array_dim] owned by processor coordinate
+   [coord] of the grid dim that this array dim drives.  For Local dims the
+   whole extent is owned. *)
+let owned_intervals t ~array_dim ~coord =
+  match t.roles.(array_dim) with
+  | Local -> [ (0, t.extents.(array_dim)) ]
+  | Dist pdim -> (
+    match t.sources.(pdim) with
+    | From_axis { array_dim = ad; stride; offset; fmt; textent } ->
+      assert (ad = array_dim);
+      let nprocs = t.procs.shape.(pdim) in
+      owned_cell_intervals ~nprocs ~textent fmt coord
+      |> List.filter_map
+           (preimage_interval ~stride ~offset ~extent:t.extents.(array_dim))
+      (* negative strides reverse the order; canonicalize *)
+      |> List.sort compare |> Ivset.merge_adjacent
+    | From_const _ | Replicated -> assert false)
+
+(* Owned indices along [array_dim] for [coord], in the compressed periodic
+   representation: cyclic ownership has period k*p in the template, and its
+   preimage through the alignment x -> stride*x + offset is periodic in x
+   with period (k*p) / gcd(|stride|, k*p).  This is what makes the
+   redistribution engine independent of the array extent. *)
+let owned_set t ~array_dim ~coord : Ivset.t =
+  let extent = t.extents.(array_dim) in
+  match t.roles.(array_dim) with
+  | Local -> Ivset.Finite [ (0, extent) ]
+  | Dist pdim -> (
+    match t.sources.(pdim) with
+    | From_axis { array_dim = ad; stride; offset; fmt; textent } -> (
+      assert (ad = array_dim);
+      let nprocs = t.procs.shape.(pdim) in
+      match fmt with
+      | FBlock k ->
+        let lo = coord * k and hi = min ((coord + 1) * k) textent in
+        if lo >= hi then Ivset.Finite []
+        else
+          Ivset.Finite
+            (Option.to_list
+               (preimage_interval ~stride ~offset ~extent (lo, hi)))
+      | FCyclic k ->
+        (* cell pattern [coord*k, coord*k + k) modulo k*nprocs; pull it back
+           through the alignment by scanning one x-period *)
+        let cell_period = k * nprocs in
+        let x_period =
+          cell_period / Hpfc_base.Util.gcd (abs stride) cell_period
+        in
+        let in_cells x =
+          let c = Hpfc_base.Util.emod ((stride * x) + offset) cell_period in
+          c >= coord * k && c < (coord + 1) * k
+        in
+        let window = min x_period extent in
+        let rec scan x cur acc =
+          if x >= window then
+            List.rev (match cur with Some lo -> (lo, window) :: acc | None -> acc)
+          else if in_cells x then
+            scan (x + 1) (Some (Option.value cur ~default:x)) acc
+          else
+            match cur with
+            | Some lo -> scan (x + 1) None ((lo, x) :: acc)
+            | None -> scan (x + 1) None acc
+        in
+        let pattern = scan 0 None [] in
+        if x_period >= extent then Ivset.Finite pattern
+        else Ivset.Periodic { period = x_period; pattern; extent })
+    | From_const _ | Replicated -> assert false)
+
+(* Number of owned indices strictly below [x] along [array_dim] for the
+   grid coordinate that owns [x] — the dense local index along that dim. *)
+let local_index_along t ~array_dim x =
+  match t.roles.(array_dim) with
+  | Local -> x
+  | Dist pdim -> (
+    match t.sources.(pdim) with
+    | From_axis { stride; offset; fmt; textent; _ } ->
+      let nprocs = t.procs.shape.(pdim) in
+      let coord = owner_of_cell ~nprocs fmt ((stride * x) + offset) in
+      let intervals =
+        owned_cell_intervals ~nprocs ~textent fmt coord
+        |> List.filter_map
+             (preimage_interval ~stride ~offset ~extent:t.extents.(array_dim))
+      in
+      List.fold_left
+        (fun acc (lo, hi) -> if x >= hi then acc + (hi - lo) else if x > lo then acc + (x - lo) else acc)
+        0 intervals
+    | From_const _ | Replicated -> assert false)
+
+let local_index t index = Array.mapi (fun d x -> local_index_along t ~array_dim:d x) index
+
+(* Per-dimension count of owned indices for processor [proc], and the local
+   allocation size (their product).  A processor off a [From_const]
+   coordinate owns nothing. *)
+let local_extents t ~proc =
+  let excluded = ref false in
+  Array.iteri
+    (fun pdim source ->
+      match source with
+      | From_const c -> if proc.(pdim) <> c then excluded := true
+      | From_axis _ | Replicated -> ())
+    t.sources;
+  if !excluded then Array.map (fun _ -> 0) t.extents
+  else
+    Array.mapi
+      (fun d _ ->
+        match t.roles.(d) with
+        | Local -> t.extents.(d)
+        | Dist pdim ->
+          owned_intervals t ~array_dim:d ~coord:proc.(pdim)
+          |> List.fold_left (fun acc (lo, hi) -> acc + hi - lo) 0)
+      t.extents
+
+let local_size t ~proc = Array.fold_left ( * ) 1 (local_extents t ~proc)
+
+(* Row-major linear position of an element inside its owner's local
+   allocation (extents = local_extents of the owner).  This is the address
+   computation the generated SPMD code would perform. *)
+let local_linear_index t index =
+  let own = owner t index in
+  let locals = local_extents t ~proc:own in
+  let li = local_index t index in
+  let acc = ref 0 in
+  Array.iteri (fun d x -> acc := (!acc * locals.(d)) + x) li;
+  !acc
+
+(* --- equality --------------------------------------------------------- *)
+
+let equal_source a b =
+  match (a, b) with
+  | From_axis a, From_axis b ->
+    a.array_dim = b.array_dim && a.stride = b.stride && a.offset = b.offset
+    && a.fmt = b.fmt && a.textent = b.textent
+  | From_const a, From_const b -> a = b
+  | Replicated, Replicated -> true
+  | (From_axis _ | From_const _ | Replicated), _ -> false
+
+(* Layout equivalence: identical element-to-processor function.  Grid names
+   are irrelevant; grid shapes are not. *)
+let equal a b =
+  a.extents = b.extents
+  && a.procs.shape = b.procs.shape
+  && Array.length a.sources = Array.length b.sources
+  && Array.for_all2 equal_source a.sources b.sources
+  && a.roles = b.roles
+
+let pp_fmt ppf = function
+  | FBlock k -> Fmt.pf ppf "block(%d)" k
+  | FCyclic k -> Fmt.pf ppf "cyclic(%d)" k
+
+let pp_source ppf = function
+  | From_axis { array_dim; stride; offset; fmt; _ } ->
+    Fmt.pf ppf "dim%d[%d*x%+d]:%a" array_dim stride offset pp_fmt fmt
+  | From_const c -> Fmt.pf ppf "const@%d" c
+  | Replicated -> Fmt.string ppf "repl"
+
+let pp ppf t =
+  Fmt.pf ppf "layout[%a | %a]"
+    (Util.pp_list Fmt.int)
+    (Array.to_list t.extents)
+    (Util.pp_list pp_source)
+    (Array.to_list t.sources)
+
+(* Layout equivalence directly on mappings. *)
+let equiv_mappings ~extents m1 m2 =
+  equal (of_mapping ~extents m1) (of_mapping ~extents m2)

@@ -1,0 +1,101 @@
+(* A two-level HPF mapping: array --align--> template --distribute--> procs.
+
+   The paper's key observation (Sec. 3) is that HPF's two-level scheme makes
+   "reaching mapping" harder than reaching definitions: a REDISTRIBUTE of a
+   template changes the mapping of every array currently aligned with it.
+   We therefore carry the template binding inside the mapping value, and
+   define two notions of equality:
+
+   - [equal]: same template, alignment, distribution — the propagation
+     state equality used while building the remapping graph;
+   - [equiv_layout]: same element-to-processor function — the equality used
+     for version numbering, so that a remapping that moves no data (e.g.
+     realignment to an identically distributed template) reuses the copy. *)
+
+type t = {
+  template : Template.t;
+  align : Align.t;
+  dist : Dist.format array;
+  procs : Procs.t;
+}
+
+let v ~template ~align ~dist ~procs =
+  if Array.length dist <> Template.rank template then
+    Hpfc_base.Error.fail Rank_mismatch
+      "distribution of %s has %d formats for a rank-%d template" template.name
+      (Array.length dist) (Template.rank template);
+  let distributed =
+    Array.to_list dist |> List.filter Dist.is_distributed |> List.length
+  in
+  if distributed <> Procs.rank procs then
+    Hpfc_base.Error.fail Rank_mismatch
+      "distribution of %s names %d distributed dims for a rank-%d grid"
+      template.name distributed (Procs.rank procs);
+  { template; align; dist; procs }
+
+(* Direct distribution of an array: implicit template, identity align. *)
+let direct ~array_name ~extents ~dist ~procs =
+  let template = Template.implicit_for_array array_name extents in
+  v ~template ~align:(Align.identity (Array.length extents)) ~dist ~procs
+
+(* Processor dimension assigned to each template dimension: distributed
+   template dims take grid dims in order. *)
+let proc_dim_of_tdim t =
+  let next = ref 0 in
+  Array.map
+    (fun fmt ->
+      if Dist.is_distributed fmt then (
+        let pdim = !next in
+        incr next;
+        Some pdim)
+      else None)
+    t.dist
+
+(* Resolve default block sizes against template extents and grid shape. *)
+let resolve t =
+  let pdims = proc_dim_of_tdim t in
+  let dist =
+    Array.mapi
+      (fun d fmt ->
+        match pdims.(d) with
+        | None -> fmt
+        | Some pdim ->
+          Dist.resolve ~extent:t.template.extents.(d)
+            ~nprocs:t.procs.shape.(pdim) fmt)
+      t.dist
+  in
+  { t with dist }
+
+(* New mapping after REDISTRIBUTE of this mapping's template. *)
+let redistribute t ~dist ~procs = v ~template:t.template ~align:t.align ~dist ~procs
+
+(* Same mapping carried by a renamed template (used to namespace interface
+   templates per callee). *)
+let rename_template t name =
+  { t with template = { t.template with Template.name } }
+
+(* New mapping after REALIGN with another template (carrying its own
+   distribution). *)
+let realign _t ~align ~(onto : t) =
+  v ~template:onto.template ~align ~dist:onto.dist ~procs:onto.procs
+
+let equal a b =
+  Template.equal a.template b.template
+  && Align.equal a.align b.align
+  && Procs.equal a.procs b.procs
+  &&
+  let ra = resolve a and rb = resolve b in
+  Array.length ra.dist = Array.length rb.dist
+  && Array.for_all2 Dist.equal_resolved ra.dist rb.dist
+
+let pp ppf t =
+  Fmt.pf ppf "%a with %a dist(%a) onto %a" Align.pp t.align Template.pp
+    t.template
+    (Hpfc_base.Util.pp_list Dist.pp)
+    (Array.to_list t.dist) Procs.pp t.procs
+
+(* Short form used in remapping-graph dumps: "T(block,*)" style. *)
+let pp_short ppf t =
+  Fmt.pf ppf "%s(%a)" t.template.name
+    (Hpfc_base.Util.pp_list Dist.pp)
+    (Array.to_list t.dist)

@@ -1,0 +1,59 @@
+(** Two-level HPF mappings: array --align--> template --distribute--> grid.
+
+    A REDISTRIBUTE of a template changes the mapping of every array
+    currently aligned with it (the paper's "reaching mapping" subtlety,
+    Sec. 3), so the template binding is part of the mapping value.  Two
+    equalities exist: structural {!equal} (used by the propagation state)
+    and layout equivalence ({!Hpfc_mapping.Layout.equiv_mappings}, used for
+    version numbering — a remapping between layout-equivalent mappings
+    moves no data). *)
+
+type t = {
+  template : Template.t;
+  align : Align.t;
+  dist : Dist.format array;  (** one format per template dimension *)
+  procs : Procs.t;
+}
+
+(** Smart constructor; checks rank consistency.
+    @raise Hpfc_base.Error.Hpf_error on mismatch. *)
+val v :
+  template:Template.t ->
+  align:Align.t ->
+  dist:Dist.format array ->
+  procs:Procs.t ->
+  t
+
+(** Direct distribution of an array: implicit template, identity
+    alignment. *)
+val direct :
+  array_name:string ->
+  extents:int array ->
+  dist:Dist.format array ->
+  procs:Procs.t ->
+  t
+
+(** Grid dimension assigned to each template dimension ([None] for [Star]
+    dims); distributed dims take grid dims in declaration order. *)
+val proc_dim_of_tdim : t -> int option array
+
+(** Resolve default block sizes against the template and grid. *)
+val resolve : t -> t
+
+(** The mapping after REDISTRIBUTE of this mapping's template. *)
+val redistribute : t -> dist:Dist.format array -> procs:Procs.t -> t
+
+(** The mapping after REALIGN with [onto]'s template and distribution. *)
+val realign : t -> align:Align.t -> onto:t -> t
+
+(** Rename the template (used to namespace interface templates). *)
+val rename_template : t -> string -> t
+
+(** Structural equality (resolved distributions compared; template name and
+    alignment significant). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Short form for remapping-graph dumps, ["T(block,*)"]-style. *)
+val pp_short : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+(* Processor arrangements (HPF PROCESSORS directive).  A grid has a name and
+   a shape; processors are identified either by coordinate vectors or by
+   their row-major linear rank. *)
+
+type t = {
+  name : string;
+  shape : int array;
+}
+
+let make name shape =
+  if Array.length shape = 0 then
+    Hpfc_base.Error.fail Invalid_directive "processors %s: empty shape" name;
+  Array.iter
+    (fun d ->
+      if d <= 0 then
+        Hpfc_base.Error.fail Invalid_directive
+          "processors %s: non-positive dimension %d" name d)
+    shape;
+  { name; shape }
+
+let linear name n = make name [| n |]
+
+let rank t = Array.length t.shape
+
+let size t = Array.fold_left ( * ) 1 t.shape
+
+(* Row-major linearization of a coordinate vector. *)
+let linearize t coords =
+  if Array.length coords <> rank t then
+    invalid_arg "Procs.linearize: coordinate rank mismatch";
+  Array.iteri
+    (fun d c ->
+      if c < 0 || c >= t.shape.(d) then
+        invalid_arg "Procs.linearize: coordinate out of range")
+    coords;
+  let acc = ref 0 in
+  Array.iteri (fun d c -> acc := (!acc * t.shape.(d)) + c) coords;
+  !acc
+
+let delinearize t lin =
+  if lin < 0 || lin >= size t then invalid_arg "Procs.delinearize: out of range";
+  let coords = Array.make (rank t) 0 in
+  let rest = ref lin in
+  for d = rank t - 1 downto 0 do
+    coords.(d) <- !rest mod t.shape.(d);
+    rest := !rest / t.shape.(d)
+  done;
+  coords
+
+let equal a b = a.name = b.name && a.shape = b.shape
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%a)" t.name
+    (Hpfc_base.Util.pp_list Fmt.int)
+    (Array.to_list t.shape)

@@ -1,0 +1,30 @@
+(** Processor arrangements (HPF PROCESSORS).  Processors are identified by
+    coordinate vectors or by their row-major linear rank. *)
+
+type t = {
+  name : string;
+  shape : int array;  (** grid extents, all positive *)
+}
+
+(** Build an arrangement.
+    @raise Hpfc_base.Error.Hpf_error on an empty or non-positive shape. *)
+val make : string -> int array -> t
+
+(** A rank-1 arrangement of [n] processors. *)
+val linear : string -> int -> t
+
+(** Number of grid dimensions. *)
+val rank : t -> int
+
+(** Total number of processors. *)
+val size : t -> int
+
+(** Row-major linear rank of a coordinate vector.
+    @raise Invalid_argument on rank or range mismatch. *)
+val linearize : t -> int array -> int
+
+(** Inverse of {!linearize}. *)
+val delinearize : t -> int -> int array
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

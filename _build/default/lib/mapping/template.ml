@@ -1,0 +1,31 @@
+(* HPF templates: named index spaces that arrays align with and
+   distributions apply to.  An array distributed directly (without an
+   explicit TEMPLATE directive) gets an implicit template of its own shape,
+   named after the array. *)
+
+type t = {
+  name : string;
+  extents : int array;
+}
+
+let make name extents =
+  if Array.length extents = 0 then
+    Hpfc_base.Error.fail Invalid_directive "template %s: empty shape" name;
+  Array.iter
+    (fun e ->
+      if e <= 0 then
+        Hpfc_base.Error.fail Invalid_directive
+          "template %s: non-positive extent %d" name e)
+    extents;
+  { name; extents }
+
+let implicit_for_array array_name extents = make ("$" ^ array_name) extents
+
+let rank t = Array.length t.extents
+
+let equal a b = a.name = b.name && a.extents = b.extents
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%a)" t.name
+    (Hpfc_base.Util.pp_list Fmt.int)
+    (Array.to_list t.extents)

@@ -1,0 +1,19 @@
+(** HPF templates: named index spaces that arrays align with and
+    distributions apply to. *)
+
+type t = {
+  name : string;
+  extents : int array;  (** all positive *)
+}
+
+(** Build a template.
+    @raise Hpfc_base.Error.Hpf_error on an empty or non-positive shape. *)
+val make : string -> int array -> t
+
+(** The implicit template of a directly distributed array, named
+    ["$" ^ array_name]. *)
+val implicit_for_array : string -> int array -> t
+
+val rank : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

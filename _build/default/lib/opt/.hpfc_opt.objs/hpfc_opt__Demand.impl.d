@@ -1,0 +1,1 @@
+lib/opt/demand.ml: Array Graph Hashtbl Hpfc_base Hpfc_cfg Hpfc_dataflow Hpfc_effects Hpfc_remap List Option

@@ -1,0 +1,1 @@
+lib/opt/demand.mli: Hashtbl Hpfc_effects Hpfc_remap

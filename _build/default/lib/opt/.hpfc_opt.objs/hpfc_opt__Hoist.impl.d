@@ -1,0 +1,1 @@
+lib/opt/hoist.ml: Array Ast Construct Graph Hpfc_base Hpfc_cfg Hpfc_lang Hpfc_remap List Propagate State Version

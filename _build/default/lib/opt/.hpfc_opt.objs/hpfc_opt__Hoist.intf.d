@@ -1,0 +1,1 @@
+lib/opt/hoist.mli: Hpfc_lang Hpfc_remap

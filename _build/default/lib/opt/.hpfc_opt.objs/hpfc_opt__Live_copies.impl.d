@@ -1,0 +1,1 @@
+lib/opt/live_copies.ml: Fmt Graph Hashtbl Hpfc_base Hpfc_effects Hpfc_remap List Option

@@ -1,0 +1,1 @@
+lib/opt/live_copies.mli: Format Hashtbl Hpfc_remap

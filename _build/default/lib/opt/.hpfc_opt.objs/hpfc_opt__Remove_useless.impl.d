@@ -1,0 +1,1 @@
+lib/opt/remove_useless.ml: Graph Hashtbl Hpfc_base Hpfc_effects Hpfc_remap List

@@ -1,0 +1,1 @@
+lib/opt/remove_useless.mli: Hpfc_remap

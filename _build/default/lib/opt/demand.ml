@@ -1,0 +1,137 @@
+(* Data-demand analysis for copy-code generation.
+
+   The paper's use qualifier U_A(v) summarizes references up to the next
+   remapping of A; Fig. 19 then skips the data copy when U = D ("fully
+   redefined before any use").  That rule is sound only if every path
+   redefines before any use — but U is a may-join over paths, and a D path
+   joined with a path that reaches the next remapping *unreferenced* still
+   yields D, while that next remapping may copy the (then missing) data
+   onward.  Our differential fuzzer produced exactly this value-loss.
+
+   This pass recomputes, for every remaining remapping label, the pair of
+   facts the generated code actually needs:
+
+     needed   — may the copy's values flow to a read, or to a downstream
+                remapping that itself needs data?  (drives the D shortcut)
+     modifies — may the region write the array?  (drives the invalidation
+                of the other copies)
+
+   It is a backward fixpoint on the CFG in which a *remaining* remapping
+   label acts as a barrier whose upstream contribution is the barrier's own
+   demand (data needed there => the reaching copy is read by the copy
+   operation); removed labels are transparent.  The resulting qualifier
+   (encoded back into N/D/R/W) replaces the label's U during code
+   generation only — removal and liveness keep the paper's U. *)
+
+module Cfg = Hpfc_cfg.Cfg
+module Use_info = Hpfc_effects.Use_info
+module Effects = Hpfc_effects.Effects
+module Solver = Hpfc_dataflow.Solver
+open Hpfc_remap
+
+type bits = { needed : bool; modifies : bool }
+
+let encode { needed; modifies } =
+  match (needed, modifies) with
+  | false, false -> Use_info.N
+  | false, true -> Use_info.D
+  | true, false -> Use_info.R
+  | true, true -> Use_info.W
+
+(* Sequential composition: statement effect [e], then region [d]. *)
+let compose e d =
+  match e with
+  | Use_info.N -> d
+  | Use_info.D -> { needed = false; modifies = true }
+  | Use_info.R -> { needed = true; modifies = d.modifies }
+  | Use_info.W -> { needed = true; modifies = true }
+
+type dmap = (string * bits) list
+
+let find (m : dmap) a =
+  Option.value (List.assoc_opt a m) ~default:{ needed = false; modifies = false }
+
+let join_bits a b = { needed = a.needed || b.needed; modifies = a.modifies || b.modifies }
+
+let lattice : dmap Solver.lattice =
+  {
+    bottom = [];
+    equal =
+      (fun m1 m2 ->
+        let keys = List.map fst (m1 @ m2) |> Hpfc_base.Util.dedup_stable ( = ) in
+        List.for_all (fun a -> find m1 a = find m2 a) keys);
+    join =
+      (fun m1 m2 ->
+        List.fold_left
+          (fun acc (a, b) ->
+            (a, join_bits b (find acc a)) :: List.remove_assoc a acc)
+          m1 m2);
+  }
+
+(* The label at [vid] for [a] if it still performs a remapping. *)
+let remaining_label (g : Graph.t) vid a =
+  match Graph.label_opt g vid a with
+  | Some l when l.Graph.leaving <> [] -> Some l
+  | Some _ | None -> None
+
+let compute (g : Graph.t) : (int * string, Use_info.t) Hashtbl.t =
+  let cfg = g.Graph.cfg in
+  let proper =
+    Array.init (Cfg.nb_vertices cfg) (fun vid ->
+        Effects.of_vertex g.Graph.env (Cfg.vertex cfg vid).Cfg.kind)
+  in
+  let arrays_of vid =
+    Hpfc_base.Util.dedup_stable ( = )
+      (List.map fst proper.(vid)
+      @
+      match Graph.info_opt g vid with
+      | Some i -> List.map fst i.Graph.labels
+      | None -> [])
+  in
+  let transfer vid after =
+    List.filter_map
+      (fun a ->
+        let e = Effects.find proper.(vid) a in
+        let region = compose e (find after a) in
+        let out =
+          match remaining_label g vid a with
+          | Some _ ->
+            (* barrier: upstream sees the copy operation's own demand *)
+            { needed = region.needed; modifies = false }
+          | None -> region
+        in
+        if out = { needed = false; modifies = false } then None else Some (a, out))
+      (Hpfc_base.Util.union_stable ( = ) (List.map fst after) (arrays_of vid))
+  in
+  let graph =
+    {
+      Solver.nb_vertices = Cfg.nb_vertices cfg;
+      succs = Cfg.succs cfg;
+      preds = Cfg.preds cfg;
+    }
+  in
+  let solution =
+    Solver.solve ~direction:Solver.Backward ~graph ~lattice
+      ~init:(fun _ -> [])
+      ~transfer
+  in
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun vid ->
+      List.iter
+        (fun ((a, l) : string * Graph.label) ->
+          if l.Graph.leaving <> [] then begin
+            let after = solution.Solver.value_in.(vid) in
+            let e = Effects.find proper.(vid) a in
+            let u = encode (compose e (find after a)) in
+            (* v_c keeps its prescribed import qualifier *)
+            let u =
+              match (Cfg.vertex cfg vid).Cfg.kind with
+              | Cfg.V_call_context -> l.Graph.use
+              | _ -> u
+            in
+            Hashtbl.replace table (vid, a) u
+          end)
+        (Graph.info g vid).Graph.labels)
+    (Graph.vertex_ids g);
+  table

@@ -1,0 +1,17 @@
+(** Data-demand analysis for copy-code generation.
+
+    Fig. 19 skips the data copy when U = D, but the paper's U is a
+    may-join over paths: D joined with an unreferenced path that reaches a
+    data-consuming remapping still reads D, and skipping would lose values
+    (our differential fuzzer produced exactly that).  This pass recomputes,
+    per remaining remapping label, the two facts code generation needs —
+    may the data flow to a consumer (read, or downstream remapping that
+    itself needs data), and may the region modify the array — by a
+    backward CFG fixpoint where remaining labels are barriers contributing
+    their own demand and removed labels are transparent.
+
+    The result (re-encoded as N/D/R/W) replaces the label's U during code
+    generation only; removal and liveness keep the paper's U. *)
+
+val compute :
+  Hpfc_remap.Graph.t -> (int * string, Hpfc_effects.Use_info.t) Hashtbl.t

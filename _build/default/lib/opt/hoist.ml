@@ -1,0 +1,120 @@
+(* Loop-invariant remapping motion (Sec. 4.3, Fig. 16 -> 17).
+
+   A remapping statement that ends a loop body is moved out of the loop when
+   its leaving mappings are already among the mappings reaching the loop
+   head: then (a) on the zero-trip path the hoisted remapping is a run-time
+   no-op (the status test finds the array already mapped as required), so
+   the paper's caveat about inducing a useless remapping when t < 1 does
+   not arise, and (b) in-loop references still see the mapping established
+   by the remappings heading the body — which the run-time status test
+   makes free after the first iteration.
+
+   Each hoist is validated by rebuilding the remapping graph: if the moved
+   statement makes any reference ambiguous, the hoist is reverted. *)
+
+open Hpfc_lang
+module Cfg = Hpfc_cfg.Cfg
+open Hpfc_remap
+
+let is_remap (s : Ast.stmt) =
+  match s.Ast.skind with
+  | Ast.Realign _ | Ast.Redistribute _ -> true
+  | _ -> false
+
+(* vid of the CFG vertex carrying statement [sid]. *)
+let vid_of_sid (cfg : Cfg.t) sid =
+  let found = ref None in
+  Array.iter
+    (fun (v : Cfg.vertex) ->
+      if !found = None && Cfg.sid_of_kind v.Cfg.kind = Some sid then
+        found := Some v.Cfg.vid)
+    cfg.Cfg.vertices;
+  !found
+
+(* Is moving trailing statement [s] of the Do with statement id [do_sid]
+   out of the loop a guaranteed no-op on the zero-trip path?  True iff for
+   every array remapped at [s], the leaving versions are among the versions
+   reaching the loop head *along loop-entry paths* — the back edge must be
+   excluded, since it always carries the trailing remapping's own result. *)
+let zero_trip_safe (g : Graph.t) ~do_sid (s : Ast.stmt) =
+  match (vid_of_sid g.Graph.cfg s.Ast.sid, vid_of_sid g.Graph.cfg do_sid) with
+  | Some vs, Some vh -> (
+    match Graph.info_opt g vs with
+    | None -> false  (* not a remapping vertex: nothing to hoist *)
+    | Some info ->
+      let cfg = g.Graph.cfg in
+      let loop =
+        Array.to_list cfg.Cfg.loops
+        |> List.find (fun (l : Cfg.loop_info) -> l.head_vid = vh)
+      in
+      let entry_preds =
+        List.filter
+          (fun p -> not (List.mem p loop.Cfg.members))
+          (Cfg.preds cfg vh)
+      in
+      let entry_state =
+        List.fold_left
+          (fun acc p -> State.join acc g.Graph.prop.Propagate.state_out.(p))
+          State.empty entry_preds
+      in
+      info.Graph.labels <> []
+      && List.for_all
+           (fun ((a, l) : string * Graph.label) ->
+             let entry_versions =
+               State.mappings entry_state a
+               |> List.map (Version.of_mapping g.Graph.registry a)
+               |> Hpfc_base.Util.dedup_stable ( = )
+             in
+             l.Graph.leaving <> []
+             && List.for_all (fun v -> List.mem v entry_versions) l.Graph.leaving)
+           info.Graph.labels)
+  | _ -> false
+
+(* One hoisting step: find the first loop (outermost, in source order) whose
+   body ends with a hoistable remapping, and move that statement after the
+   loop.  Returns None when nothing moved. *)
+let rec hoist_in_block (g : Graph.t) (block : Ast.block) : Ast.block option =
+  match block with
+  | [] -> None
+  | ({ Ast.skind = Ast.Do d; _ } as s) :: rest -> (
+    match List.rev d.body with
+    | last :: body_rev
+      when is_remap last && zero_trip_safe g ~do_sid:s.Ast.sid last ->
+      let s' = { s with Ast.skind = Ast.Do { d with body = List.rev body_rev } } in
+      Some (s' :: last :: rest)
+    | _ -> (
+      match hoist_in_block g d.body with
+      | Some body' ->
+        Some ({ s with Ast.skind = Ast.Do { d with body = body' } } :: rest)
+      | None -> (
+        match hoist_in_block g rest with
+        | Some rest' -> Some (s :: rest')
+        | None -> None)))
+  | ({ Ast.skind = Ast.If (c, t, e); _ } as s) :: rest -> (
+    match hoist_in_block g t with
+    | Some t' -> Some ({ s with Ast.skind = Ast.If (c, t', e) } :: rest)
+    | None -> (
+      match hoist_in_block g e with
+      | Some e' -> Some ({ s with Ast.skind = Ast.If (c, t, e') } :: rest)
+      | None -> (
+        match hoist_in_block g rest with
+        | Some rest' -> Some (s :: rest')
+        | None -> None)))
+  | s :: rest -> (
+    match hoist_in_block g rest with
+    | Some rest' -> Some (s :: rest')
+    | None -> None)
+
+let run ?default_nprocs (r : Ast.routine) : Ast.routine * int =
+  let rec loop r count =
+    let g = Construct.build ?default_nprocs r in
+    match hoist_in_block g r.Ast.r_body with
+    | None -> (r, count)
+    | Some body' -> (
+      let r' = { r with Ast.r_body = body' } in
+      (* validate: the motion must not create ambiguous references *)
+      match Construct.build ?default_nprocs r' with
+      | (_ : Graph.t) -> loop r' (count + 1)
+      | exception Hpfc_base.Error.Hpf_error _ -> (r, count))
+  in
+  loop r 0

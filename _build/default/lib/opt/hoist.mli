@@ -1,0 +1,19 @@
+(** Loop-invariant remapping motion (Sec. 4.3, Fig. 16 -> 17).
+
+    A remapping statement ending a loop body moves out of the loop when
+    its leaving mappings are already among those reaching the loop head
+    along loop-entry paths (so the hoisted statement is a run-time no-op
+    on the zero-trip path — the paper's t < 1 caveat).  Each hoist is
+    validated by rebuilding the remapping graph and reverted if any
+    reference becomes ambiguous.  After the motion, the remapping heading
+    the body costs nothing after the first iteration thanks to the
+    run-time status test. *)
+
+(** Zero-trip safety of hoisting the trailing statement [s] of the DO with
+    statement id [do_sid] (exposed for testing). *)
+val zero_trip_safe :
+  Hpfc_remap.Graph.t -> do_sid:int -> Hpfc_lang.Ast.stmt -> bool
+
+(** Iterate hoisting to fixpoint; returns the transformed routine and the
+    number of statements moved. *)
+val run : ?default_nprocs:int -> Hpfc_lang.Ast.routine -> Hpfc_lang.Ast.routine * int

@@ -1,0 +1,69 @@
+(* May-live copies (Sec. 4.2 / Appendix D).
+
+   Keeping every old copy live would avoid remapping communication whenever
+   the program maps an array back to a mapping it held before (Fig. 13),
+   but memory is finite: only copies that may still be *used* later are
+   worth keeping.  M_A(v) — the copies that may be live and useful after
+   vertex v — is a may-backward problem over G_R: leaving copies propagate
+   backward along edges on which the array is only read (U in {N, R});
+   a write (W) or full redefinition (D) invalidates the old copies, so
+   propagation stops there.
+
+   The generated code frees, at each remapping vertex, every copy not in
+   M_A(v); the runtime additionally tracks actual per-copy validity so a
+   flow-dependent write (Fig. 13's then-branch) kills copies dynamically. *)
+
+open Hpfc_remap
+module Use_info = Hpfc_effects.Use_info
+
+type t = (int * string, int list) Hashtbl.t
+
+let get (t : t) vid array =
+  Option.value (Hashtbl.find_opt t (vid, array)) ~default:[]
+
+let compute (g : Graph.t) : t =
+  let m : t = Hashtbl.create 32 in
+  let vids = Graph.vertex_ids g in
+  List.iter
+    (fun vid ->
+      List.iter
+        (fun ((a, l) : string * Graph.label) ->
+          Hashtbl.replace m (vid, a) l.Graph.leaving)
+        (Graph.info g vid).Graph.labels)
+    vids;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun vid ->
+        List.iter
+          (fun ((a, l) : string * Graph.label) ->
+            if Use_info.preserves_copies l.Graph.use then begin
+              let cur = get m vid a in
+              let extended =
+                List.fold_left
+                  (fun acc v' -> Hpfc_base.Util.union_stable ( = ) acc (get m v' a))
+                  cur
+                  (Graph.succs_for g vid a)
+              in
+              if not (Hpfc_base.Util.list_equal_as_sets ( = ) cur extended)
+              then begin
+                Hashtbl.replace m (vid, a) extended;
+                changed := true
+              end
+            end)
+          (Graph.info g vid).Graph.labels)
+      vids
+  done;
+  m
+
+let pp g ppf (t : t) =
+  List.iter
+    (fun vid ->
+      List.iter
+        (fun ((a, _) : string * Graph.label) ->
+          Fmt.pf ppf "M_%s(%s) = {%a}@." a (Graph.vertex_name g vid)
+            (Hpfc_base.Util.pp_list Fmt.int)
+            (List.sort compare (get t vid a)))
+        (Graph.info g vid).Graph.labels)
+    (Graph.vertex_ids g)

@@ -1,0 +1,17 @@
+(** May-live copies (Sec. 4.2 / Appendix D).
+
+    M_A(v) — the copies that may still be useful after vertex v — bounds
+    what the generated code keeps: leaving copies propagate backward over
+    G_R edges on which the array is only read (U in {N, R}); a write
+    invalidates old copies and stops propagation.  The generated code
+    frees copies outside M_A(v) at each remapping vertex. *)
+
+type t = (int * string, int list) Hashtbl.t
+
+(** M_A(v) as version ids; [] when absent. *)
+val get : t -> int -> string -> int list
+
+(** Backward fixpoint over G_R. *)
+val compute : Hpfc_remap.Graph.t -> t
+
+val pp : Hpfc_remap.Graph.t -> Format.formatter -> t -> unit

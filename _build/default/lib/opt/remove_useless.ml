@@ -1,0 +1,130 @@
+(* Useless-remapping removal (Sec. 4.1 / Appendix C).
+
+   A leaving copy labelled N is never referenced before the array's next
+   remapping: the copy update is skipped by deleting the leaving mapping.
+   The reaching sets are then recomputed from scratch — the compiler needs
+   every (source, target) mapping pair that may occur at run time — by a
+   may-forward fixpoint over G_R that propagates reaching copies through
+   vertices whose remapping was removed (transitive closure over
+   unreferenced paths).
+
+   Theorem 1 (correctness/optimality): after recomputation, copy a reaches
+   vertex v for array A iff some G_R path from a vertex leaving a to v
+   never references A.  The qcheck suite checks this against a path
+   enumeration on random programs.
+
+   Arrays with several leaving mappings at a non-restore vertex (Fig. 21)
+   are left untouched — the paper's single-leaving assumption. *)
+
+open Hpfc_remap
+
+type stats = {
+  removed : int;  (* leaving copies deleted (label U = N) *)
+  noops : int;  (* labels dropped because reaching = leaving *)
+}
+
+(* Fig. 21 detection: optimizations must not touch these arrays. *)
+let has_multiple_leaving (g : Graph.t) array =
+  List.exists
+    (fun vid ->
+      match Graph.label_opt g vid array with
+      | Some l -> (not l.Graph.restore) && List.length l.Graph.leaving > 1
+      | None -> false)
+    (Graph.vertex_ids g)
+
+let remove_unused_leavings (g : Graph.t) =
+  let skip = Hashtbl.create 4 in
+  let removed = ref 0 in
+  List.iter
+    (fun vid ->
+      let info = Graph.info g vid in
+      List.iter
+        (fun ((a, l) : string * Graph.label) ->
+          if not (Hashtbl.mem skip a) && has_multiple_leaving g a then
+            Hashtbl.add skip a ();
+          if
+            l.Graph.use = Hpfc_effects.Use_info.N
+            && l.Graph.leaving <> []
+            && not (Hashtbl.mem skip a)
+          then begin
+            (* this also removes restoring remaps at v_e for intent(in)
+               arguments, whose exported value is not needed *)
+            l.Graph.leaving <- [];
+            incr removed
+          end)
+        info.Graph.labels)
+    (Graph.vertex_ids g);
+  !removed
+
+(* Appendix C reaching recomputation.  A predecessor with a (remaining)
+   leaving copy contributes it; a predecessor whose remapping was removed is
+   transparent and contributes its own reaching set. *)
+let recompute_reaching (g : Graph.t) =
+  let vids = Graph.vertex_ids g in
+  List.iter
+    (fun vid ->
+      List.iter
+        (fun ((_, l) : string * Graph.label) -> l.Graph.reaching <- [])
+        (Graph.info g vid).Graph.labels)
+    vids;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun vid ->
+        List.iter
+          (fun ((a, l) : string * Graph.label) ->
+            let contribution v' =
+              match Graph.label_opt g v' a with
+              | None -> []
+              | Some l' ->
+                if l'.Graph.leaving <> [] then l'.Graph.leaving
+                else l'.Graph.reaching
+            in
+            let incoming =
+              List.fold_left
+                (fun acc v' -> Hpfc_base.Util.union_stable ( = ) acc (contribution v'))
+                [] (Graph.preds_for g vid a)
+            in
+            if
+              not
+                (Hpfc_base.Util.list_equal_as_sets ( = ) incoming
+                   l.Graph.reaching)
+            then begin
+              l.Graph.reaching <- incoming;
+              changed := true
+            end)
+          (Graph.info g vid).Graph.labels)
+      vids
+  done
+
+(* Neutralize labels whose remapping became a static no-op: the unique
+   reaching copy is the leaving copy, so no code is needed at this vertex
+   for this array.  The label is kept with an empty leaving set (the same
+   encoding as a removed remapping) rather than deleted: it stays
+   transparent to reaching recomputation — making the whole pass
+   idempotent, a property the fuzzer checks — and its use qualifier still
+   gates may-live propagation through the vertex. *)
+let drop_noop_labels (g : Graph.t) =
+  let dropped = ref 0 in
+  List.iter
+    (fun vid ->
+      List.iter
+        (fun ((_, l) : string * Graph.label) ->
+          (* entry-ish vertices (empty reaching) never match *)
+          if l.Graph.reaching = l.Graph.leaving && List.length l.Graph.leaving = 1
+          then begin
+            l.Graph.leaving <- [];
+            incr dropped
+          end)
+        (Graph.info g vid).Graph.labels)
+    (Graph.vertex_ids g);
+  !dropped
+
+let run (g : Graph.t) : stats =
+  let removed = remove_unused_leavings g in
+  recompute_reaching g;
+  (* removal does not create new N labels (U is untouched), but the
+     recomputation can turn remappings into static no-ops; drop those *)
+  let noops = drop_noop_labels g in
+  { removed; noops }

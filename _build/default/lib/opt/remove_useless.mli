@@ -1,0 +1,35 @@
+(** Useless-remapping removal (Sec. 4.1 / Appendix C).
+
+    Leaving copies labelled N are never referenced before the array's next
+    remapping: their copy update is deleted, and the reaching sets are
+    recomputed by a may-forward fixpoint over G_R that propagates reaching
+    copies through removed (transparent) vertices — the transitive closure
+    over unreferenced paths.  Theorem 1 (checked by qcheck against a path
+    oracle) states the result is exactly the path-realizable pairs.
+
+    Arrays with several leaving mappings at a non-restore vertex (Fig. 21)
+    are left untouched. *)
+
+type stats = {
+  removed : int;  (** leaving copies deleted (label U = N) *)
+  noops : int;  (** labels dropped because reaching = leaving *)
+}
+
+(** Fig. 21 detection: does the array have a non-restore vertex with
+    several leaving mappings anywhere? *)
+val has_multiple_leaving : Hpfc_remap.Graph.t -> string -> bool
+
+(** Delete leaving copies with U = N; returns the count. *)
+val remove_unused_leavings : Hpfc_remap.Graph.t -> int
+
+(** Appendix C reaching recomputation (in place). *)
+val recompute_reaching : Hpfc_remap.Graph.t -> unit
+
+(** Neutralize labels whose unique reaching copy equals the leaving copy
+    (static no-ops): the leaving set becomes empty (same encoding as a
+    removed remapping, transparent to recomputation).  Returns the count.
+    The full pass is idempotent (fuzzer-checked). *)
+val drop_noop_labels : Hpfc_remap.Graph.t -> int
+
+(** The full pass: removal, recomputation, no-op dropping. *)
+val run : Hpfc_remap.Graph.t -> stats

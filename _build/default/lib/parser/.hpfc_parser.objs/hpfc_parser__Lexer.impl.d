@@ -1,0 +1,1 @@
+lib/parser/lexer.ml: Fmt Hpfc_base List String

@@ -1,0 +1,1 @@
+lib/parser/parser.ml: Array Ast Build Fmt Hpfc_base Hpfc_lang Hpfc_mapping Lexer List Pp_ast

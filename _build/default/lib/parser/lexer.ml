@@ -1,0 +1,179 @@
+(* Hand-written lexer for mini-HPF source.  The language is line-oriented:
+   NEWLINE terminates statements.  `!hpf$` introduces a directive token and
+   the rest of the line is lexed normally; any other `!` comment runs to end
+   of line.  Keywords are recognized at the parser level (identifiers are
+   lowercased here, Fortran-style case-insensitivity). *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | ASSIGN  (* = *)
+  | EQEQ  (* == *)
+  | NE  (* /= *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | DOT_AND
+  | DOT_OR
+  | DOT_NOT
+  | DIRECTIVE  (* !hpf$ *)
+  | NEWLINE
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> Fmt.str "identifier %S" s
+  | INT n -> Fmt.str "integer %d" n
+  | FLOAT f -> Fmt.str "float %g" f
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | ASSIGN -> "'='"
+  | EQEQ -> "'=='"
+  | NE -> "'/='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | DOT_AND -> "'.and.'"
+  | DOT_OR -> "'.or.'"
+  | DOT_NOT -> "'.not.'"
+  | DIRECTIVE -> "'!hpf$'"
+  | NEWLINE -> "end of line"
+  | EOF -> "end of input"
+
+type lexed = { tok : token; line : int }
+
+let fail line fmt =
+  Hpfc_base.Error.fail Parse_error ("line %d: " ^^ fmt) line
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let push tok = toks := { tok; line = !line } :: !toks in
+  let pos = ref 0 in
+  let peek_at k = if !pos + k < n then Some src.[!pos + k] else None in
+  let starts_with_ci s =
+    let len = String.length s in
+    !pos + len <= n
+    && String.lowercase_ascii (String.sub src !pos len) = s
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      (* collapse: only emit NEWLINE if last token isn't already one *)
+      (match !toks with
+      | { tok = NEWLINE; _ } :: _ | [] -> ()
+      | _ -> push NEWLINE);
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '!' then
+      if starts_with_ci "!hpf$" then begin
+        push DIRECTIVE;
+        pos := !pos + 5
+      end
+      else begin
+        while !pos < n && src.[!pos] <> '\n' do
+          incr pos
+        done
+      end
+    else if c = '.' && (starts_with_ci ".and." || starts_with_ci ".or." || starts_with_ci ".not.") then begin
+      if starts_with_ci ".and." then (push DOT_AND; pos := !pos + 5)
+      else if starts_with_ci ".or." then (push DOT_OR; pos := !pos + 4)
+      else (push DOT_NOT; pos := !pos + 5)
+    end
+    else if is_digit c || (c = '.' && (match peek_at 1 with Some d -> is_digit d | None -> false))
+    then begin
+      let start = !pos in
+      let is_float = ref false in
+      (* an exponent marker counts only when followed by digits (so that
+         `1e3` lexes as a real but `x1e` stays an identifier context) *)
+      let exponent_ahead () =
+        (src.[!pos] = 'e' || src.[!pos] = 'E')
+        && !pos > start
+        && (match peek_at 1 with
+           | Some d when is_digit d -> true
+           | Some ('+' | '-') -> (
+             match peek_at 2 with Some d -> is_digit d | None -> false)
+           | Some _ | None -> false)
+      in
+      while
+        !pos < n
+        && (is_digit src.[!pos]
+           || src.[!pos] = '.'
+           || exponent_ahead ()
+           || ((src.[!pos] = '+' || src.[!pos] = '-')
+              && !pos > start
+              && (src.[!pos - 1] = 'e' || src.[!pos - 1] = 'E')
+              && !is_float))
+      do
+        if src.[!pos] = '.' || src.[!pos] = 'e' || src.[!pos] = 'E' then
+          is_float := true;
+        incr pos
+      done;
+      let text = String.sub src start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> push (FLOAT f)
+        | None -> fail !line "bad float literal %S" text
+      else
+        match int_of_string_opt text with
+        | Some i -> push (INT i)
+        | None -> fail !line "bad integer literal %S" text
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      push (IDENT (String.lowercase_ascii (String.sub src start (!pos - start))))
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      match two with
+      | "==" -> push EQEQ; pos := !pos + 2
+      | "/=" -> push NE; pos := !pos + 2
+      | "<=" -> push LE; pos := !pos + 2
+      | ">=" -> push GE; pos := !pos + 2
+      | _ -> (
+        incr pos;
+        match c with
+        | '+' -> push PLUS
+        | '-' -> push MINUS
+        | '*' -> push STAR
+        | '/' -> push SLASH
+        | '(' -> push LPAREN
+        | ')' -> push RPAREN
+        | ',' -> push COMMA
+        | '=' -> push ASSIGN
+        | '<' -> push LT
+        | '>' -> push GT
+        | _ -> fail !line "unexpected character %C" c)
+    end
+  done;
+  (match !toks with
+  | { tok = NEWLINE; _ } :: _ | [] -> ()
+  | _ -> push NEWLINE);
+  push EOF;
+  List.rev !toks

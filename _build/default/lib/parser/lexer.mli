@@ -1,0 +1,39 @@
+(** Lexer for mini-HPF source.  Line-oriented: NEWLINE terminates
+    statements; [!hpf$] yields a DIRECTIVE token and the rest of the line
+    is lexed normally; other [!] comments run to end of line.  Identifiers
+    are lowercased (Fortran-style case-insensitivity); keywords are
+    recognized by the parser. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | ASSIGN
+  | EQEQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | DOT_AND
+  | DOT_OR
+  | DOT_NOT
+  | DIRECTIVE
+  | NEWLINE
+  | EOF
+
+val token_to_string : token -> string
+
+type lexed = { tok : token; line : int }
+
+(** Tokenize a whole source string; consecutive newlines are collapsed and
+    the stream ends with NEWLINE EOF.
+    @raise Hpfc_base.Error.Hpf_error with [Parse_error] on bad input. *)
+val tokenize : string -> lexed list

@@ -1,0 +1,692 @@
+(* Recursive-descent parser for mini-HPF.  See README for the grammar; the
+   language is 0-based (first array element is A(0); `do i = 0, n-1` loops
+   inclusively), line-oriented, and case-insensitive. *)
+
+open Hpfc_lang
+module L = Lexer
+
+type state = {
+  toks : L.lexed array;
+  mutable pos : int;
+  mutable params : (string * int) list;  (* PARAMETER constants *)
+  mutable known_arrays : string list;  (* for bare-name array references *)
+}
+
+let make_state src =
+  { toks = Array.of_list (L.tokenize src); pos = 0; params = []; known_arrays = [] }
+
+let cur st = st.toks.(st.pos)
+
+let peek st = (cur st).L.tok
+
+let line st = (cur st).L.line
+
+let fail st fmt =
+  Hpfc_base.Error.fail Parse_error ("line %d: " ^^ fmt) (line st)
+
+let fail_kind st kind fmt =
+  Hpfc_base.Error.fail kind ("line %d: " ^^ fmt) (line st)
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st "expected %s, found %s" (L.token_to_string tok)
+      (L.token_to_string (peek st))
+
+let accept st tok = if peek st = tok then (advance st; true) else false
+
+let expect_ident st =
+  match peek st with
+  | L.IDENT name -> advance st; name
+  | t -> fail st "expected an identifier, found %s" (L.token_to_string t)
+
+let expect_keyword st kw =
+  match peek st with
+  | L.IDENT name when name = kw -> advance st
+  | t -> fail st "expected %S, found %s" kw (L.token_to_string t)
+
+let accept_keyword st kw =
+  match peek st with
+  | L.IDENT name when name = kw -> advance st; true
+  | _ -> false
+
+let peek_keyword st kw =
+  match peek st with L.IDENT name -> name = kw | _ -> false
+
+let skip_newlines st =
+  while peek st = L.NEWLINE do
+    advance st
+  done
+
+let end_of_line st = expect st L.NEWLINE
+
+(* --- expressions ------------------------------------------------------- *)
+
+let rec parse_expr st : Ast.expr = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while accept st L.DOT_OR do
+    lhs := Ast.Binop (Or, !lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_not st) in
+  while accept st L.DOT_AND do
+    lhs := Ast.Binop (And, !lhs, parse_not st)
+  done;
+  !lhs
+
+and parse_not st =
+  if accept st L.DOT_NOT then Ast.Unop (Not, parse_not st) else parse_rel st
+
+and parse_rel st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | L.EQEQ -> Some Ast.Eq
+    | L.NE -> Some Ast.Ne
+    | L.LT -> Some Ast.Lt
+    | L.LE -> Some Ast.Le
+    | L.GT -> Some Ast.Gt
+    | L.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    Ast.Binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept st L.PLUS then lhs := Ast.Binop (Add, !lhs, parse_mul st)
+    else if accept st L.MINUS then lhs := Ast.Binop (Sub, !lhs, parse_mul st)
+    else continue_ := false
+  done;
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept st L.STAR then lhs := Ast.Binop (Mul, !lhs, parse_unary st)
+    else if accept st L.SLASH then lhs := Ast.Binop (Div, !lhs, parse_unary st)
+    else if accept_keyword st "mod" then
+      lhs := Ast.Binop (Mod, !lhs, parse_unary st)
+    else continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  if accept st L.MINUS then Ast.Unop (Neg, parse_unary st)
+  else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | L.INT n -> advance st; Ast.Int n
+  | L.FLOAT f -> advance st; Ast.Float f
+  | L.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st L.RPAREN;
+    e
+  | L.IDENT name -> (
+    advance st;
+    match st.params |> List.assoc_opt name with
+    | Some value -> Ast.Int value
+    | None ->
+      if peek st = L.LPAREN then begin
+        advance st;
+        let rec loop acc =
+          let e = parse_expr st in
+          if accept st L.COMMA then loop (e :: acc)
+          else begin
+            expect st L.RPAREN;
+            List.rev (e :: acc)
+          end
+        in
+        Ast.Ref (name, loop [])
+      end
+      else if List.mem name st.known_arrays then Ast.Ref (name, [])
+      else Ast.Var name)
+  | t -> fail st "expected an expression, found %s" (L.token_to_string t)
+
+(* Constant expression evaluation (array extents, PARAMETER values). *)
+let rec eval_const st : Ast.expr -> int = function
+  | Ast.Int n -> n
+  | Ast.Unop (Neg, e) -> -eval_const st e
+  | Ast.Binop (Add, a, b) -> eval_const st a + eval_const st b
+  | Ast.Binop (Sub, a, b) -> eval_const st a - eval_const st b
+  | Ast.Binop (Mul, a, b) -> eval_const st a * eval_const st b
+  | Ast.Binop (Div, a, b) -> eval_const st a / eval_const st b
+  | e ->
+    fail st "expected a constant expression, found %s"
+      (Fmt.str "%a" Pp_ast.pp_expr e)
+
+let parse_const st = eval_const st (parse_expr st)
+
+let parse_const_list st =
+  expect st L.LPAREN;
+  let rec loop acc =
+    let c = parse_const st in
+    if accept st L.COMMA then loop (c :: acc)
+    else begin
+      expect st L.RPAREN;
+      List.rev (c :: acc)
+    end
+  in
+  loop []
+
+(* --- align / distribute specs ------------------------------------------ *)
+
+(* Linearize an align subscript expression into stride * dummy + offset. *)
+let linearize st dummies e : Ast.align_sub =
+  let rec lin = function
+    | Ast.Int c -> (0, None, c)
+    | Ast.Var v -> (
+      match List.assoc_opt v dummies with
+      | Some d -> (1, Some d, 0)
+      | None -> fail st "unknown align dummy %S" v)
+    | Ast.Unop (Neg, e) ->
+      let s, d, o = lin e in
+      (-s, d, -o)
+    | Ast.Binop (Add, a, b) -> combine (lin a) (lin b) 1
+    | Ast.Binop (Sub, a, b) -> combine (lin a) (lin b) (-1)
+    | Ast.Binop (Mul, a, b) -> (
+      match (lin a, lin b) with
+      | (0, None, c), (s, d, o) | (s, d, o), (0, None, c) ->
+        (c * s, d, c * o)
+      | _ -> fail st "nonlinear align subscript")
+    | e ->
+      fail st "unsupported align subscript %s" (Fmt.str "%a" Pp_ast.pp_expr e)
+  and combine (s1, d1, o1) (s2, d2, o2) sign =
+    let d =
+      match (d1, d2) with
+      | d, None | None, d -> d
+      | Some a, Some b when a = b -> Some a
+      | Some _, Some _ -> fail st "align subscript uses two dummies"
+    in
+    ((s1 + (sign * s2)), d, o1 + (sign * o2))
+  in
+  match lin e with
+  | 0, None, c -> Ast.Sconst c
+  | _, None, _ -> fail st "align subscript has a stride but no dummy"
+  | s, Some d, o ->
+    if s = 0 then Ast.Sconst o else Ast.Svar { dummy = d; stride = s; offset = o }
+
+(* `A(i, j) with T(j, i+1)` or shorthand `A with T`; [rank_of] resolves the
+   declared rank for the shorthand. *)
+let parse_align_spec st ~rank_of =
+  let array = expect_ident st in
+  let dummies =
+    if peek st = L.LPAREN then begin
+      advance st;
+      let rec loop acc pos =
+        let name = expect_ident st in
+        let acc = (name, pos) :: acc in
+        if accept st L.COMMA then loop acc (pos + 1)
+        else begin
+          expect st L.RPAREN;
+          List.rev acc
+        end
+      in
+      loop [] 0
+    end
+    else []
+  in
+  expect_keyword st "with";
+  let target = expect_ident st in
+  if peek st <> L.LPAREN then begin
+    (* shorthand: identity alignment *)
+    if dummies <> [] then fail st "align: target %s needs subscripts" target;
+    (array, Ast.align_identity ~rank:(rank_of array) ~target)
+  end
+  else begin
+    advance st;
+    let rec loop acc =
+      let sub =
+        if peek st = L.STAR then (advance st; Ast.Sstar)
+        else linearize st dummies (parse_expr st)
+      in
+      if accept st L.COMMA then loop (sub :: acc)
+      else begin
+        expect st L.RPAREN;
+        List.rev (sub :: acc)
+      end
+    in
+    let subs = loop [] in
+    let rank = if dummies = [] then rank_of array else List.length dummies in
+    (array, { Ast.al_rank = rank; al_target = target; al_subs = subs })
+  end
+
+let parse_dist_format st : Hpfc_mapping.Dist.format =
+  if accept st L.STAR then Hpfc_mapping.Dist.star
+  else if accept_keyword st "block" then
+    if peek st = L.LPAREN then begin
+      advance st;
+      let k = parse_const st in
+      expect st L.RPAREN;
+      Hpfc_mapping.Dist.block_sized k
+    end
+    else Hpfc_mapping.Dist.block
+  else if accept_keyword st "cyclic" then
+    if peek st = L.LPAREN then begin
+      advance st;
+      let k = parse_const st in
+      expect st L.RPAREN;
+      Hpfc_mapping.Dist.cyclic_sized k
+    end
+    else Hpfc_mapping.Dist.cyclic
+  else fail st "expected a distribution format (block/cyclic/*)"
+
+let parse_dist_spec st =
+  let target = expect_ident st in
+  expect st L.LPAREN;
+  let rec loop acc =
+    let f = parse_dist_format st in
+    if accept st L.COMMA then loop (f :: acc)
+    else begin
+      expect st L.RPAREN;
+      List.rev (f :: acc)
+    end
+  in
+  let formats = loop [] in
+  let onto = if accept_keyword st "onto" then Some (expect_ident st) else None in
+  (target, { Ast.di_formats = formats; di_onto = onto })
+
+(* --- declarations ------------------------------------------------------ *)
+
+type decl_acc = {
+  mutable d_arrays : (string * int list) list;
+  mutable d_dynamic : string list;
+  mutable d_intents : (string * Ast.intent) list;
+  mutable d_scalars : Ast.scalar_decl list;
+  mutable d_templates : (string * int list) list;
+  mutable d_processors : (string * int list) list;
+  mutable d_aligns : (string * Ast.align_spec) list;
+  mutable d_distributes : (string * Ast.dist_spec) list;
+  mutable d_interfaces : Ast.iface_routine list;
+}
+
+let empty_acc () =
+  {
+    d_arrays = [];
+    d_dynamic = [];
+    d_intents = [];
+    d_scalars = [];
+    d_templates = [];
+    d_processors = [];
+    d_aligns = [];
+    d_distributes = [];
+    d_interfaces = [];
+  }
+
+let rank_of_acc st acc name =
+  match List.assoc_opt name acc.d_arrays with
+  | Some extents -> List.length extents
+  | None -> fail st "array %s not declared" name
+
+(* `real A(n, n), B(n)` or `real x, y` or `integer i` *)
+let parse_type_decl st acc ty =
+  let rec loop () =
+    let name = expect_ident st in
+    if peek st = L.LPAREN then begin
+      if ty = Ast.Tint then fail st "integer arrays are not supported";
+      let extents = parse_const_list st in
+      acc.d_arrays <- acc.d_arrays @ [ (name, extents) ];
+      st.known_arrays <- name :: st.known_arrays
+    end
+    else acc.d_scalars <- acc.d_scalars @ [ { Ast.s_name = name; s_type = ty } ];
+    if accept st L.COMMA then loop ()
+  in
+  loop ();
+  end_of_line st
+
+let parse_intent_decl st acc =
+  expect st L.LPAREN;
+  let intent =
+    if accept_keyword st "inout" then Ast.Inout
+    else if accept_keyword st "in" then Ast.In
+    else if accept_keyword st "out" then Ast.Out
+    else fail st "expected in/out/inout"
+  in
+  expect st L.RPAREN;
+  let rec loop () =
+    let name = expect_ident st in
+    acc.d_intents <- (name, intent) :: acc.d_intents;
+    if accept st L.COMMA then loop ()
+  in
+  loop ();
+  end_of_line st
+
+let parse_parameter_decl st =
+  expect st L.LPAREN;
+  let rec loop () =
+    let name = expect_ident st in
+    expect st L.ASSIGN;
+    let value = parse_const st in
+    st.params <- (name, value) :: st.params;
+    if accept st L.COMMA then loop ()
+  in
+  loop ();
+  expect st L.RPAREN;
+  end_of_line st
+
+(* Parse one declaration directive after !hpf$.  Returns false when the
+   directive keyword starts the body (realign/redistribute/kill). *)
+let parse_decl_directive st acc =
+  if accept_keyword st "processors" then begin
+    let name = expect_ident st in
+    let shape = parse_const_list st in
+    acc.d_processors <- acc.d_processors @ [ (name, shape) ];
+    end_of_line st;
+    true
+  end
+  else if accept_keyword st "template" then begin
+    let name = expect_ident st in
+    let shape = parse_const_list st in
+    acc.d_templates <- acc.d_templates @ [ (name, shape) ];
+    end_of_line st;
+    true
+  end
+  else if accept_keyword st "dynamic" then begin
+    let rec loop () =
+      acc.d_dynamic <- expect_ident st :: acc.d_dynamic;
+      if accept st L.COMMA then loop ()
+    in
+    loop ();
+    end_of_line st;
+    true
+  end
+  else if accept_keyword st "inherit" then
+    (* HPF's transcriptive mappings: forbidden by language restriction 3 —
+       the caller could not know the dummy's mapping statically *)
+    fail_kind st Hpfc_base.Error.Transcriptive_mapping
+      "INHERIT (transcriptive dummy mappings) is not supported; give the \
+       dummy an explicit mapping in the interface"
+  else if accept_keyword st "align" then begin
+    let array, spec = parse_align_spec st ~rank_of:(rank_of_acc st acc) in
+    acc.d_aligns <- acc.d_aligns @ [ (array, spec) ];
+    end_of_line st;
+    true
+  end
+  else if accept_keyword st "distribute" then begin
+    let target, spec = parse_dist_spec st in
+    acc.d_distributes <- acc.d_distributes @ [ (target, spec) ];
+    end_of_line st;
+    true
+  end
+  else false
+
+let finalize_arrays acc : Ast.array_decl list =
+  List.map
+    (fun (name, extents) ->
+      {
+        Ast.a_name = name;
+        a_extents = extents;
+        a_dynamic = List.mem name acc.d_dynamic;
+        a_intent = List.assoc_opt name acc.d_intents;
+      })
+    acc.d_arrays
+
+(* --- statements -------------------------------------------------------- *)
+
+let stmt k : Ast.stmt = { sid = 0; skind = k }
+
+let rec parse_stmt st acc : Ast.stmt =
+  if peek_keyword st "if" then parse_if st acc
+  else if peek_keyword st "do" then parse_do st acc
+  else if peek_keyword st "call" then begin
+    advance st;
+    let callee = expect_ident st in
+    expect st L.LPAREN;
+    let rec loop args =
+      let a = expect_ident st in
+      if accept st L.COMMA then loop (a :: args)
+      else begin
+        expect st L.RPAREN;
+        List.rev (a :: args)
+      end
+    in
+    let args = loop [] in
+    end_of_line st;
+    stmt (Ast.Call { callee; args })
+  end
+  else if peek st = L.DIRECTIVE then begin
+    advance st;
+    if accept_keyword st "realign" then begin
+      let array, spec = parse_align_spec st ~rank_of:(rank_of_acc st acc) in
+      end_of_line st;
+      stmt (Ast.Realign { array; spec })
+    end
+    else if accept_keyword st "redistribute" then begin
+      let target, spec = parse_dist_spec st in
+      end_of_line st;
+      stmt (Ast.Redistribute { target; spec })
+    end
+    else if accept_keyword st "kill" then begin
+      let array = expect_ident st in
+      end_of_line st;
+      stmt (Ast.Kill array)
+    end
+    else fail st "unexpected directive in routine body"
+  end
+  else begin
+    (* assignment *)
+    let name = expect_ident st in
+    if peek st = L.LPAREN then begin
+      advance st;
+      let rec loop acc_idx =
+        let e = parse_expr st in
+        if accept st L.COMMA then loop (e :: acc_idx)
+        else begin
+          expect st L.RPAREN;
+          List.rev (e :: acc_idx)
+        end
+      in
+      let indices = loop [] in
+      expect st L.ASSIGN;
+      let rhs = parse_expr st in
+      end_of_line st;
+      stmt (Ast.Assign { array = name; indices; rhs })
+    end
+    else begin
+      expect st L.ASSIGN;
+      let rhs = parse_expr st in
+      end_of_line st;
+      if List.mem name st.known_arrays then
+        stmt (Ast.Full_assign { array = name; rhs })
+      else stmt (Ast.Scalar_assign (name, rhs))
+    end
+  end
+
+and parse_if st acc =
+  expect_keyword st "if";
+  expect st L.LPAREN;
+  let cond = parse_expr st in
+  expect st L.RPAREN;
+  expect_keyword st "then";
+  end_of_line st;
+  let then_ = parse_block st acc in
+  let else_ =
+    if accept_keyword st "else" then begin
+      end_of_line st;
+      parse_block st acc
+    end
+    else []
+  in
+  expect_keyword st "endif";
+  end_of_line st;
+  stmt (Ast.If (cond, then_, else_))
+
+and parse_do st acc =
+  expect_keyword st "do";
+  let index = expect_ident st in
+  expect st L.ASSIGN;
+  let lo = parse_expr st in
+  expect st L.COMMA;
+  let hi = parse_expr st in
+  end_of_line st;
+  let body = parse_block st acc in
+  expect_keyword st "enddo";
+  end_of_line st;
+  stmt (Ast.Do { index; lo; hi; body })
+
+and parse_block st acc : Ast.block =
+  let stmts = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    skip_newlines st;
+    if
+      peek_keyword st "endif" || peek_keyword st "else"
+      || peek_keyword st "enddo" || peek_keyword st "end"
+    then continue_ := false
+    else stmts := parse_stmt st acc :: !stmts
+  done;
+  List.rev !stmts
+
+(* --- interfaces and routines ------------------------------------------- *)
+
+let parse_header st =
+  expect_keyword st "subroutine";
+  let name = expect_ident st in
+  let args =
+    if peek st = L.LPAREN then begin
+      advance st;
+      if accept st L.RPAREN then []
+      else begin
+        let rec loop acc =
+          let a = expect_ident st in
+          if accept st L.COMMA then loop (a :: acc)
+          else begin
+            expect st L.RPAREN;
+            List.rev (a :: acc)
+          end
+        in
+        loop []
+      end
+    end
+    else []
+  in
+  end_of_line st;
+  (name, args)
+
+let parse_end_subroutine st =
+  expect_keyword st "end";
+  ignore (accept_keyword st "subroutine");
+  if peek st = L.NEWLINE then advance st
+
+(* Declaration section; returns when the body (or `end`) starts. *)
+let rec parse_decls st acc ~allow_interface =
+  let continue_ = ref true in
+  while !continue_ do
+    skip_newlines st;
+    if peek_keyword st "real" then begin
+      advance st;
+      parse_type_decl st acc Ast.Treal
+    end
+    else if peek_keyword st "integer" then begin
+      advance st;
+      parse_type_decl st acc Ast.Tint
+    end
+    else if peek_keyword st "intent" then begin
+      advance st;
+      parse_intent_decl st acc
+    end
+    else if peek_keyword st "parameter" then begin
+      advance st;
+      parse_parameter_decl st
+    end
+    else if allow_interface && peek_keyword st "interface" then begin
+      advance st;
+      end_of_line st;
+      parse_interfaces st acc
+    end
+    else if peek st = L.DIRECTIVE then begin
+      let saved = st.pos in
+      advance st;
+      if not (parse_decl_directive st acc) then begin
+        st.pos <- saved;
+        continue_ := false
+      end
+    end
+    else continue_ := false
+  done
+
+and parse_interfaces st acc =
+  let continue_ = ref true in
+  while !continue_ do
+    skip_newlines st;
+    if accept_keyword st "end" then begin
+      expect_keyword st "interface";
+      end_of_line st;
+      continue_ := false
+    end
+    else begin
+      let name, args = parse_header st in
+      let iacc = empty_acc () in
+      parse_decls st iacc ~allow_interface:false;
+      skip_newlines st;
+      parse_end_subroutine st;
+      acc.d_interfaces <-
+        acc.d_interfaces
+        @ [
+            {
+              Ast.if_name = name;
+              if_args = args;
+              if_arrays = finalize_arrays iacc;
+              if_templates = iacc.d_templates;
+              if_processors = iacc.d_processors;
+              if_aligns = iacc.d_aligns;
+              if_distributes = iacc.d_distributes;
+            };
+          ]
+    end
+  done
+
+let parse_routine st : Ast.routine =
+  skip_newlines st;
+  let name, args = parse_header st in
+  let acc = empty_acc () in
+  parse_decls st acc ~allow_interface:true;
+  let body = parse_block st acc in
+  parse_end_subroutine st;
+  let counter = ref 1 in
+  {
+    Ast.r_name = name;
+    r_args = args;
+    r_arrays = finalize_arrays acc;
+    r_scalars = acc.d_scalars;
+    r_templates = acc.d_templates;
+    r_processors = acc.d_processors;
+    r_aligns = acc.d_aligns;
+    r_distributes = acc.d_distributes;
+    r_interfaces = acc.d_interfaces;
+    r_body = Build.renumber_block counter body;
+  }
+
+let parse_program src : Ast.program =
+  let st = make_state src in
+  let routines = ref [] in
+  skip_newlines st;
+  while peek st <> L.EOF do
+    (* each routine starts with fresh params/array scope *)
+    st.params <- [];
+    st.known_arrays <- [];
+    routines := parse_routine st :: !routines;
+    skip_newlines st
+  done;
+  { Ast.routines = List.rev !routines }
+
+let parse_routine_string src =
+  match (parse_program src).routines with
+  | [ r ] -> r
+  | rs ->
+    Hpfc_base.Error.fail Parse_error "expected exactly one routine, found %d"
+      (List.length rs)

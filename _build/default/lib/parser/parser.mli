@@ -1,0 +1,13 @@
+(** Recursive-descent parser for mini-HPF (see README for the grammar).
+    The language is 0-based, line-oriented and case-insensitive; PARAMETER
+    constants are substituted during parsing; statement ids are assigned
+    in source order. *)
+
+(** Parse a whole source file (one or more subroutines).
+    @raise Hpfc_base.Error.Hpf_error with [Parse_error] and a line
+    number. *)
+val parse_program : string -> Hpfc_lang.Ast.program
+
+(** Parse a source containing exactly one subroutine.
+    @raise Hpfc_base.Error.Hpf_error otherwise. *)
+val parse_routine_string : string -> Hpfc_lang.Ast.routine

@@ -1,0 +1,1 @@
+lib/remap/construct.ml: Array Ast Env Graph Hashtbl Hpfc_base Hpfc_cfg Hpfc_dataflow Hpfc_effects Hpfc_lang Hpfc_mapping List Option Propagate State Version

@@ -1,0 +1,1 @@
+lib/remap/construct.mli: Graph Hpfc_lang Hpfc_mapping

@@ -1,0 +1,1 @@
+lib/remap/graph.ml: Fmt Hashtbl Hpfc_base Hpfc_cfg Hpfc_effects Hpfc_lang List Propagate String Version

@@ -1,0 +1,1 @@
+lib/remap/graph.mli: Format Hashtbl Hpfc_cfg Hpfc_effects Hpfc_lang Propagate Version

@@ -1,0 +1,1 @@
+lib/remap/propagate.ml: Array Ast Env Fmt Hpfc_base Hpfc_cfg Hpfc_dataflow Hpfc_lang Hpfc_mapping List State

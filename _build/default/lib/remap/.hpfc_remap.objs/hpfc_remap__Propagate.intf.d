@@ -1,0 +1,1 @@
+lib/remap/propagate.mli: Hpfc_cfg Hpfc_lang Hpfc_mapping State

@@ -1,0 +1,1 @@
+lib/remap/state.ml: Array Dist Fmt Hpfc_base Hpfc_dataflow Hpfc_mapping List Mapping Option Procs

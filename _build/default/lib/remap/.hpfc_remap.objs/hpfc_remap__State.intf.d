@@ -1,0 +1,1 @@
+lib/remap/state.mli: Format Hpfc_dataflow Hpfc_mapping

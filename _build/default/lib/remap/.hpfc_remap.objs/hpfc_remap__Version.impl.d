@@ -1,0 +1,1 @@
+lib/remap/version.ml: Fmt Hashtbl Hpfc_mapping Layout List Mapping

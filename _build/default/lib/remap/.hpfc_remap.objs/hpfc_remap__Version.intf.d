@@ -1,0 +1,1 @@
+lib/remap/version.mli: Format Hpfc_mapping

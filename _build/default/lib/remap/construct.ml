@@ -1,0 +1,369 @@
+(* Remapping-graph construction (Appendix B).
+
+   Pipeline:
+     1. forward propagation of mappings (Propagate);
+     2. vertex labelling: which arrays are remapped where, with reaching
+        and leaving mappings, registered as numbered copies;
+     3. reference checking and tagging: every array reference must see a
+        single (layout-)unambiguous mapping — the language restriction of
+        Sec. 2.1, rejecting Fig. 5 but accepting Fig. 6;
+     4. use summarization: backward first-effect analysis giving U_A(v);
+     5. RemappedAfter: backward analysis giving the contracted edges. *)
+
+open Hpfc_lang
+module Cfg = Hpfc_cfg.Cfg
+module Use_info = Hpfc_effects.Use_info
+module Effects = Hpfc_effects.Effects
+module Solver = Hpfc_dataflow.Solver
+
+(* Mapping-set inequality = the array is remapped at this vertex. *)
+let mapping_sets_differ ms1 ms2 =
+  not
+    (Hpfc_base.Util.list_equal_as_sets Hpfc_mapping.Mapping.equal ms1 ms2)
+
+type raw_label = {
+  rl_reaching : Hpfc_mapping.Mapping.t list;
+  rl_leaving : Hpfc_mapping.Mapping.t list;
+  rl_restore : bool;
+  (* reaching -> leaving mapping pairs when impact is a function of the
+     reaching mapping (REDISTRIBUTE); None otherwise *)
+  rl_transitions : (Hpfc_mapping.Mapping.t * Hpfc_mapping.Mapping.t) list option;
+}
+
+(* Labels of one CFG vertex, or [] when it does not belong to G_R. *)
+let raw_labels env (prop : Propagate.result) (cfg : Cfg.t) vid :
+    (string * raw_label) list =
+  let state_in = prop.state_in.(vid) and state_out = prop.state_out.(vid) in
+  let args, locals =
+    List.partition
+      (fun (i : Env.array_info) -> i.ai_intent <> None)
+      (Env.arrays env)
+  in
+  let name (i : Env.array_info) = i.ai_name in
+  match (Cfg.vertex cfg vid).kind with
+  | Cfg.V_call_context ->
+    List.map
+      (fun a ->
+        ( name a,
+          {
+            rl_reaching = [];
+            rl_leaving = [ Env.initial_mapping env (name a) ];
+            rl_restore = false;
+            rl_transitions = None;
+          } ))
+      args
+  | Cfg.V_entry ->
+    List.map
+      (fun a ->
+        ( name a,
+          {
+            rl_reaching = [];
+            rl_leaving = [ Env.initial_mapping env (name a) ];
+            rl_restore = false;
+            rl_transitions = None;
+          } ))
+      locals
+  | Cfg.V_exit ->
+    (* arguments must be restored to their dummy mapping for the caller;
+       locals just die *)
+    List.map
+      (fun (a : Env.array_info) ->
+        ( a.ai_name,
+          {
+            rl_reaching = State.mappings state_in a.ai_name;
+            rl_leaving =
+              (if a.ai_intent <> None then
+                 [ Env.initial_mapping env a.ai_name ]
+               else []);
+            rl_restore = false;
+            rl_transitions = None;
+          } ))
+      (args @ locals)
+  | Cfg.V_stmt { skind = Ast.Realign _; _ } ->
+    List.filter_map
+      (fun (a : Env.array_info) ->
+        let before = State.mappings state_in a.ai_name in
+        let after = State.mappings state_out a.ai_name in
+        if before <> [] && mapping_sets_differ before after then
+          Some
+            ( a.ai_name,
+              {
+                rl_reaching = before;
+                rl_leaving = after;
+                rl_restore = false;
+                (* a REALIGN's result depends on the target's current
+                   state, not the array's own reaching mapping: no
+                   reaching -> leaving function exists in general *)
+                rl_transitions = None;
+              } )
+        else None)
+      (args @ locals)
+  | Cfg.V_stmt { skind = Ast.Redistribute { target; spec }; _ } ->
+    (* impact as a function of the reaching mapping (Fig. 21 support:
+       per-leaving reaching sets) *)
+    let formats, procs = Env.resolve_dist env spec in
+    let tnames = Propagate.redistribute_targets env state_in target in
+    let impact (m : Hpfc_mapping.Mapping.t) =
+      if List.mem m.template.Hpfc_mapping.Template.name tnames then
+        Hpfc_mapping.Mapping.redistribute m ~dist:formats ~procs
+      else m
+    in
+    List.filter_map
+      (fun (a : Env.array_info) ->
+        let before = State.mappings state_in a.ai_name in
+        let after = State.mappings state_out a.ai_name in
+        if before <> [] && mapping_sets_differ before after then
+          Some
+            ( a.ai_name,
+              {
+                rl_reaching = before;
+                rl_leaving = after;
+                rl_restore = false;
+                rl_transitions = Some (List.map (fun m -> (m, impact m)) before);
+              } )
+        else None)
+      (args @ locals)
+  | Cfg.V_call_before { skind = Ast.Call { callee; args = cargs }; _ } ->
+    Propagate.call_bindings env callee cargs
+    |> List.filter_map (fun (actual, (_, _, dmapping)) ->
+         let before = State.mappings state_in actual in
+         if mapping_sets_differ before [ dmapping ] then
+           Some
+             ( actual,
+               {
+                 rl_reaching = before;
+                 rl_leaving = [ dmapping ];
+                 rl_restore = false;
+                 rl_transitions = None;
+               } )
+         else None)
+  | Cfg.V_call_after { skind = Ast.Call { callee; args = cargs }; sid; _ } ->
+    Propagate.call_bindings env callee cargs
+    |> List.filter_map (fun (actual, (_, _, dmapping)) ->
+         let saved = State.mappings state_in (State.save_key sid actual) in
+         if mapping_sets_differ [ dmapping ] saved then
+           Some
+             ( actual,
+               {
+                 rl_reaching = [ dmapping ];
+                 rl_leaving = saved;
+                 rl_restore = List.length saved > 1;
+                 rl_transitions = None;
+               } )
+         else None)
+  | Cfg.V_call_before _ | Cfg.V_call_after _ -> assert false
+  | Cfg.V_stmt _ | Cfg.V_branch _ | Cfg.V_loop_head _ -> []
+
+(* --- use summarization -------------------------------------------------- *)
+
+let effect_lattice : Effects.effect_map Solver.lattice =
+  { bottom = []; equal = Effects.equal_maps; join = Effects.join_maps }
+
+(* Backward analysis summarizing the effects on each array from a vertex up
+   to (not through) the next remapping of that array.  Effects combine by
+   join = max in N<D<R<W — the paper's "qualifiers supersede one another in
+   the given order" — so the value at a vertex's "in" (in backward
+   orientation, i.e. *after* the vertex) is U_A(v). *)
+let compute_use env cfg ~(remapped : int -> string list) =
+  let proper =
+    Array.init (Cfg.nb_vertices cfg) (fun vid ->
+        Effects.of_vertex env (Cfg.vertex cfg vid).kind)
+  in
+  let transfer vid after =
+    (* join first, then cut at the remapping barrier: the exit vertex both
+       remaps (back to the dummy mapping) and uses (export) its arguments,
+       and the export effect concerns the copy leaving v_e, which must not
+       flow to predecessors *)
+    Effects.join_maps after proper.(vid)
+    |> List.filter (fun (a, _) -> not (List.mem a (remapped vid)))
+  in
+  let graph =
+    {
+      Solver.nb_vertices = Cfg.nb_vertices cfg;
+      succs = Cfg.succs cfg;
+      preds = Cfg.preds cfg;
+    }
+  in
+  Solver.solve ~direction:Solver.Backward ~graph ~lattice:effect_lattice
+    ~init:(fun _ -> [])
+    ~transfer
+
+(* --- RemappedAfter ------------------------------------------------------ *)
+
+let compute_remapped_after cfg ~(remapped : int -> string list) =
+  let lattice = Solver.list_set_lattice (fun (a, v) (b, w) -> a = b && v = w) in
+  let transfer vid after =
+    let rm = remapped vid in
+    let after = List.filter (fun (a, _) -> not (List.mem a rm)) after in
+    List.map (fun a -> (a, vid)) rm @ after
+  in
+  let graph =
+    {
+      Solver.nb_vertices = Cfg.nb_vertices cfg;
+      succs = Cfg.succs cfg;
+      preds = Cfg.preds cfg;
+    }
+  in
+  Solver.solve ~direction:Solver.Backward ~graph ~lattice
+    ~init:(fun _ -> [])
+    ~transfer
+
+(* --- assembly ------------------------------------------------------------ *)
+
+let build ?default_nprocs (r : Ast.routine) : Graph.t =
+  let env = Env.of_routine ?default_nprocs r in
+  let cfg = Cfg.of_routine r in
+  let prop = Propagate.run env cfg in
+  let registry =
+    Version.create ~extents_of:(fun a -> (Env.array_info env a).ai_extents)
+  in
+  (* version 0 = initial mapping, in declaration order (arguments first) *)
+  let args, locals =
+    List.partition
+      (fun (i : Env.array_info) -> i.ai_intent <> None)
+      (Env.arrays env)
+  in
+  List.iter
+    (fun (i : Env.array_info) ->
+      ignore (Version.of_mapping registry i.ai_name (Env.initial_mapping env i.ai_name)))
+    (args @ locals);
+  (* raw labels in reverse postorder so leaving copies get stable numbers *)
+  let rpo = Cfg.reverse_postorder cfg in
+  let raw = Hashtbl.create 16 in
+  List.iter
+    (fun vid ->
+      match raw_labels env prop cfg vid with
+      | [] -> ()
+      | labels ->
+        List.iter
+          (fun (a, rl) ->
+            List.iter
+              (fun m -> ignore (Version.of_mapping registry a m))
+              rl.rl_leaving)
+          labels;
+        Hashtbl.add raw vid labels)
+    rpo;
+  let remapped vid =
+    match Hashtbl.find_opt raw vid with
+    | None -> []
+    | Some labels -> List.map fst labels
+  in
+  (* use info *)
+  let use_solution = compute_use env cfg ~remapped in
+  let use_of vid a =
+    match (Cfg.vertex cfg vid).kind with
+    | Cfg.V_call_context -> (
+      (* prescribed by Fig. 22 *)
+      match (Env.array_info env a).ai_intent with
+      | Some (Ast.In | Ast.Inout) -> Use_info.D
+      | Some Ast.Out -> Use_info.N
+      | None -> Use_info.N)
+    | Cfg.V_exit ->
+      (* the export effect applies to the copy leaving v_e itself *)
+      Effects.find (Effects.of_vertex env Cfg.V_exit) a
+    | _ -> Effects.find use_solution.Solver.value_in.(vid) a
+  in
+  (* convert to version-numbered labels *)
+  let infos = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun vid labels ->
+      let labels =
+        List.map
+          (fun (a, rl) ->
+            let to_versions ms =
+              Hpfc_base.Util.dedup_stable ( = )
+                (List.map (Version.of_mapping registry a) ms)
+            in
+            let transitions =
+              match rl.rl_transitions with
+              | Some pairs when List.length (to_versions rl.rl_leaving) > 1 ->
+                Some
+                  (List.map
+                     (fun (src, dst) ->
+                       ( Version.of_mapping registry a src,
+                         Version.of_mapping registry a dst ))
+                     pairs)
+              | Some _ | None -> None
+            in
+            ( a,
+              {
+                Graph.reaching = to_versions rl.rl_reaching;
+                leaving = to_versions rl.rl_leaving;
+                use = use_of vid a;
+                restore = rl.rl_restore;
+                transitions;
+              } ))
+          labels
+      in
+      Hashtbl.add infos vid
+        { Graph.vid; vkind = (Cfg.vertex cfg vid).kind; labels })
+    raw;
+  (* edges *)
+  let ra = compute_remapped_after cfg ~remapped in
+  let edges = ref [] in
+  Hashtbl.iter
+    (fun vid (i : Graph.vertex_info) ->
+      let here = List.map fst i.labels in
+      let after = ra.Solver.value_in.(vid) in
+      let grouped = Hashtbl.create 4 in
+      List.iter
+        (fun (a, v') ->
+          if List.mem a here then
+            Hashtbl.replace grouped v'
+              (a :: Option.value (Hashtbl.find_opt grouped v') ~default:[]))
+        after;
+      Hashtbl.iter (fun v' arrays -> edges := (vid, v', List.rev arrays) :: !edges) grouped)
+    infos;
+  (* intent(in) dummies must not be written: their copy belongs to the
+     caller and is shared read-only (the basis of the live-copy argument
+     convention) *)
+  Array.iter
+    (fun (v : Cfg.vertex) ->
+      match v.Cfg.kind with
+      | Cfg.V_call_context | Cfg.V_exit ->
+        ()  (* their effects model the caller's import/export *)
+      | _ ->
+        List.iter
+          (fun (a, u) ->
+            match (Env.array_info env a).Env.ai_intent with
+            | Some Ast.In when u = Use_info.W || u = Use_info.D ->
+              Hpfc_base.Error.fail Invalid_directive
+                "intent(in) argument %s is written at %s" a
+                (Cfg.kind_to_string v.Cfg.kind)
+            | _ -> ())
+          (Effects.of_vertex env v.Cfg.kind))
+    cfg.Cfg.vertices;
+  (* reference checking and tagging *)
+  let refs = Hashtbl.create 64 in
+  Array.iter
+    (fun (v : Cfg.vertex) ->
+      (* G_R vertices reference nothing themselves: remapping statements
+         have no proper effects, v_c's import and v_e's export effects model
+         the caller and apply to the unique initial mapping. *)
+      if not (Hashtbl.mem infos v.vid) then begin
+        let proper = Effects.of_vertex env v.kind in
+        List.iter
+          (fun (a, u) ->
+            if u <> Use_info.N then begin
+              let ms = State.mappings prop.state_in.(v.vid) a in
+              let versions =
+                Hpfc_base.Util.dedup_stable ( = )
+                  (List.map (Version.of_mapping registry a) ms)
+              in
+              match versions with
+              | [ v' ] -> Hashtbl.replace refs (v.vid, a) v'
+              | [] ->
+                Hpfc_base.Error.fail Unknown_entity
+                  "reference to unmapped array %s at %s" a
+                  (Cfg.kind_to_string v.kind)
+              | _ :: _ :: _ ->
+                Hpfc_base.Error.fail Ambiguous_mapping
+                  "array %s is referenced at %s under %d possible mappings"
+                  a
+                  (Cfg.kind_to_string v.kind)
+                  (List.length versions)
+            end)
+          proper
+      end)
+    cfg.Cfg.vertices;
+  { Graph.cfg; env; registry; infos; edges = !edges; refs; prop }

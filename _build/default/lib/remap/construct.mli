@@ -1,0 +1,14 @@
+(** Remapping-graph construction (Appendix B): forward mapping
+    propagation, vertex labelling with numbered copies, reference checking
+    and tagging (rejecting Fig. 5, accepting Fig. 6), use summarization,
+    and the RemappedAfter contraction giving the edges. *)
+
+(** Mapping-set inequality — the array is remapped at this vertex. *)
+val mapping_sets_differ :
+  Hpfc_mapping.Mapping.t list -> Hpfc_mapping.Mapping.t list -> bool
+
+(** Build G_R for one routine.  [default_nprocs] (default 4) sizes the
+    default grid when the routine declares none.
+    @raise Hpfc_base.Error.Hpf_error on language-restriction violations
+    (ambiguous references, missing interfaces, rank mismatches, ...). *)
+val build : ?default_nprocs:int -> Hpfc_lang.Ast.routine -> Graph.t

@@ -1,0 +1,147 @@
+(* The remapping graph G_R (Sec. 3, Appendix A): a contracted control-flow
+   graph whose vertices are the remapping statements plus the call-context,
+   entry, and exit vertices.  Each vertex is labelled per remapped array
+   with its reaching copies R_A(v), leaving copy L_A(v), and use qualifier
+   U_A(v); each edge carries the arrays remapped at its sink when coming
+   from its source. *)
+
+module Cfg = Hpfc_cfg.Cfg
+module Use_info = Hpfc_effects.Use_info
+
+type label = {
+  mutable reaching : int list;  (* R_A(v): version ids *)
+  mutable leaving : int list;
+      (* L_A(v): singleton normally; [] once removed (or at the exit vertex
+         for locals); several = Fig. 21 / flow-dependent restore *)
+  mutable use : Use_info.t;  (* U_A(v) *)
+  restore : bool;  (* call-after vertex restoring a flow-dependent mapping *)
+  transitions : (int * int) list option;
+      (* Fig. 21 ("distinct reaching copy sets must be associated to each
+         possible leaving copy"): the reaching -> leaving version map when
+         several mappings leave and the impact is a function of the
+         reaching mapping (REDISTRIBUTE); None when single-leaving, at
+         restore vertices, or underivable (ambiguous REALIGN target) *)
+}
+
+type vertex_info = {
+  vid : int;  (* cfg vertex id *)
+  vkind : Cfg.vkind;
+  mutable labels : (string * label) list;  (* S(v) *)
+}
+
+type t = {
+  cfg : Cfg.t;
+  env : Hpfc_lang.Env.t;
+  registry : Version.registry;
+  infos : (int, vertex_info) Hashtbl.t;
+  mutable edges : (int * int * string list) list;
+  (* (cfg vid, array) -> version for every array reference *)
+  refs : (int * string, int) Hashtbl.t;
+  prop : Propagate.result;
+}
+
+let vertex_ids t =
+  Hashtbl.fold (fun vid _ acc -> vid :: acc) t.infos [] |> List.sort compare
+
+let info t vid = Hashtbl.find t.infos vid
+
+let info_opt t vid = Hashtbl.find_opt t.infos vid
+
+let label_opt t vid array =
+  match info_opt t vid with
+  | None -> None
+  | Some i -> List.assoc_opt array i.labels
+
+let arrays_at t vid = List.map fst (info t vid).labels
+
+(* Successor vertices for [array]: G_R edges from [vid] labelled with it. *)
+let succs_for t vid array =
+  List.filter_map
+    (fun (src, dst, arrays) ->
+      if src = vid && List.mem array arrays then Some dst else None)
+    t.edges
+
+let preds_for t vid array =
+  List.filter_map
+    (fun (src, dst, arrays) ->
+      if dst = vid && List.mem array arrays then Some src else None)
+    t.edges
+
+let nb_vertices t = Hashtbl.length t.infos
+
+let nb_edges t = List.length t.edges
+
+(* Total number of (vertex, array) remapping label entries with a leaving
+   copy — the count of remapping operations the generated code contains. *)
+let nb_remappings t =
+  Hashtbl.fold
+    (fun _ i acc ->
+      acc
+      + List.length
+          (List.filter
+             (fun ((_, l) : string * label) ->
+               l.leaving <> [] && not (i.vkind = Cfg.V_exit))
+             i.labels))
+    t.infos 0
+
+let vertex_name t vid =
+  match (info t vid).vkind with
+  | Cfg.V_call_context -> "C"
+  | Cfg.V_entry -> "0"
+  | Cfg.V_exit -> "E"
+  | k -> (
+    match Cfg.sid_of_kind k with
+    | Some sid -> string_of_int sid
+    | None -> string_of_int vid)
+
+let pp_label ppf ((array, l) : string * label) =
+  Fmt.pf ppf "%s {%a} -%a-> %a%s" array
+    (Hpfc_base.Util.pp_list Fmt.int)
+    l.reaching Use_info.pp l.use
+    (Hpfc_base.Util.pp_list Fmt.int)
+    l.leaving
+    (if l.restore then " (restore)" else "")
+
+let pp ppf t =
+  List.iter
+    (fun vid ->
+      let i = info t vid in
+      Fmt.pf ppf "vertex %s (%s):@." (vertex_name t vid)
+        (Cfg.kind_to_string i.vkind);
+      List.iter (fun l -> Fmt.pf ppf "  %a@." pp_label l) i.labels)
+    (vertex_ids t);
+  List.iter
+    (fun (src, dst, arrays) ->
+      Fmt.pf ppf "edge %s -> %s [%a]@." (vertex_name t src)
+        (vertex_name t dst)
+        (Hpfc_base.Util.pp_list Fmt.string)
+        arrays)
+    (List.sort compare t.edges)
+
+let to_string t = Fmt.str "%a" pp t
+
+(* Graphviz rendering of G_R: one node per vertex showing its labels, one
+   edge per (source, sink, arrays) triple. *)
+let pp_dot ppf t =
+  Fmt.pf ppf "digraph remapping_graph {@.";
+  Fmt.pf ppf "  node [shape=box, fontname=\"monospace\"];@.";
+  List.iter
+    (fun vid ->
+      let i = info t vid in
+      let labels =
+        String.concat "\\n"
+          (List.map
+             (fun l -> Fmt.str "%a" pp_label l)
+             i.labels)
+      in
+      Fmt.pf ppf "  v%d [label=\"%s\\n%s\"];@." vid (vertex_name t vid)
+        labels)
+    (vertex_ids t);
+  List.iter
+    (fun (src, dst, arrays) ->
+      Fmt.pf ppf "  v%d -> v%d [label=\"%s\"];@." src dst
+        (String.concat "," arrays))
+    (List.sort compare t.edges);
+  Fmt.pf ppf "}@."
+
+let to_dot t = Fmt.str "%a" pp_dot t

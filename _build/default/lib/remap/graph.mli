@@ -1,0 +1,71 @@
+(** The remapping graph G_R (Sec. 3, Appendix A): a contracted control-flow
+    graph whose vertices are the remapping statements plus the
+    call-context (v_c), entry (v_0) and exit (v_e) vertices.  Each vertex
+    is labelled per remapped array with its reaching copies R_A(v),
+    leaving copy L_A(v) and use qualifier U_A(v); each edge carries the
+    arrays remapped at its sink when coming from its source. *)
+
+module Cfg = Hpfc_cfg.Cfg
+module Use_info = Hpfc_effects.Use_info
+
+type label = {
+  mutable reaching : int list;  (** R_A(v): version ids *)
+  mutable leaving : int list;
+      (** L_A(v): singleton normally; [] once removed (or at the exit
+          vertex for locals); several at a Fig.-21 vertex or a
+          flow-dependent restore *)
+  mutable use : Use_info.t;  (** U_A(v) *)
+  restore : bool;  (** call-after vertex restoring a saved mapping *)
+  transitions : (int * int) list option;
+      (** reaching -> leaving version map at a Fig.-21 vertex (the paper's
+          per-leaving reaching sets); None when single-leaving, restore,
+          or underivable *)
+}
+
+type vertex_info = {
+  vid : int;  (** CFG vertex id *)
+  vkind : Cfg.vkind;
+  mutable labels : (string * label) list;  (** S(v) *)
+}
+
+type t = {
+  cfg : Cfg.t;
+  env : Hpfc_lang.Env.t;
+  registry : Version.registry;
+  infos : (int, vertex_info) Hashtbl.t;
+  mutable edges : (int * int * string list) list;
+  refs : (int * string, int) Hashtbl.t;
+      (** (CFG vertex id, array) -> version, for every array reference *)
+  prop : Propagate.result;
+}
+
+(** G_R vertex ids (CFG ids of remapping vertices), sorted. *)
+val vertex_ids : t -> int list
+
+val info : t -> int -> vertex_info
+val info_opt : t -> int -> vertex_info option
+val label_opt : t -> int -> string -> label option
+val arrays_at : t -> int -> string list
+
+(** G_R successors/predecessors of a vertex along edges labelled with an
+    array. *)
+val succs_for : t -> int -> string -> int list
+
+val preds_for : t -> int -> string -> int list
+val nb_vertices : t -> int
+val nb_edges : t -> int
+
+(** Count of (vertex, array) labels with a leaving copy (excluding v_e). *)
+val nb_remappings : t -> int
+
+(** Display name: "C", "0", "E", or the statement id. *)
+val vertex_name : t -> int -> string
+
+val pp_label : Format.formatter -> string * label -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Graphviz rendering. *)
+val pp_dot : Format.formatter -> t -> unit
+
+val to_dot : t -> string

@@ -1,0 +1,166 @@
+(* Forward may-dataflow propagating array mappings and template
+   distributions from the entry point (Appendix B).  The transfer function
+   is the paper's [impact]:
+
+   - REALIGN gives the array a new mapping resolved against the *current*
+     state of its target (template distribution, or another array's
+     mapping);
+   - REDISTRIBUTE rebinds the target template's distribution and updates
+     every mapping currently aligned with that template;
+   - a call-before vertex stashes the argument's reaching mappings under a
+     per-call save key and switches the argument to the callee's prescribed
+     dummy mapping; the call-after vertex pops the save and restores;
+   - every other vertex is the identity.
+
+   The worst case the paper bounds as O(n * s * m^2 * p^2) is irrelevant at
+   our scale; the generic worklist solver converges in a handful of
+   passes. *)
+
+open Hpfc_lang
+module Cfg = Hpfc_cfg.Cfg
+
+type result = {
+  state_in : State.t array;
+  state_out : State.t array;
+}
+
+(* All resolved REALIGN results for [array], one per current target
+   configuration (may-set).  Returns [] while the state has not been
+   populated yet (transfer functions must be total during the fixpoint: the
+   call-context vertex seeds every mapping, so at convergence the state is
+   never empty here). *)
+let resolve_realign env state ~array (spec : Ast.align_spec) :
+    Hpfc_mapping.Mapping.t list =
+  let target = spec.al_target in
+  if Env.is_template env target then
+    List.map
+      (fun td ->
+        let lookup n = if n = target then Some td else Env.initial_tdist env n in
+        Env.resolve_align env ~lookup_tdist:lookup ~array spec)
+      (State.tdists state target)
+  else if Env.is_array env target then
+    List.map
+      (fun bm ->
+        let lookup n =
+          if n = target then bm else Env.initial_mapping env n
+        in
+        Env.resolve_align env ~lookup_array_mapping:lookup ~array spec)
+      (State.mappings state target)
+  else Hpfc_base.Error.fail Unknown_entity "realign target %s" target
+
+(* Template names redistributed by `REDISTRIBUTE target(...)`; [] while the
+   state is still empty. *)
+let redistribute_targets env state target =
+  if Env.is_template env target then [ target ]
+  else if Env.is_array env target then
+    State.mappings state target
+    |> List.map (fun (m : Hpfc_mapping.Mapping.t) ->
+         m.template.Hpfc_mapping.Template.name)
+    |> Hpfc_base.Util.dedup_stable ( = )
+  else Hpfc_base.Error.fail Unknown_entity "redistribute target %s" target
+
+let array_args env (args : string list) = List.filter (Env.is_array env) args
+
+(* Pair actual array arguments with interface dummies. *)
+let call_bindings env callee args =
+  let iface = Env.iface_for_call env callee in
+  let actuals = array_args env args in
+  if List.length actuals <> List.length iface.Env.if_dummies then
+    Hpfc_base.Error.fail Rank_mismatch
+      "call %s: %d array arguments for %d dummies" callee
+      (List.length actuals)
+      (List.length iface.Env.if_dummies);
+  List.combine actuals iface.Env.if_dummies
+
+let transfer env (cfg : Cfg.t) vid (state : State.t) : State.t =
+  match (Cfg.vertex cfg vid).kind with
+  | Cfg.V_call_context ->
+    (* arguments and every declared template distribution *)
+    let state =
+      List.fold_left
+        (fun st (info : Env.array_info) ->
+          if info.ai_intent <> None then
+            State.set_mappings st info.ai_name
+              [ Env.initial_mapping env info.ai_name ]
+          else st)
+        state (Env.arrays env)
+    in
+    Env.SMap.fold
+      (fun name _ st ->
+        match Env.initial_tdist env name with
+        | Some td -> State.set_tdists st name [ td ]
+        | None -> st)
+      env.Env.templates state
+  | Cfg.V_entry ->
+    List.fold_left
+      (fun st (info : Env.array_info) ->
+        if info.ai_intent = None then
+          State.set_mappings st info.ai_name
+            [ Env.initial_mapping env info.ai_name ]
+        else st)
+      state (Env.arrays env)
+  | Cfg.V_stmt { skind = Ast.Realign { array; spec }; _ } -> (
+    match resolve_realign env state ~array spec with
+    | [] -> state
+    | ms -> State.set_mappings state array ms)
+  | Cfg.V_stmt { skind = Ast.Redistribute { target; spec }; _ } ->
+    let formats, procs = Env.resolve_dist env spec in
+    let tnames = redistribute_targets env state target in
+    let state =
+      List.fold_left
+        (fun st t -> State.set_tdists st t [ (formats, procs) ])
+        state tnames
+    in
+    State.map_mappings state (fun _array (m : Hpfc_mapping.Mapping.t) ->
+        if List.mem m.template.Hpfc_mapping.Template.name tnames then
+          Hpfc_mapping.Mapping.redistribute m ~dist:formats ~procs
+        else m)
+  | Cfg.V_call_before ({ skind = Ast.Call { callee; args }; sid; _ } : Ast.stmt)
+    ->
+    List.fold_left
+      (fun st (actual, (_, (dinfo : Env.array_info), dmapping)) ->
+        let ainfo = Env.array_info env actual in
+        if ainfo.ai_extents <> dinfo.ai_extents then
+          Hpfc_base.Error.fail Rank_mismatch
+            "call %s: argument %s has shape (%a), dummy expects (%a)" callee
+            actual
+            (Hpfc_base.Util.pp_list Fmt.int)
+            (Array.to_list ainfo.ai_extents)
+            (Hpfc_base.Util.pp_list Fmt.int)
+            (Array.to_list dinfo.ai_extents);
+        let st =
+          State.set_mappings st
+            (State.save_key sid actual)
+            (State.mappings st actual)
+        in
+        State.set_mappings st actual [ dmapping ])
+      state
+      (call_bindings env callee args)
+  | Cfg.V_call_before _ -> assert false
+  | Cfg.V_call_after ({ skind = Ast.Call { callee; args }; sid; _ } : Ast.stmt)
+    ->
+    List.fold_left
+      (fun st (actual, _) ->
+        let key = State.save_key sid actual in
+        let saved = State.mappings st key in
+        State.remove_array (State.set_mappings st actual saved) key)
+      state
+      (call_bindings env callee args)
+  | Cfg.V_call_after _ -> assert false
+  | Cfg.V_exit | Cfg.V_branch _ | Cfg.V_loop_head _ | Cfg.V_stmt _ -> state
+
+let run env (cfg : Cfg.t) : result =
+  let graph =
+    {
+      Hpfc_dataflow.Solver.nb_vertices = Cfg.nb_vertices cfg;
+      succs = Cfg.succs cfg;
+      preds = Cfg.preds cfg;
+    }
+  in
+  let solution =
+    Hpfc_dataflow.Solver.solve ~direction:Hpfc_dataflow.Solver.Forward ~graph
+      ~lattice:State.lattice
+      ~init:(fun _ -> State.empty)
+      ~transfer:(transfer env cfg)
+  in
+  { state_in = solution.value_in; state_out = solution.value_out }

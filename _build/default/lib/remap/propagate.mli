@@ -1,0 +1,39 @@
+(** Forward may-dataflow propagating array mappings and template
+    distributions from the entry point (Appendix B), with the paper's
+    [impact] as transfer function: REALIGN resolves against the current
+    target state, REDISTRIBUTE rebinds a template and every mapping
+    aligned with it, and call boundaries save/switch/restore argument
+    mappings. *)
+
+type result = {
+  state_in : State.t array;  (** per CFG vertex id *)
+  state_out : State.t array;
+}
+
+(** All resolved REALIGN results for an array, one per current target
+    configuration; [] while the state is still unpopulated (transfer
+    functions are total during the fixpoint). *)
+val resolve_realign :
+  Hpfc_lang.Env.t ->
+  State.t ->
+  array:string ->
+  Hpfc_lang.Ast.align_spec ->
+  Hpfc_mapping.Mapping.t list
+
+(** Template names affected by [REDISTRIBUTE target(...)]. *)
+val redistribute_targets : Hpfc_lang.Env.t -> State.t -> string -> string list
+
+(** Pair actual array arguments with interface dummies.
+    @raise Hpfc_base.Error.Hpf_error on missing interface or arity
+    mismatch. *)
+val call_bindings :
+  Hpfc_lang.Env.t ->
+  string ->
+  string list ->
+  (string * (string * Hpfc_lang.Env.array_info * Hpfc_mapping.Mapping.t)) list
+
+(** The transfer function (exposed for testing). *)
+val transfer : Hpfc_lang.Env.t -> Hpfc_cfg.Cfg.t -> int -> State.t -> State.t
+
+(** Solve to fixpoint over a routine's CFG. *)
+val run : Hpfc_lang.Env.t -> Hpfc_cfg.Cfg.t -> result

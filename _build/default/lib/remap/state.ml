@@ -1,0 +1,108 @@
+(* Propagation state of the reaching/leaving mapping analysis: the may-set
+   of mappings per array and of distributions per template.  The paper
+   notes that HPF's two-level mapping forces both the alignment and the
+   distribution problem to be solved together — a REDISTRIBUTE of T changes
+   the mapping of every array currently aligned with T — so the state
+   carries the template bindings explicitly.
+
+   Call sites additionally thread "saved" entries: the mappings reaching a
+   call-before vertex are stashed under a key unique to the call and popped
+   by the call-after vertex, which restores them (Fig. 24 / Fig. 18). *)
+
+open Hpfc_mapping
+
+type tdist = Dist.format array * Procs.t
+
+type t = {
+  arrays : (string * Mapping.t list) list;  (* includes "#save:" keys *)
+  templates : (string * tdist list) list;
+}
+
+let empty = { arrays = []; templates = [] }
+
+let save_key sid array = Fmt.str "#save:%d:%s" sid array
+
+let mappings t array =
+  Option.value (List.assoc_opt array t.arrays) ~default:[]
+
+let tdists t name = Option.value (List.assoc_opt name t.templates) ~default:[]
+
+let tdist_equal ((f1, p1) : tdist) ((f2, p2) : tdist) =
+  Procs.equal p1 p2
+  && Array.length f1 = Array.length f2
+  &&
+  let r1 = Array.to_list f1 and r2 = Array.to_list f2 in
+  List.for_all2
+    (fun a b ->
+      match (a, b) with
+      | Dist.Block None, Dist.Block None -> true
+      | Dist.Block None, _ | _, Dist.Block None -> false
+      | _ -> Dist.equal_resolved a b)
+    r1 r2
+
+let set_mappings t array ms =
+  let ms = Hpfc_base.Util.dedup_stable Mapping.equal ms in
+  { t with arrays = (array, ms) :: List.remove_assoc array t.arrays }
+
+let remove_array t array =
+  { t with arrays = List.remove_assoc array t.arrays }
+
+let set_tdists t name ds =
+  let ds = Hpfc_base.Util.dedup_stable tdist_equal ds in
+  { t with templates = (name, ds) :: List.remove_assoc name t.templates }
+
+(* Map every mapping of every array through [f] (used by REDISTRIBUTE). *)
+let map_mappings t f =
+  {
+    t with
+    arrays =
+      List.map
+        (fun (a, ms) ->
+          (a, Hpfc_base.Util.dedup_stable Mapping.equal (List.map (f a) ms)))
+        t.arrays;
+  }
+
+(* --- lattice ----------------------------------------------------------- *)
+
+let join a b =
+  let arrays =
+    List.fold_left
+      (fun acc (name, ms) ->
+        let existing = Option.value (List.assoc_opt name acc) ~default:[] in
+        (name, Hpfc_base.Util.union_stable Mapping.equal existing ms)
+        :: List.remove_assoc name acc)
+      a.arrays b.arrays
+  in
+  let templates =
+    List.fold_left
+      (fun acc (name, ds) ->
+        let existing = Option.value (List.assoc_opt name acc) ~default:[] in
+        (name, Hpfc_base.Util.union_stable tdist_equal existing ds)
+        :: List.remove_assoc name acc)
+      a.templates b.templates
+  in
+  { arrays; templates }
+
+let equal a b =
+  let keys l = List.map fst l in
+  let same_keys la lb =
+    Hpfc_base.Util.list_equal_as_sets ( = ) (keys la) (keys lb)
+  in
+  same_keys a.arrays b.arrays
+  && same_keys a.templates b.templates
+  && List.for_all
+       (fun (name, ms) ->
+         Hpfc_base.Util.list_equal_as_sets Mapping.equal ms (mappings b name))
+       a.arrays
+  && List.for_all
+       (fun (name, ds) ->
+         Hpfc_base.Util.list_equal_as_sets tdist_equal ds (tdists b name))
+       a.templates
+
+let lattice : t Hpfc_dataflow.Solver.lattice = { bottom = empty; equal; join }
+
+let pp ppf t =
+  List.iter
+    (fun (a, ms) ->
+      Fmt.pf ppf "%s: {%a}@." a (Hpfc_base.Util.pp_list Mapping.pp_short) ms)
+    t.arrays

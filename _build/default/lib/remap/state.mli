@@ -1,0 +1,40 @@
+(** Propagation state of the reaching/leaving mapping analysis: the
+    may-set of mappings per array and of distributions per template
+    (HPF's two-level scheme requires carrying both, Sec. 3).
+
+    Call sites thread "saved" entries: the mappings reaching a call-before
+    vertex are stashed under a per-call key and popped by the call-after
+    vertex, which restores them (Fig. 24 / Fig. 18). *)
+
+type tdist = Hpfc_mapping.Dist.format array * Hpfc_mapping.Procs.t
+
+type t = {
+  arrays : (string * Hpfc_mapping.Mapping.t list) list;
+      (** includes ["#save:"] keys *)
+  templates : (string * tdist list) list;
+}
+
+val empty : t
+
+(** The save key of [array] across the call with statement id [sid]. *)
+val save_key : int -> string -> string
+
+(** May-set of mappings of an array (or save key); [] when absent. *)
+val mappings : t -> string -> Hpfc_mapping.Mapping.t list
+
+(** May-set of distributions of a template; [] when absent. *)
+val tdists : t -> string -> tdist list
+
+val tdist_equal : tdist -> tdist -> bool
+
+val set_mappings : t -> string -> Hpfc_mapping.Mapping.t list -> t
+val remove_array : t -> string -> t
+val set_tdists : t -> string -> tdist list -> t
+
+(** Map every mapping of every array (used by REDISTRIBUTE). *)
+val map_mappings : t -> (string -> Hpfc_mapping.Mapping.t -> Hpfc_mapping.Mapping.t) -> t
+
+val join : t -> t -> t
+val equal : t -> t -> bool
+val lattice : t Hpfc_dataflow.Solver.lattice
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+(* Array copy versions.  The translation scheme (Fig. 7) gives each abstract
+   array one statically mapped copy per distinct *layout* it takes; version
+   numbers subscript the copies (A_0, A_1, ...) in order of first
+   appearance, with the initial mapping registered first so version 0 is
+   the entry mapping, as in the paper's figures.
+
+   Two mappings that are layout-equivalent (same element-to-processor
+   function, e.g. realignment with an identically distributed template)
+   share a version: the remapping moves no data. *)
+
+open Hpfc_mapping
+
+type entry = { layout : Layout.t; mapping : Mapping.t }
+
+type registry = {
+  tbl : (string, entry list ref) Hashtbl.t;
+  extents_of : string -> int array;
+}
+
+let create ~extents_of = { tbl = Hashtbl.create 16; extents_of }
+
+let entries t array =
+  match Hashtbl.find_opt t.tbl array with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add t.tbl array r;
+    r
+
+(* Version id of [mapping] for [array], registering it if new. *)
+let of_mapping t array (mapping : Mapping.t) : int =
+  let layout = Layout.of_mapping ~extents:(t.extents_of array) mapping in
+  let r = entries t array in
+  let rec find i = function
+    | [] ->
+      r := !r @ [ { layout; mapping } ];
+      i
+    | e :: rest -> if Layout.equal e.layout layout then i else find (i + 1) rest
+  in
+  find 0 !r
+
+let count t array = List.length !(entries t array)
+
+let nth t array version =
+  match List.nth_opt !(entries t array) version with
+  | Some e -> e
+  | None ->
+    invalid_arg (Fmt.str "Version.nth: %s has no version %d" array version)
+
+let mapping_of t array version = (nth t array version).mapping
+let layout_of t array version = (nth t array version).layout
+
+let arrays t = Hashtbl.fold (fun a _ acc -> a :: acc) t.tbl [] |> List.sort compare
+
+let pp_copy ppf (array, version) = Fmt.pf ppf "%s_%d" array version

@@ -1,0 +1,34 @@
+(** Array copy versions (the subscripts of Fig. 7).
+
+    Each abstract array gets one statically mapped copy per distinct
+    {e layout} it takes; version 0 is the initial mapping and later
+    versions number first appearances in analysis order.  Two
+    layout-equivalent mappings (e.g. realignment with an identically
+    distributed template) share a version: remapping between them moves no
+    data. *)
+
+type entry = { layout : Hpfc_mapping.Layout.t; mapping : Hpfc_mapping.Mapping.t }
+
+type registry
+
+(** A registry resolving array extents through [extents_of]. *)
+val create : extents_of:(string -> int array) -> registry
+
+(** Version id of a mapping for an array, registering it if new. *)
+val of_mapping : registry -> string -> Hpfc_mapping.Mapping.t -> int
+
+(** Number of registered versions of an array. *)
+val count : registry -> string -> int
+
+(** The registered entry of one version.
+    @raise Invalid_argument if unregistered. *)
+val nth : registry -> string -> int -> entry
+
+val mapping_of : registry -> string -> int -> Hpfc_mapping.Mapping.t
+val layout_of : registry -> string -> int -> Hpfc_mapping.Layout.t
+
+(** All registered array names, sorted. *)
+val arrays : registry -> string list
+
+(** Print a copy as ["A_0"]. *)
+val pp_copy : Format.formatter -> string * int -> unit

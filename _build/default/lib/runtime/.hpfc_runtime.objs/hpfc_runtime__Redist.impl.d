@@ -1,0 +1,1 @@
+lib/runtime/redist.ml: Array Float Fmt Hashtbl Hpfc_base Hpfc_mapping Ivset Layout List Machine Option Procs

@@ -1,0 +1,1 @@
+lib/runtime/redist.mli: Format Hpfc_mapping Machine

@@ -1,0 +1,1 @@
+lib/runtime/store.ml: Array Fmt Hashtbl Hpfc_base Hpfc_mapping Layout List Machine Procs Redist

@@ -1,0 +1,1 @@
+lib/runtime/store.mli: Format Hashtbl Hpfc_mapping Machine Redist

@@ -1,0 +1,75 @@
+(** Simulated message-passing machine.
+
+    The substitute for the paper's distributed-memory target: the
+    redistribution engine computes exactly which elements move between
+    which processors, and this module accounts for them under an
+    alpha-beta cost model.  Modeled time for one remapping step is the
+    critical path: max over processors of
+    [alpha * messages + beta * volume], on the send or receive side.
+    Absolute numbers are synthetic; counts and volumes are exact. *)
+
+type cost_model = {
+  alpha : float;  (** per-message startup cost *)
+  beta : float;  (** per-element transfer cost *)
+}
+
+(** alpha = 50, beta = 1. *)
+val default_cost : cost_model
+
+type counters = {
+  mutable messages : int;
+  mutable volume : int;  (** elements sent between distinct processors *)
+  mutable local_moves : int;  (** elements staying on their processor *)
+  mutable remaps_performed : int;  (** copies that actually ran *)
+  mutable remaps_skipped : int;  (** status test: already mapped as required *)
+  mutable live_reuses : int;  (** live copy reused: no communication *)
+  mutable dead_copies : int;  (** D/N copies: allocation without data *)
+  mutable allocs : int;
+  mutable frees : int;
+  mutable evictions : int;  (** live copies freed under memory pressure *)
+  mutable time : float;  (** modeled communication time *)
+}
+
+val fresh_counters : unit -> counters
+
+(** One remapping event of the execution trace (gated by
+    [record_trace]). *)
+type event = {
+  ev_array : string;
+  ev_src : int option;  (** None: materialized without a source *)
+  ev_dst : int;
+  ev_volume : int;
+  ev_kind : [ `Copy | `Dead | `Reuse | `Skip | `Evict ];
+}
+
+type t = {
+  nprocs : int;
+  cost : cost_model;
+  counters : counters;
+  memory_limit : int option;  (** max live elements across all copies *)
+  mutable memory_used : int;
+  mutable trace : event list;  (** newest first *)
+  record_trace : bool;
+}
+
+val create :
+  ?cost:cost_model ->
+  ?memory_limit:int ->
+  ?record_trace:bool ->
+  nprocs:int ->
+  unit ->
+  t
+
+(** Append an event (no-op unless [record_trace]). *)
+val record : t -> event -> unit
+
+(** Events in execution order. *)
+val events : t -> event list
+
+val pp_event : Format.formatter -> event -> unit
+val pp_trace : Format.formatter -> t -> unit
+
+(** Zero all counters. *)
+val reset : t -> unit
+
+val pp_counters : Format.formatter -> counters -> unit

@@ -1,0 +1,74 @@
+(** Redistribution engine: the communication plan between two layouts of
+    the same array.
+
+    Two algorithms compute the same plan: {!plan_naive} walks every element
+    (the oracle); {!plan_intervals} works per dimension on compressed
+    periodic ownership sets, so its cost is O(grid^2 * periods) and
+    independent of the array extent — the efficient block-cyclic
+    redistribution idea of Prylli & Tourancheau.  Layouts with replicated
+    or constant-aligned grid dimensions fall back to the naive walk. *)
+
+type plan = {
+  pairs : (int * int * int) list;
+      (** (sender, receiver, element count) with sender <> receiver, by
+          linear processor rank *)
+  local : int;  (** elements staying on their processor *)
+  nprocs_src : int;
+  nprocs_dst : int;
+}
+
+(** Total elements crossing processors. *)
+val total_moved : plan -> int
+
+(** Number of (sender, receiver) messages. *)
+val nb_messages : plan -> int
+
+(** Critical-path time under the cost model: max over processors of the
+    send-side and receive-side alpha-beta cost. *)
+val modeled_time : Machine.cost_model -> plan -> float
+
+(** Iterate all index vectors of an extent vector (exposed for tests). *)
+val iter_indices : int array -> (int array -> unit) -> unit
+
+(** Per-element oracle. *)
+val plan_naive : src:Hpfc_mapping.Layout.t -> dst:Hpfc_mapping.Layout.t -> plan
+
+(** Periodic-interval engine; identical plans (qcheck-verified). *)
+val plan_intervals :
+  src:Hpfc_mapping.Layout.t -> dst:Hpfc_mapping.Layout.t -> plan
+
+(** A message payload as per-dimension index interval lists (the box is
+    their cross product): the strided sections an SPMD runtime packs. *)
+type box = (int * int) list array
+
+val box_size : box -> int
+
+(** One entry per (sender, receiver) pair with a non-empty payload. *)
+type schedule = ((int * int) * box) list
+
+(** The full message schedule between two regular layouts;
+    [include_local] adds the sender = receiver entries, making the schedule
+    a complete partition of the elements.
+    @raise Invalid_argument on replicated or constant-aligned layouts. *)
+val schedule :
+  ?include_local:bool ->
+  src:Hpfc_mapping.Layout.t ->
+  dst:Hpfc_mapping.Layout.t ->
+  unit ->
+  schedule
+
+(** Iterate every index vector of a box. *)
+val iter_box : box -> (int array -> unit) -> unit
+
+val pp_box : Format.formatter -> box -> unit
+val pp_schedule : Format.formatter -> schedule -> unit
+
+(** moved + local: the number of (element, destination-copy) pairs. *)
+val covered : plan -> int
+
+val equal : plan -> plan -> bool
+
+(** Account a plan's execution on the machine counters. *)
+val account : Machine.t -> plan -> unit
+
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,381 @@
+(* Run-time array store: one descriptor per abstract array holding its
+   statically mapped copies, the current-version [status] word, and the
+   per-copy [live] flags — exactly the data structure Sec. 5.1 requires.
+
+   Copy payloads are canonical global arrays (row-major); ownership and
+   communication are fully modeled by the layouts and the redistribution
+   plans, so values can be checked end-to-end while costs remain faithful.
+
+   A copy can be live (values valid) or dead; dead copies are materialized
+   without communication (the D case of Fig. 19).  Under a machine memory
+   limit, allocating a new copy evicts live non-current copies first
+   (Sec. 5.2: the runtime may free a live copy and regenerate it later with
+   communication). *)
+
+open Hpfc_mapping
+
+(* Two execution backends share every analysis and all the code generation:
+
+   - [Canonical]: one global row-major payload per copy.  Fast, and values
+     are trivially comparable.
+   - [Distributed]: one buffer per processor, sized by the layout's local
+     extents; every element access goes through the owner computation and
+     the closed-form local linear index — the address arithmetic the
+     generated SPMD code would perform.  Equivalence with the canonical
+     backend (tested end-to-end) validates the whole local-addressing
+     algebra. *)
+type backend = Canonical | Distributed
+
+type payload =
+  | Global of float array
+  | Locals of float array array  (* indexed by linear processor rank *)
+
+type copy = {
+  version : int;
+  layout : Layout.t;
+  payload : payload;  (* may be shared with a caller's copy *)
+  footprint : int;  (* sum of per-processor local sizes (counts replicas) *)
+}
+
+(* Element access through a copy's payload. *)
+let copy_get (c : copy) index =
+  match c.payload with
+  | Global g -> g.(let acc = ref 0 in
+                   Array.iteri
+                     (fun d x -> acc := (!acc * c.layout.Layout.extents.(d)) + x)
+                     index;
+                   !acc)
+  | Locals ls ->
+    let p = Procs.linearize c.layout.Layout.procs (Layout.owner c.layout index) in
+    ls.(p).(Layout.local_linear_index c.layout index)
+
+let copy_set (c : copy) index v =
+  match c.payload with
+  | Global g ->
+    let acc = ref 0 in
+    Array.iteri (fun d x -> acc := (!acc * c.layout.Layout.extents.(d)) + x) index;
+    g.(!acc) <- v
+  | Locals ls ->
+    (* replicated layouts write every replica *)
+    let lli = Layout.local_linear_index c.layout index in
+    List.iter
+      (fun coords -> ls.(Procs.linearize c.layout.Layout.procs coords).(lli) <- v)
+      (Layout.owners c.layout index)
+
+let iter_global_indices extents f =
+  let rank = Array.length extents in
+  let index = Array.make rank 0 in
+  let rec loop d =
+    if d = rank then f index
+    else
+      for x = 0 to extents.(d) - 1 do
+        index.(d) <- x;
+        loop (d + 1)
+      done
+  in
+  if Array.for_all (fun e -> e > 0) extents then loop 0
+
+(* Initialize a copy's payload from a global-linear-position function. *)
+let fill_copy (c : copy) f =
+  let k = ref 0 in
+  iter_global_indices c.layout.Layout.extents (fun index ->
+      copy_set c index (f !k);
+      incr k)
+
+(* Materialize a copy as a canonical global array (for result capture). *)
+let to_global (c : copy) =
+  match c.payload with
+  | Global g -> Array.copy g
+  | Locals _ ->
+    let out = Array.make (Layout.nb_elements c.layout) 0.0 in
+    let k = ref 0 in
+    iter_global_indices c.layout.Layout.extents (fun index ->
+        out.(!k) <- copy_get c index;
+        incr k);
+    out
+
+type descriptor = {
+  name : string;
+  extents : int array;
+  mutable copies : copy option array;  (* indexed by version *)
+  mutable status : int option;
+  mutable live : bool array;
+  mutable caller_versions : int list;
+      (* versions whose storage belongs to the caller (the passed copy, and
+         live copies shared under the advanced calling convention): never
+         freed or accounted here *)
+  (* which elements of the abstract array hold program-defined values;
+     KILL and intent(out) leave elements undefined, writes define them.
+     Used by the differential test oracle: only defined elements are
+     comparable across compilations. *)
+  defined : bool array;
+}
+
+type t = {
+  machine : Machine.t;
+  mutable descriptors : (string * descriptor) list;
+  (* plan cache keyed by (array, from_version, to_version) *)
+  plans : (string * int * int, Redist.plan) Hashtbl.t;
+  use_interval_engine : bool;
+  backend : backend;
+}
+
+let create ?(use_interval_engine = true) ?(backend = Canonical) machine =
+  {
+    machine;
+    descriptors = [];
+    plans = Hashtbl.create 32;
+    use_interval_engine;
+    backend;
+  }
+
+let descriptor t name =
+  match List.assoc_opt name t.descriptors with
+  | Some d -> d
+  | None -> Hpfc_base.Error.fail Runtime_fault "no descriptor for array %s" name
+
+let add_descriptor t ~name ~extents ~nb_versions ?caller_copy ?defined () =
+  let nb_elements = Array.fold_left ( * ) 1 extents in
+  let d =
+    {
+      name;
+      extents;
+      copies = Array.make (max 1 nb_versions) None;
+      status = None;
+      live = Array.make (max 1 nb_versions) false;
+      caller_versions = (match caller_copy with Some _ -> [ 0 ] | None -> []);
+      defined =
+        (match defined with
+        | Some shared -> shared
+        | None -> Array.make nb_elements false);
+    }
+  in
+  (match caller_copy with
+  | Some (c : copy) -> d.copies.(0) <- Some { c with version = 0 }
+  | None -> ());
+  t.descriptors <- (name, d) :: List.remove_assoc name t.descriptors;
+  d
+
+let ensure_version_capacity d version =
+  if version >= Array.length d.copies then begin
+    let copies = Array.make (version + 1) None in
+    Array.blit d.copies 0 copies 0 (Array.length d.copies);
+    let live = Array.make (version + 1) false in
+    Array.blit d.live 0 live 0 (Array.length d.live);
+    d.copies <- copies;
+    d.live <- live
+  end
+
+let footprint_of layout =
+  let total = ref 0 in
+  let procs = layout.Layout.procs in
+  for p = 0 to Procs.size procs - 1 do
+    total := !total + Layout.local_size layout ~proc:(Procs.delinearize procs p)
+  done;
+  !total
+
+let copy_exists d version =
+  version < Array.length d.copies && d.copies.(version) <> None
+
+let get_copy d version =
+  match if version < Array.length d.copies then d.copies.(version) else None with
+  | Some c -> c
+  | None ->
+    Hpfc_base.Error.fail Runtime_fault "%s_%d is not allocated" d.name version
+
+let is_live d version = version < Array.length d.live && d.live.(version)
+
+let set_live (_ : t) d version flag =
+  ensure_version_capacity d version;
+  if flag && not (copy_exists d version) then
+    Hpfc_base.Error.fail Runtime_fault "%s_%d set live before allocation"
+      d.name version;
+  d.live.(version) <- flag
+
+(* Free one copy's memory (does not touch caller-owned storage). *)
+let free t d version =
+  if copy_exists d version then begin
+    let c = get_copy d version in
+    if not (List.mem version d.caller_versions) then begin
+      t.machine.Machine.memory_used <-
+        t.machine.Machine.memory_used - c.footprint;
+      d.copies.(version) <- None;
+      t.machine.Machine.counters.Machine.frees <-
+        t.machine.Machine.counters.Machine.frees + 1
+    end;
+    d.live.(version) <- false
+  end
+
+(* Evict live, non-current, non-caller copies until [needed] elements fit.
+   Returns false if the limit cannot be met even after eviction. *)
+let make_room t needed =
+  match t.machine.Machine.memory_limit with
+  | None -> true
+  | Some limit ->
+    let fits () = t.machine.Machine.memory_used + needed <= limit in
+    if fits () then true
+    else begin
+      List.iter
+        (fun (_, d) ->
+          Array.iteri
+            (fun v c ->
+              if
+                (not (fits ())) && c <> None
+                && d.status <> Some v
+                && not (List.mem v d.caller_versions)
+              then begin
+                free t d v;
+                Machine.record t.machine
+                  {
+                    Machine.ev_array = d.name;
+                    ev_src = None;
+                    ev_dst = v;
+                    ev_volume = 0;
+                    ev_kind = `Evict;
+                  };
+                t.machine.Machine.counters.Machine.evictions <-
+                  t.machine.Machine.counters.Machine.evictions + 1
+              end)
+            d.copies)
+        t.descriptors;
+      fits ()
+    end
+
+let alloc t d version layout =
+  ensure_version_capacity d version;
+  if not (copy_exists d version) then begin
+    let footprint = footprint_of layout in
+    if not (make_room t footprint) then
+      Hpfc_base.Error.fail Runtime_fault
+        "out of memory allocating %s_%d (%d elements)" d.name version footprint;
+    let payload =
+      match t.backend with
+      | Canonical -> Global (Array.make (Array.fold_left ( * ) 1 d.extents) 0.0)
+      | Distributed ->
+        Locals
+          (Array.init (Procs.size layout.Layout.procs) (fun p ->
+               Array.make
+                 (max 1
+                    (Layout.local_size layout
+                       ~proc:(Procs.delinearize layout.Layout.procs p)))
+                 0.0))
+    in
+    let c = { version; layout; payload; footprint } in
+    d.copies.(version) <- Some c;
+    t.machine.Machine.memory_used <- t.machine.Machine.memory_used + footprint;
+    t.machine.Machine.counters.Machine.allocs <-
+      t.machine.Machine.counters.Machine.allocs + 1
+  end
+
+(* The communication plan from version [src] to version [dst], cached. *)
+let plan_for t d ~src ~dst =
+  match Hashtbl.find_opt t.plans (d.name, src, dst) with
+  | Some p -> p
+  | None ->
+    let s = (get_copy d src).layout and t' = (get_copy d dst).layout in
+    let p =
+      if t.use_interval_engine then Redist.plan_intervals ~src:s ~dst:t'
+      else Redist.plan_naive ~src:s ~dst:t'
+    in
+    Hashtbl.add t.plans (d.name, src, dst) p;
+    p
+
+(* Remapping copy A_dst := A_src (Fig. 19's "A_l := A_a"): accounts the
+   communication and moves the payload.  [with_data] is false for D-labelled
+   copies (allocation only). *)
+let copy_version t d ~src ~dst ~with_data =
+  let c = t.machine.Machine.counters in
+  if with_data then begin
+    let plan = plan_for t d ~src ~dst in
+    Redist.account t.machine plan;
+    Machine.record t.machine
+      {
+        Machine.ev_array = d.name;
+        ev_src = Some src;
+        ev_dst = dst;
+        ev_volume = Redist.total_moved plan;
+        ev_kind = `Copy;
+      };
+    let s = get_copy d src and dstc = get_copy d dst in
+    (match (s.payload, dstc.payload) with
+    | Global g1, Global g2 -> Array.blit g1 0 g2 0 (Array.length g1)
+    | _ -> (
+      (* distributed move: drive the per-processor message schedule (the
+         equivalence tests thereby check the schedules are a complete
+         partition); irregular layouts fall back to an element walk *)
+      match
+        Redist.schedule ~include_local:true ~src:s.layout ~dst:dstc.layout ()
+      with
+      | sched ->
+        List.iter
+          (fun (_, box) ->
+            Redist.iter_box box (fun index ->
+                copy_set dstc index (copy_get s index)))
+          sched
+      | exception Invalid_argument _ ->
+        iter_global_indices s.layout.Layout.extents (fun index ->
+            copy_set dstc index (copy_get s index))));
+    c.Machine.remaps_performed <- c.Machine.remaps_performed + 1
+  end
+  else begin
+    Machine.record t.machine
+      {
+        Machine.ev_array = d.name;
+        ev_src = Some src;
+        ev_dst = dst;
+        ev_volume = 0;
+        ev_kind = `Dead;
+      };
+    c.Machine.dead_copies <- c.Machine.dead_copies + 1
+  end
+
+(* --- element access ------------------------------------------------------ *)
+
+let linear_index extents index =
+  let rank = Array.length extents in
+  let acc = ref 0 in
+  for d = 0 to rank - 1 do
+    if index.(d) < 0 || index.(d) >= extents.(d) then
+      Hpfc_base.Error.fail Runtime_fault "index %d out of bounds [0,%d)"
+        index.(d) extents.(d);
+    acc := (!acc * extents.(d)) + index.(d)
+  done;
+  !acc
+
+(* Read/write through the *current* copy; a version check catches compiler
+   bugs (reference compiled against a copy that is not current). *)
+let read t ~name ~version index =
+  let d = descriptor t name in
+  if d.status <> Some version then
+    Hpfc_base.Error.fail Runtime_fault
+      "read of %s_%d but current version is %s" name version
+      (match d.status with Some v -> string_of_int v | None -> "none");
+  let c = get_copy d version in
+  ignore (linear_index d.extents index : int);  (* bounds check *)
+  copy_get c index
+
+(* Is the abstract element at [index] program-defined? *)
+let defined_at t ~name index =
+  let d = descriptor t name in
+  d.defined.(linear_index d.extents index)
+
+(* [defined] is false when the stored value was computed from undefined
+   operands (taint propagation in the interpreter). *)
+let write ?(defined = true) t ~name ~version index value =
+  let d = descriptor t name in
+  if d.status <> Some version then
+    Hpfc_base.Error.fail Runtime_fault
+      "write to %s_%d but current version is %s" name version
+      (match d.status with Some v -> string_of_int v | None -> "none");
+  let c = get_copy d version in
+  let li = linear_index d.extents index in
+  copy_set c index value;
+  d.defined.(li) <- defined;
+  (* the written copy is authoritative *)
+  d.live.(version) <- true
+
+let pp_descriptor ppf d =
+  Fmt.pf ppf "%s: status=%s live={%a}" d.name
+    (match d.status with Some v -> string_of_int v | None -> "_")
+    (Hpfc_base.Util.pp_list Fmt.int)
+    (List.filteri (fun i _ -> d.live.(i)) (Array.to_list (Array.mapi (fun i _ -> i) d.live)))

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Astring Fmt Hashtbl Hpfc_codegen Hpfc_effects Hpfc_kernels Hpfc_opt Hpfc_parser Hpfc_remap List Test_remap

@@ -1,0 +1,1 @@
+test/test_differential.ml: Array Ast Build Hpfc_base Hpfc_interp Hpfc_lang Hpfc_mapping Hpfc_opt Hpfc_parser Hpfc_remap Hpfc_runtime List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_distributed.ml: Alcotest Array Fmt Hpfc_interp Hpfc_kernels Hpfc_lang Hpfc_mapping Hpfc_parser Hpfc_runtime List

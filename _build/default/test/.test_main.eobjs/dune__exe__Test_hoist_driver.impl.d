@@ -1,0 +1,1 @@
+test/test_hoist_driver.ml: Alcotest Ast Astring Fmt Hpfc_driver Hpfc_interp Hpfc_kernels Hpfc_lang Hpfc_opt Hpfc_parser Hpfc_runtime List String

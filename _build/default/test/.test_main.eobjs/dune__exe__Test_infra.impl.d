@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Array Ast Env Hpfc_base Hpfc_cfg Hpfc_dataflow Hpfc_driver Hpfc_effects Hpfc_kernels Hpfc_lang Hpfc_parser Hpfc_remap List

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Fmt Hpfc_base Hpfc_interp Hpfc_kernels Hpfc_lang Hpfc_parser Hpfc_runtime List

@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Align Array Dist Fmt Hpfc_base Hpfc_mapping Ivset Layout List Mapping Procs QCheck2 QCheck_alcotest Template

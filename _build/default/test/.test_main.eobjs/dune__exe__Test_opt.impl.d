@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Construct Graph Hpfc_cfg Hpfc_effects Hpfc_kernels Hpfc_lang Hpfc_opt Hpfc_parser Hpfc_remap List Option Test_remap

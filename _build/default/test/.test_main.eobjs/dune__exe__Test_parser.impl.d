@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Astring Hpfc_base Hpfc_lang Hpfc_parser List Pp_ast

@@ -1,0 +1,1 @@
+test/test_propagate.ml: Alcotest Array Ast Dist Env Hpfc_cfg Hpfc_lang Hpfc_mapping Hpfc_parser Hpfc_remap List Mapping Option

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Hpfc_effects Hpfc_mapping Hpfc_remap List QCheck2 QCheck_alcotest

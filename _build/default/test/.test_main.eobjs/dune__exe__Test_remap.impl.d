@@ -1,0 +1,1 @@
+test/test_remap.ml: Alcotest Array Construct Fmt Graph Hashtbl Hpfc_base Hpfc_cfg Hpfc_effects Hpfc_kernels Hpfc_lang Hpfc_parser Hpfc_remap List Option Version

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Align Array Dist Hpfc_base Hpfc_mapping Hpfc_runtime Layout List Machine Mapping Procs QCheck2 QCheck_alcotest Redist Store Template Test_mapping

@@ -1,0 +1,161 @@
+(* Loop-invariant motion edge cases and driver/report coverage. *)
+
+module Hoist = Hpfc_opt.Hoist
+module Pipeline = Hpfc_driver.Pipeline
+module Report = Hpfc_driver.Report
+module I = Hpfc_interp.Interp
+module Machine = Hpfc_runtime.Machine
+open Hpfc_lang
+
+let parse = Hpfc_parser.Parser.parse_routine_string
+
+(* --- hoisting ------------------------------------------------------------------ *)
+
+(* Nested loops: the trailing remap hoists out of the inner loop, then out
+   of the outer loop too (both guards hold). *)
+let test_hoist_two_levels () =
+  let r =
+    parse
+      {|
+subroutine s(t)
+  integer t, i, j
+  real A(16)
+!hpf$ processors P(4)
+!hpf$ dynamic A
+!hpf$ distribute A(block) onto P
+  A = 1.0
+  do i = 0, t
+    do j = 0, t
+!hpf$ redistribute A(cyclic)
+      A(0) = A(0) + 1.0
+!hpf$ redistribute A(block)
+    enddo
+  enddo
+  A(2) = A(2) + 1.0
+end subroutine
+|}
+  in
+  let r', hoisted = Hoist.run r in
+  Alcotest.(check int) "hoisted twice" 2 hoisted;
+  (* the trailing redistribute now follows the outer loop *)
+  let top_kinds =
+    List.map (fun (s : Ast.stmt) ->
+        match s.Ast.skind with
+        | Ast.Do _ -> "do"
+        | Ast.Redistribute _ -> "redistribute"
+        | Ast.Full_assign _ -> "full"
+        | Ast.Assign _ -> "assign"
+        | _ -> "other")
+      r'.Ast.r_body
+  in
+  Alcotest.(check (list string)) "structure"
+    [ "full"; "do"; "redistribute"; "assign" ] top_kinds
+
+(* Executing the two-level hoist preserves semantics and pays the heading
+   remap only once. *)
+let test_hoist_two_levels_runtime () =
+  let src =
+    {|
+subroutine s(t)
+  integer t, i, j
+  real A(16)
+!hpf$ processors P(4)
+!hpf$ dynamic A
+!hpf$ distribute A(block) onto P
+  A = 1.0
+  do i = 0, t
+    do j = 0, t
+!hpf$ redistribute A(cyclic)
+      A(0) = A(0) + 1.0
+!hpf$ redistribute A(block)
+    enddo
+  enddo
+  A(2) = A(2) + 1.0
+end subroutine
+|}
+  in
+  let c = Pipeline.compare_pipelines ~scalars:[ ("t", I.VInt 2) ] src in
+  Alcotest.(check bool) "values agree" true c.Pipeline.values_agree;
+  (* 9 inner iterations: naive pays 18 copies; optimized pays 2 *)
+  Alcotest.(check int) "naive copies" 18
+    c.Pipeline.naive.I.machine.Machine.counters.Machine.remaps_performed;
+  Alcotest.(check int) "optimized copies" 2
+    c.Pipeline.optimized.I.machine.Machine.counters.Machine.remaps_performed
+
+(* A remap trailing the loop for one array but not the other hoists only
+   when legal for all remapped arrays of the statement. *)
+let test_hoist_template_pair () =
+  let r =
+    parse
+      {|
+subroutine s(t)
+  integer t, i
+  real A(16), B(16)
+!hpf$ processors P(4)
+!hpf$ template T(16)
+!hpf$ dynamic A, B
+!hpf$ align A with T
+!hpf$ align B with T
+!hpf$ distribute T(block) onto P
+  A = 1.0
+  B = 2.0
+  do i = 0, t
+!hpf$ redistribute T(cyclic)
+    A(0) = A(0) + B(1)
+!hpf$ redistribute T(block)
+  enddo
+  A(2) = B(3)
+end subroutine
+|}
+  in
+  let _, hoisted = Hoist.run r in
+  Alcotest.(check int) "hoisted once" 1 hoisted
+
+(* --- driver/report ----------------------------------------------------------------- *)
+
+let test_analyze_reports () =
+  let r = parse Hpfc_kernels.Figures.fig10_src in
+  let _, report = Pipeline.analyze r in
+  Alcotest.(check int) "G_R vertices" 7 report.Pipeline.gr_vertices;
+  Alcotest.(check int) "removed" 6 report.Pipeline.removed;
+  Alcotest.(check bool) "operations dropped" true
+    (report.Pipeline.remappings_after < report.Pipeline.remappings_before);
+  Alcotest.(check (list (pair string int))) "copies"
+    [ ("a", 4); ("b", 4); ("c", 4) ]
+    (List.sort compare report.Pipeline.versions)
+
+let test_figure_reports_all_render () =
+  let reports = Report.figure_reports () in
+  Alcotest.(check int) "14 figures" 14 (List.length reports);
+  List.iter
+    (fun (id, claim, text) ->
+      Alcotest.(check bool) (id ^ " has claim") true (String.length claim > 0);
+      Alcotest.(check bool) (id ^ " renders") true (String.length text > 0))
+    reports
+
+let test_verdicts () =
+  Alcotest.(check string) "fig6 accepted" "accepted"
+    (Report.verdict Hpfc_kernels.Figures.fig6_src);
+  Alcotest.(check bool) "fig5 rejected" true
+    (Astring.String.is_prefix ~affix:"rejected" (Report.verdict Hpfc_kernels.Figures.fig5_src))
+
+let test_compare_pipelines_shape () =
+  let c =
+    Pipeline.compare_pipelines ~entry:"calls"
+      (Hpfc_kernels.Apps.calls_src ~n:32 ~k:3)
+  in
+  Alcotest.(check bool) "values agree" true c.Pipeline.values_agree;
+  let printed = Fmt.str "%a" Pipeline.pp_comparison c in
+  Alcotest.(check bool) "table printed" true
+    (Astring.String.is_infix ~affix:"optimized" printed)
+
+let suite =
+  [
+    Alcotest.test_case "hoist two levels" `Quick test_hoist_two_levels;
+    Alcotest.test_case "hoist two levels runtime" `Quick test_hoist_two_levels_runtime;
+    Alcotest.test_case "hoist aligned pair" `Quick test_hoist_template_pair;
+    Alcotest.test_case "analyze report" `Quick test_analyze_reports;
+    Alcotest.test_case "figure reports render" `Quick test_figure_reports_all_render;
+    Alcotest.test_case "verdicts" `Quick test_verdicts;
+    Alcotest.test_case "compare pipelines" `Quick test_compare_pipelines_shape;
+  ]

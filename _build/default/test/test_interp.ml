@@ -1,0 +1,360 @@
+(* End-to-end tests: compile paper programs with the naive and optimized
+   pipelines, execute both on the simulated machine, and check
+   (a) values agree — the optimizations preserve semantics,
+   (b) the optimized run communicates no more (usually strictly less),
+   (c) the specific run-time behaviours the paper promises (status-test
+       skips, live-copy reuse, delayed instantiation, Fig. 18 restore). *)
+
+module I = Hpfc_interp.Interp
+module Machine = Hpfc_runtime.Machine
+module Figures = Hpfc_kernels.Figures
+
+let program_of_routine src =
+  { Hpfc_lang.Ast.routines = [ Hpfc_parser.Parser.parse_routine_string src ] }
+
+let run ?(pipeline = I.full_pipeline) ?(scalars = []) ?entry src =
+  let prog =
+    match entry with
+    | Some _ -> Hpfc_parser.Parser.parse_program src
+    | None -> program_of_routine src
+  in
+  let entry =
+    match entry with
+    | Some e -> e
+    | None -> (List.hd prog.Hpfc_lang.Ast.routines).Hpfc_lang.Ast.r_name
+  in
+  let compiled = I.compile ~pipeline prog in
+  I.run compiled ~entry ~scalars ()
+
+let counters (r : I.result) = r.I.machine.Machine.counters
+
+(* Compare final values on arrays materialized in both runs: delayed
+   instantiation means an array that is never referenced may not exist at
+   all in the optimized run. *)
+let check_same_values what (r1 : I.result) (r2 : I.result) =
+  let common = ref 0 in
+  List.iter
+    (fun (n, a1) ->
+      match List.assoc_opt n r2.I.final_arrays with
+      | Some a2 ->
+        incr common;
+        Alcotest.(check bool) (what ^ ": values of " ^ n) true (a1 = a2)
+      | None -> ())
+    r1.I.final_arrays;
+  Alcotest.(check bool) (what ^ ": some arrays compared") true (!common > 0)
+
+let equiv_and_cheaper ?scalars ?entry src =
+  let naive = run ~pipeline:I.naive_pipeline ?scalars ?entry src in
+  let opt = run ~pipeline:I.full_pipeline ?scalars ?entry src in
+  check_same_values "naive vs optimized" naive opt;
+  Alcotest.(check bool)
+    (Fmt.str "volume %d <= %d" (counters opt).Machine.volume
+       (counters naive).Machine.volume)
+    true
+    ((counters opt).Machine.volume <= (counters naive).Machine.volume);
+  (naive, opt)
+
+(* --- simple semantics ------------------------------------------------------ *)
+
+let test_fig6_values () =
+  let r = run ~scalars:[ ("c", I.VInt 1) ] Figures.fig6_src in
+  let a = List.assoc "a" r.I.final_arrays in
+  (* A = 1.0 everywhere; A(0) = 2 on the then path; A(1) = 3 at the end *)
+  Alcotest.(check (float 0.0)) "A(0)" 2.0 a.(0);
+  Alcotest.(check (float 0.0)) "A(1)" 3.0 a.(1);
+  Alcotest.(check (float 0.0)) "A(5)" 1.0 a.(5);
+  (* on the then path the final redistribute finds A already cyclic *)
+  Alcotest.(check int) "final remap skipped" 1 (counters r).Machine.remaps_skipped
+
+let test_fig6_not_taken () =
+  let r = run ~scalars:[ ("c", I.VInt 0) ] Figures.fig6_src in
+  let a = List.assoc "a" r.I.final_arrays in
+  Alcotest.(check (float 0.0)) "A(0)" 1.0 a.(0);
+  Alcotest.(check (float 0.0)) "A(1)" 3.0 a.(1);
+  (* the final redistribute must actually remap block -> cyclic *)
+  Alcotest.(check bool) "remap performed" true
+    ((counters r).Machine.remaps_performed >= 1)
+
+let test_fig6_equiv () = ignore (equiv_and_cheaper ~scalars:[ ("c", I.VInt 1) ] Figures.fig6_src)
+
+(* --- fig10 ------------------------------------------------------------------ *)
+
+let test_fig10_equiv_and_savings () =
+  let naive, opt =
+    equiv_and_cheaper ~scalars:[ ("m2", I.VInt 3) ] Figures.fig10_src
+  in
+  (* B and C remappings are useless on this input; the optimized version
+     must move strictly less data *)
+  Alcotest.(check bool) "strictly cheaper" true
+    ((counters opt).Machine.volume < (counters naive).Machine.volume)
+
+let test_fig10_zero_trip () =
+  (* m2 < 0: the loop never runs; the zero-trip edges must keep everything
+     consistent *)
+  ignore (equiv_and_cheaper ~scalars:[ ("m2", I.VInt (-1)) ] Figures.fig10_src)
+
+(* --- fig13: dynamic live copies ---------------------------------------------- *)
+
+let test_fig13_live_reuse () =
+  (* else path: A only read under cyclic(2); the block copy stays live and
+     the final redistribute back to block costs nothing *)
+  let r = run ~scalars:[ ("c", I.VInt 0) ] Figures.fig13_src in
+  Alcotest.(check int) "one live reuse" 1 (counters r).Machine.live_reuses;
+  (* then path: A written under cyclic; the block copy dies and the final
+     redistribute must communicate *)
+  let r' = run ~scalars:[ ("c", I.VInt 1) ] Figures.fig13_src in
+  Alcotest.(check int) "no live reuse" 0 (counters r').Machine.live_reuses;
+  ignore (equiv_and_cheaper ~scalars:[ ("c", I.VInt 0) ] Figures.fig13_src);
+  ignore (equiv_and_cheaper ~scalars:[ ("c", I.VInt 1) ] Figures.fig13_src)
+
+(* --- calls -------------------------------------------------------------------- *)
+
+let test_fig4_exec () =
+  let naive, opt =
+    equiv_and_cheaper ~entry:"fig4main" Figures.fig4_exec_src
+  in
+  let y = List.assoc "y" opt.I.final_arrays in
+  (* Y(i) = i, doubled twice, +1, then +100 at index 0 *)
+  Alcotest.(check (float 0.0)) "Y(0)" 101.0 y.(0);
+  Alcotest.(check (float 0.0)) "Y(5)" 21.0 y.(5);
+  (* the optimized caller performs 3 real remappings (block->cyclic,
+     cyclic->cyclic(4), cyclic(4)->block) instead of 6 *)
+  Alcotest.(check bool) "fewer messages" true
+    ((counters opt).Machine.messages < (counters naive).Machine.messages)
+
+let test_fig15_restore_paths () =
+  (* both paths execute correctly; the restore dispatches on the saved
+     status *)
+  List.iter
+    (fun c ->
+      let src =
+        Figures.fig15_src ^ "\n"
+        ^ {|
+subroutine foo(X)
+  real X(32)
+  intent(inout) X
+!hpf$ processors Q(4)
+!hpf$ distribute X(block) onto Q
+  X = X + 1.0
+end subroutine
+|}
+      in
+      let r =
+        run ~entry:"fig15" ~scalars:[ ("c", I.VInt c) ] src
+      in
+      ignore r)
+    [ 0; 1 ]
+
+(* --- fig16: hoisting ----------------------------------------------------------- *)
+
+let test_fig16_hoist_savings () =
+  let t = 9 in
+  let naive = run ~pipeline:I.naive_pipeline ~scalars:[ ("t", I.VInt t) ] Figures.fig16_src in
+  let opt = run ~pipeline:I.full_pipeline ~scalars:[ ("t", I.VInt t) ] Figures.fig16_src in
+  check_same_values "hoist" naive opt;
+  (* naive: 2 remaps per iteration = 2(t+1); optimized: the trailing remap
+     leaves the loop, so status stays cyclic across iterations and the
+     heading remap only pays on the first one (Fig. 17's promise): one
+     in-loop copy plus the hoisted restore = 2 total *)
+  let perf r = (counters r).Machine.remaps_performed in
+  Alcotest.(check int) "naive remaps" (2 * (t + 1)) (perf naive);
+  Alcotest.(check int) "optimized remaps" 2 (perf opt);
+  Alcotest.(check int) "in-loop skips" t (counters opt).Machine.remaps_skipped
+
+(* --- kill directive -------------------------------------------------------------- *)
+
+let test_kill_skips_communication () =
+  let src =
+    {|
+subroutine k()
+  real A(64)
+!hpf$ processors P(4)
+!hpf$ dynamic A
+!hpf$ distribute A(block) onto P
+  A = 1.0
+!hpf$ kill A
+!hpf$ redistribute A(cyclic)
+  A = 2.0
+  A(0) = A(1)
+end subroutine
+|}
+  in
+  let r = run src in
+  Alcotest.(check int) "no data moved" 0 (counters r).Machine.volume;
+  Alcotest.(check bool) "dead materialization happened" true
+    ((counters r).Machine.dead_copies >= 1)
+
+(* --- intent(out): dead import ------------------------------------------------------ *)
+
+let test_intent_out_import () =
+  let src =
+    {|
+subroutine o(A)
+  real A(64)
+  intent(out) A
+!hpf$ processors P(4)
+!hpf$ dynamic A
+!hpf$ distribute A(block) onto P
+!hpf$ redistribute A(cyclic)
+  A = 7.0
+!hpf$ redistribute A(block)
+end subroutine
+|}
+  in
+  let r = run src in
+  (* first remapping copies nothing (dead import); the final restore to the
+     caller's block mapping must communicate *)
+  let a = List.assoc "a" r.I.final_arrays in
+  Alcotest.(check (float 0.0)) "exported values" 7.0 a.(33);
+  Alcotest.(check bool) "some volume (export restore)" true ((counters r).Machine.volume > 0);
+  let naive = run ~pipeline:I.naive_pipeline src in
+  Alcotest.(check bool) "optimized cheaper than naive" true
+    ((counters r).Machine.volume < (counters naive).Machine.volume)
+
+let suite =
+  [
+    Alcotest.test_case "fig6: values (taken)" `Quick test_fig6_values;
+    Alcotest.test_case "fig6: values (not taken)" `Quick test_fig6_not_taken;
+    Alcotest.test_case "fig6: naive == optimized" `Quick test_fig6_equiv;
+    Alcotest.test_case "fig10: equivalence + savings" `Quick test_fig10_equiv_and_savings;
+    Alcotest.test_case "fig10: zero-trip loop" `Quick test_fig10_zero_trip;
+    Alcotest.test_case "fig13: dynamic live reuse" `Quick test_fig13_live_reuse;
+    Alcotest.test_case "fig4: calls execute" `Quick test_fig4_exec;
+    Alcotest.test_case "fig15/18: restore paths" `Quick test_fig15_restore_paths;
+    Alcotest.test_case "fig16/17: hoist savings" `Quick test_fig16_hoist_savings;
+    Alcotest.test_case "kill: no communication" `Quick test_kill_skips_communication;
+    Alcotest.test_case "intent(out): dead import" `Quick test_intent_out_import;
+  ]
+
+(* --- fig21: several leaving mappings, executed ------------------------------ *)
+
+(* The Fig. 21 pattern extended with uses after the multi-leaving
+   redistribute on both paths: the generated code dispatches on the
+   reaching status (per-leaving reaching sets). *)
+let fig21_exec_src =
+  {|
+subroutine f21(m, c)
+  integer c
+  real p
+  real m(8, 8)
+  intent(inout) m
+!hpf$ processors q(4)
+!hpf$ template t(8, 8)
+!hpf$ dynamic m
+!hpf$ align m(i, j) with t(i, j)
+!hpf$ distribute t(block, *) onto q
+  m = 5.0
+  m(2, 6) = 7.0
+  if (c > 0) then
+!hpf$ realign m(i, j) with t(j, i)
+    p = m(1, 1)
+  endif
+!hpf$ redistribute t(block, block)
+end subroutine
+|}
+
+let test_fig21_execution () =
+  List.iter
+    (fun c ->
+      let naive = run ~pipeline:I.naive_pipeline ~scalars:[ ("c", I.VInt c) ] fig21_exec_src in
+      let opt = run ~pipeline:I.full_pipeline ~scalars:[ ("c", I.VInt c) ] fig21_exec_src in
+      check_same_values (Fmt.str "fig21 c=%d" c) naive opt;
+      let m = List.assoc "m" opt.I.final_arrays in
+      Alcotest.(check (float 0.0)) "m(2,6)" 7.0 m.((2 * 8) + 6);
+      Alcotest.(check (float 0.0)) "m(0,0)" 5.0 m.(0))
+    [ 0; 1 ]
+
+(* An ambiguous REALIGN target has no reaching -> leaving function: the
+   compiler refuses with a clear diagnostic instead of miscompiling. *)
+let test_ambiguous_realign_target_refused () =
+  let src =
+    {|
+subroutine s(m, c)
+  integer c
+  real m(8, 8)
+  intent(inout) m
+!hpf$ processors q(4)
+!hpf$ template t(8, 8)
+!hpf$ dynamic m
+!hpf$ align m(i, j) with t(i, j)
+!hpf$ distribute t(block, *) onto q
+  m = 1.0
+  if (c > 0) then
+!hpf$ redistribute t(block, block)
+  endif
+!hpf$ realign m(i, j) with t(j, i)
+end subroutine
+|}
+  in
+  match
+    I.compile { Hpfc_lang.Ast.routines = [ Hpfc_parser.Parser.parse_routine_string src ] }
+  with
+  | exception Hpfc_base.Error.Hpf_error (Multiple_leaving_mappings, _) -> ()
+  | exception e -> Alcotest.failf "wrong error: %s" (Hpfc_base.Error.to_string e)
+  | _ -> Alcotest.fail "ambiguous realign target must be refused"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "fig21: executes correctly" `Quick test_fig21_execution;
+      Alcotest.test_case "ambiguous realign refused" `Quick
+        test_ambiguous_realign_target_refused;
+    ]
+
+(* --- Sec. 2.2: advanced calling convention ----------------------------------- *)
+
+(* The callee reads its intent(in) dummy under an internal block phase; the
+   caller's block copy is live, so passing it along the cyclic argument
+   makes the callee's internal remapping free. *)
+let sharing_src =
+  {|
+subroutine shmain()
+  real Y(32)
+  integer i
+!hpf$ processors P(4)
+!hpf$ dynamic Y
+!hpf$ distribute Y(block) onto P
+  interface
+    subroutine phase(X)
+      real X(32)
+      intent(in) X
+!hpf$ distribute X(cyclic)
+    end subroutine
+  end interface
+  do i = 0, 31
+    Y(i) = i * 2
+  enddo
+  call phase(Y)
+  Y(0) = Y(0) + 1.0
+end subroutine
+
+subroutine phase(X)
+  real X(32)
+  real p
+  intent(in) X
+!hpf$ processors Q(4)
+!hpf$ dynamic X
+!hpf$ distribute X(cyclic) onto Q
+!hpf$ redistribute X(block)
+  p = X(3)
+end subroutine
+|}
+
+let test_live_arg_sharing () =
+  let base = run ~entry:"shmain" sharing_src in
+  let shared =
+    run
+      ~pipeline:{ I.full_pipeline with I.share_live_args = true }
+      ~entry:"shmain" sharing_src
+  in
+  check_same_values "sharing" base shared;
+  (* without sharing the callee's internal block remapping communicates;
+     with it, the caller's live block copy is reused *)
+  Alcotest.(check bool) "sharing strictly cheaper" true
+    ((counters shared).Machine.volume < (counters base).Machine.volume);
+  Alcotest.(check bool) "a live reuse happened" true
+    ((counters shared).Machine.live_reuses > (counters base).Machine.live_reuses)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "live copies travel with arguments" `Quick test_live_arg_sharing ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "hpfc"
+    [ ("infra", Test_infra.suite);
+      ("mapping", Test_mapping.suite);
+      ("ivset", Test_mapping.ivset_suite);
+      ("parser", Test_parser.suite);
+      ("propagate", Test_propagate.suite);
+      ("remap", Test_remap.suite);
+      ("opt", Test_opt.suite);
+      ("hoist-driver", Test_hoist_driver.suite);
+      ("runtime", Test_runtime.suite);
+      ("codegen", Test_codegen.suite);
+      ("more", Test_more.suite);
+      ("interp", Test_interp.suite);
+      ("distributed", Test_distributed.suite);
+      ("props", Test_props.suite);
+      ("differential", Test_differential.suite) ]

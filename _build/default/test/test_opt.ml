@@ -1,0 +1,258 @@
+(* Optimization tests: Fig. 12 (useless-remapping removal on the running
+   example), Figs. 1-4 claims, Appendix D may-live sets (Fig. 13/14), and
+   loop-invariant motion (Fig. 16/17). *)
+
+open Hpfc_remap
+module Opt = Hpfc_opt.Remove_useless
+module Live = Hpfc_opt.Live_copies
+module Hoist = Hpfc_opt.Hoist
+module Cfg = Hpfc_cfg.Cfg
+module U = Hpfc_effects.Use_info
+module Figures = Hpfc_kernels.Figures
+
+let build src = Construct.build (Hpfc_parser.Parser.parse_routine_string src)
+
+let remap_vertex g n = Test_remap.remap_vertex g n
+let vertex_of_kind g pred = Test_remap.vertex_of_kind g pred
+let label g vid array = Test_remap.label g vid array
+
+let leaving g vid a =
+  match Graph.label_opt g vid a with
+  | None -> []
+  | Some l -> List.sort compare l.Graph.leaving
+
+let reaching g vid a =
+  match Graph.label_opt g vid a with
+  | None -> []
+  | Some l -> List.sort compare l.Graph.reaching
+
+(* --- Fig. 12 ------------------------------------------------------------ *)
+
+let test_fig12_removals () =
+  let g = build Figures.fig10_src in
+  let stats = Opt.run g in
+  (* C at v_0 and v_1; B and C at v_2; B at v_3; B at v_4 *)
+  Alcotest.(check int) "six removed" 6 stats.Opt.removed;
+  Alcotest.(check int) "no static no-ops" 0 stats.Opt.noops
+
+let test_fig12_reaching_recomputed () =
+  let g = build Figures.fig10_src in
+  let (_ : Opt.stats) = Opt.run g in
+  let v3 = remap_vertex g 2 and v4 = remap_vertex g 3 in
+  (* C's instantiation is delayed: no copy before the loop; inside the loop
+     it cycles between versions 3 and 0 *)
+  Alcotest.(check (list int)) "C reaching at 3" [ 0 ] (reaching g v3 "c");
+  Alcotest.(check (list int)) "C leaving at 3" [ 3 ] (leaving g v3 "c");
+  Alcotest.(check (list int)) "C reaching at 4" [ 3 ] (reaching g v4 "c");
+  Alcotest.(check (list int)) "C leaving at 4" [ 0 ] (leaving g v4 "c");
+  (* B's copies exist only in versions 0 and 1 *)
+  let v1 = remap_vertex g 0 and v2 = remap_vertex g 1 in
+  Alcotest.(check (list int)) "B leaving at 1" [ 1 ] (leaving g v1 "b");
+  Alcotest.(check (list int)) "B removed at 2" [] (leaving g v2 "b");
+  Alcotest.(check (list int)) "B removed at 3" [] (leaving g v3 "b");
+  Alcotest.(check (list int)) "B removed at 4" [] (leaving g v4 "b");
+  (* A keeps all four remappings *)
+  List.iter
+    (fun v -> Alcotest.(check int) "A kept" 1 (List.length (leaving g v "a")))
+    [ v1; v2; v3; v4 ]
+
+(* --- Fig. 1: merged remapping ------------------------------------------- *)
+
+let test_fig1_merged () =
+  let g = build Figures.fig1_src in
+  let stats = Opt.run g in
+  (* A's realign, plus the never-referenced alignee B at v_0 and at the
+     redistribute *)
+  Alcotest.(check int) "realign removed" 3 stats.Opt.removed;
+  (* the redistribute now remaps directly from the initial mapping *)
+  let v2 = remap_vertex g 1 in
+  Alcotest.(check (list int)) "direct source" [ 0 ] (reaching g v2 "a");
+  Alcotest.(check int) "one target" 1 (List.length (leaving g v2 "a"))
+
+(* --- Fig. 2: both remappings useless ------------------------------------- *)
+
+let test_fig2_both_useless () =
+  let g = build Figures.fig2_src in
+  let stats = Opt.run g in
+  (* first realign unused -> removed; second then maps back to the already
+     reaching initial copy -> static no-op *)
+  Alcotest.(check int) "one removed" 1 stats.Opt.removed;
+  Alcotest.(check int) "one no-op" 1 stats.Opt.noops;
+  let v2 = remap_vertex g 1 in
+  Alcotest.(check (list int)) "no label left" [] (leaving g v2 "c")
+
+(* --- Fig. 3: only used arrays remapped ----------------------------------- *)
+
+let test_fig3_unused_removed () =
+  let g = build Figures.fig3_src in
+  let stats = Opt.run g in
+  Alcotest.(check int) "B, C, E removed" 3 stats.Opt.removed;
+  let v = remap_vertex g 0 in
+  Alcotest.(check int) "A kept" 1 (List.length (leaving g v "a"));
+  Alcotest.(check int) "D kept" 1 (List.length (leaving g v "d"));
+  Alcotest.(check (list int)) "B removed" [] (leaving g v "b")
+
+(* --- Fig. 4: argument remappings ------------------------------------------ *)
+
+let test_fig4_call_optimization () =
+  let g = build Figures.fig4_src in
+  let stats = Opt.run g in
+  (* the two useless back-restorations disappear, and the second foo's
+     before-vertex becomes a no-op; bla's before-vertex remaps cyclic ->
+     cyclic(4) directly *)
+  Alcotest.(check int) "two removed" 2 stats.Opt.removed;
+  Alcotest.(check int) "one no-op" 1 stats.Opt.noops;
+  let vbs =
+    List.filter
+      (fun vid ->
+        match (Graph.info g vid).Graph.vkind with
+        | Cfg.V_call_before _ -> true
+        | _ -> false)
+      (Graph.vertex_ids g)
+  in
+  let with_label =
+    List.filter
+      (fun vid ->
+        match Graph.label_opt g vid "y" with
+        | Some l -> l.Graph.leaving <> []
+        | None -> false)
+      vbs
+  in
+  (match with_label with
+  | [ vb1; vb3 ] ->
+    Alcotest.(check (list int)) "foo: block -> cyclic" [ 0 ] (reaching g vb1 "y");
+    Alcotest.(check (list int)) "bla source is cyclic" [ 1 ] (reaching g vb3 "y");
+    Alcotest.(check (list int)) "bla target is cyclic(4)" [ 2 ] (leaving g vb3 "y")
+  | l -> Alcotest.failf "expected 2 remaining before-vertices, got %d" (List.length l))
+
+(* --- Appendix D: may-live copies (Fig. 13/14) ----------------------------- *)
+
+let test_fig13_live_sets () =
+  let g = build Figures.fig13_src in
+  let (_ : Opt.stats) = Opt.run g in
+  let live = Live.compute g in
+  let v1 = remap_vertex g 0  (* then: cyclic, A written after *)
+  and v2 = remap_vertex g 1  (* else: cyclic(2), A only read after *)
+  and v3 = remap_vertex g 2 (* back to block *) in
+  (* after v2 (read-only region), the block copy 0 targeted by vertex 3 is
+     worth keeping *)
+  Alcotest.(check (list int)) "M at else keeps block copy" [ 0; 2 ]
+    (List.sort compare (Live.get live v2 "a"));
+  (* after v1 the array is written: nothing propagates back through it,
+     M = leaving only *)
+  Alcotest.(check (list int)) "M at then is leaving only" [ 1 ]
+    (List.sort compare (Live.get live v1 "a"));
+  Alcotest.(check bool) "M at final remap contains block" true
+    (List.mem 0 (Live.get live v3 "a"))
+
+(* v_0's M propagates the initial copy through read-only regions. *)
+let test_live_initial_copy_kept () =
+  let g = build Figures.fig2_src in
+  let live = Live.compute g in
+  let v0 = vertex_of_kind g (fun k -> k = Cfg.V_entry) in
+  Alcotest.(check bool) "C_0 may stay live" true (List.mem 0 (Live.get live v0 "c"))
+
+(* --- Fig. 16/17: loop-invariant motion ------------------------------------ *)
+
+let test_fig16_hoist () =
+  let r = Hpfc_parser.Parser.parse_routine_string Figures.fig16_src in
+  let r', hoisted = Hoist.run r in
+  Alcotest.(check int) "one statement hoisted" 1 hoisted;
+  (* the loop body now ends with the assignment; the redistribute follows
+     the loop *)
+  let rec find_do_body block =
+    List.find_map
+      (fun (s : Hpfc_lang.Ast.stmt) ->
+        match s.Hpfc_lang.Ast.skind with
+        | Hpfc_lang.Ast.Do { body; _ } -> Some body
+        | Hpfc_lang.Ast.If (_, t, e) -> (
+          match find_do_body t with Some x -> Some x | None -> find_do_body e)
+        | _ -> None)
+      block
+  in
+  let body = Option.get (find_do_body r'.Hpfc_lang.Ast.r_body) in
+  Alcotest.(check int) "body has 2 statements" 2 (List.length body);
+  (match (List.rev body : Hpfc_lang.Ast.stmt list) with
+  | { skind = Hpfc_lang.Ast.Assign _; _ } :: _ -> ()
+  | _ -> Alcotest.fail "body should end with the assignment");
+  (* the graph of the transformed routine still builds and the hoisted
+     statement is a zero-trip no-op: reaching includes its target *)
+  let g = Construct.build r' in
+  let stats = Opt.run g in
+  ignore stats;
+  Alcotest.(check bool) "still well-formed" true (Graph.nb_vertices g > 0)
+
+let test_hoist_refuses_referenced_array () =
+  (* A is referenced between the candidate and the loop end: no motion *)
+  let r =
+    Hpfc_parser.Parser.parse_routine_string
+      {|
+subroutine s(t)
+  integer t, i
+  real A(16)
+!hpf$ processors P(4)
+!hpf$ dynamic A
+!hpf$ distribute A(block) onto P
+  A = 1.0
+  do i = 0, t
+!hpf$ redistribute A(cyclic)
+    A(0) = A(0) + 1.0
+!hpf$ redistribute A(block)
+    A(1) = A(1) + 1.0
+  enddo
+end subroutine
+|}
+  in
+  let _, hoisted = Hoist.run r in
+  Alcotest.(check int) "nothing hoisted" 0 hoisted
+
+let test_hoist_refuses_non_invariant () =
+  (* the trailing remapping's target is never the loop-entry mapping:
+     hoisting would change the zero-trip mapping, so it must be refused *)
+  let r =
+    Hpfc_parser.Parser.parse_routine_string
+      {|
+subroutine s(t)
+  integer t, i
+  real A(16)
+!hpf$ processors P(4)
+!hpf$ dynamic A
+!hpf$ distribute A(block) onto P
+  A = 1.0
+  do i = 0, t
+!hpf$ redistribute A(cyclic)
+    A(0) = A(0) + 1.0
+!hpf$ redistribute A(cyclic(2))
+  enddo
+!hpf$ redistribute A(block)
+  A(1) = 2.0
+end subroutine
+|}
+  in
+  let _, hoisted = Hoist.run r in
+  Alcotest.(check int) "nothing hoisted" 0 hoisted
+
+(* --- Fig. 21: optimization skips multi-leaving arrays --------------------- *)
+
+let test_fig21_untouched () =
+  let g = build Figures.fig21_src in
+  let stats = Opt.run g in
+  Alcotest.(check int) "nothing removed" 0 stats.Opt.removed;
+  let v = remap_vertex g 1 in
+  Alcotest.(check int) "both leavings kept" 2 (List.length (leaving g v "a"))
+
+let suite =
+  [
+    Alcotest.test_case "fig12: removal count" `Quick test_fig12_removals;
+    Alcotest.test_case "fig12: reaching recomputed" `Quick test_fig12_reaching_recomputed;
+    Alcotest.test_case "fig1: remappings merged" `Quick test_fig1_merged;
+    Alcotest.test_case "fig2: both useless" `Quick test_fig2_both_useless;
+    Alcotest.test_case "fig3: unused aligned arrays" `Quick test_fig3_unused_removed;
+    Alcotest.test_case "fig4: argument remappings" `Quick test_fig4_call_optimization;
+    Alcotest.test_case "fig13/14: may-live sets" `Quick test_fig13_live_sets;
+    Alcotest.test_case "live: initial copy kept" `Quick test_live_initial_copy_kept;
+    Alcotest.test_case "fig16/17: hoist" `Quick test_fig16_hoist;
+    Alcotest.test_case "hoist: refuses referenced" `Quick test_hoist_refuses_referenced_array;
+    Alcotest.test_case "hoist: refuses non-invariant" `Quick test_hoist_refuses_non_invariant;
+    Alcotest.test_case "fig21: untouched" `Quick test_fig21_untouched;
+  ]

@@ -1,0 +1,240 @@
+(* Parser tests: concrete programs from the paper's figures, round-trip
+   through the pretty-printer, and error reporting. *)
+
+open Hpfc_lang
+
+let parse = Hpfc_parser.Parser.parse_routine_string
+
+let fig10_source =
+  {|
+subroutine remap(A, m2)
+  parameter (n = 16)
+  real A(n, n), B(n, n), C(n, n)
+  integer i
+  intent(inout) A
+!hpf$ processors P(4)
+!hpf$ dynamic A, B, C
+!hpf$ template T(n, n)
+!hpf$ align A(i, j) with T(i, j)
+!hpf$ align B with T
+!hpf$ align C with T
+!hpf$ distribute T(block, *) onto P
+  B = 1.0
+  if (B(0, 0) > 0.0) then
+!hpf$ redistribute T(cyclic, *)
+    A = A + 2.0
+    B = B + A
+  else
+!hpf$ redistribute T(block, block)
+    A = A + 1.0
+  endif
+  do i = 0, m2
+!hpf$ redistribute T(*, block)
+    C = A
+!hpf$ redistribute T(block, *)
+    A = A + C
+  enddo
+end subroutine
+|}
+
+let test_fig10_parses () =
+  let r = parse fig10_source in
+  Alcotest.(check string) "name" "remap" r.Ast.r_name;
+  Alcotest.(check (list string)) "args" [ "a"; "m2" ] r.Ast.r_args;
+  Alcotest.(check int) "arrays" 3 (List.length r.Ast.r_arrays);
+  Alcotest.(check int) "aligns" 3 (List.length r.Ast.r_aligns);
+  Alcotest.(check int) "top-level stmts" 3 (List.length r.Ast.r_body);
+  let a = List.find (fun (d : Ast.array_decl) -> d.a_name = "a") r.Ast.r_arrays in
+  Alcotest.(check bool) "a dynamic" true a.a_dynamic;
+  Alcotest.(check bool) "a intent inout" true (a.a_intent = Some Ast.Inout)
+
+let test_parameter_substitution () =
+  let r = parse fig10_source in
+  let a = List.find (fun (d : Ast.array_decl) -> d.a_name = "a") r.Ast.r_arrays in
+  Alcotest.(check (list int)) "extents" [ 16; 16 ] a.a_extents
+
+let test_remapping_statements () =
+  let r = parse fig10_source in
+  let remaps = ref 0 in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.skind with
+      | Ast.Redistribute _ | Ast.Realign _ -> incr remaps
+      | _ -> ())
+    r.Ast.r_body;
+  Alcotest.(check int) "4 redistributes" 4 !remaps
+
+let interface_source =
+  {|
+subroutine caller()
+  parameter (n = 32)
+  real Y(n)
+!hpf$ distribute Y(block)
+  interface
+    subroutine foo(X)
+      real X(32)
+      intent(in) X
+!hpf$ distribute X(cyclic)
+    end subroutine
+    subroutine bla(X)
+      real X(32)
+      intent(inout) X
+!hpf$ distribute X(cyclic(4))
+    end subroutine
+  end interface
+  Y = 0.0
+  call foo(Y)
+  call foo(Y)
+  call bla(Y)
+  Y(0) = Y(0) + 1.0
+end subroutine
+|}
+
+let test_interfaces () =
+  let r = parse interface_source in
+  Alcotest.(check int) "two interfaces" 2 (List.length r.Ast.r_interfaces);
+  let foo = List.hd r.Ast.r_interfaces in
+  Alcotest.(check string) "foo" "foo" foo.Ast.if_name;
+  let x = List.hd foo.Ast.if_arrays in
+  Alcotest.(check bool) "intent(in)" true (x.Ast.a_intent = Some Ast.In)
+
+let test_align_subscripts () =
+  let r =
+    parse
+      {|
+subroutine s()
+  real A(8, 8)
+!hpf$ processors P(4)
+!hpf$ template T(8, 8)
+!hpf$ align A(i, j) with T(j, 2*i+1)
+!hpf$ distribute T(block, *) onto P
+  A = 0.0
+end subroutine
+|}
+  in
+  match r.Ast.r_aligns with
+  | [ ("a", spec) ] ->
+    Alcotest.(check int) "rank" 2 spec.Ast.al_rank;
+    (match spec.Ast.al_subs with
+    | [ Ast.Svar { dummy = 1; stride = 1; offset = 0 };
+        Ast.Svar { dummy = 0; stride = 2; offset = 1 } ] ->
+      ()
+    | _ -> Alcotest.fail "unexpected align subscripts")
+  | _ -> Alcotest.fail "expected one align"
+
+let test_align_star_and_const () =
+  let r =
+    parse
+      {|
+subroutine s()
+  real A(8)
+!hpf$ processors P(2, 2)
+!hpf$ template T(8, 8, 4)
+!hpf$ align A(i) with T(i, *, 3)
+!hpf$ distribute T(block, block, *) onto P
+  A = 0.0
+end subroutine
+|}
+  in
+  match r.Ast.r_aligns with
+  | [ (_, { Ast.al_subs = [ Ast.Svar _; Ast.Sstar; Ast.Sconst 3 ]; _ }) ] -> ()
+  | _ -> Alcotest.fail "expected star and const subscripts"
+
+let test_expressions () =
+  let r =
+    parse
+      {|
+subroutine s()
+  real A(8)
+  x = 1 + 2 * 3
+  y = (1 + 2) * 3
+  b = x > 0 .and. .not. (y == 3) .or. x /= y
+  A(2 * x + 1) = A(0) / 2.0 - 1.5
+end subroutine
+|}
+  in
+  Alcotest.(check int) "4 stmts" 4 (List.length r.Ast.r_body);
+  match (List.hd r.Ast.r_body).Ast.skind with
+  | Ast.Scalar_assign ("x", Ast.Binop (Add, Int 1, Binop (Mul, Int 2, Int 3))) -> ()
+  | _ -> Alcotest.fail "precedence wrong"
+
+let test_parse_error_reports_line () =
+  match parse "subroutine s()\n  x = @\nend subroutine\n" with
+  | exception Hpfc_base.Error.Hpf_error (Parse_error, msg) ->
+    Alcotest.(check bool) "mentions line 2" true
+      (Astring.String.is_infix ~affix:"line 2" msg)
+  | _ -> Alcotest.fail "expected parse error"
+
+let test_inherit_rejected () =
+  match
+    parse
+      "subroutine s(X)\n  real X(8)\n!hpf$ inherit X\n  X(0) = 1.0\nend \
+       subroutine\n"
+  with
+  | exception Hpfc_base.Error.Hpf_error (Transcriptive_mapping, _) -> ()
+  | exception e -> Alcotest.failf "wrong error: %s" (Hpfc_base.Error.to_string e)
+  | _ -> Alcotest.fail "INHERIT must be rejected"
+
+let test_case_insensitive () =
+  let r = parse "SUBROUTINE S()\n  REAL A(4)\n  A = 0.0\nEND SUBROUTINE\n" in
+  Alcotest.(check string) "lowercased" "s" r.Ast.r_name
+
+(* Round-trip: parse, print, parse again — same AST. *)
+let roundtrip_ok src =
+  let r1 = parse src in
+  let printed = Pp_ast.routine_to_string r1 in
+  let r2 =
+    try parse printed
+    with exn ->
+      Alcotest.failf "reparse failed: %s@.--- printed ---@.%s"
+        (Hpfc_base.Error.to_string exn) printed
+  in
+  if r1 <> r2 then
+    Alcotest.failf "round-trip mismatch@.--- printed ---@.%s" printed
+
+let test_roundtrip_fig10 () = roundtrip_ok fig10_source
+let test_roundtrip_interfaces () = roundtrip_ok interface_source
+
+let test_roundtrip_misc () =
+  roundtrip_ok
+    {|
+subroutine s(A)
+  real A(8, 8), B(8, 8)
+  integer i, j
+  intent(out) A
+!hpf$ processors Q(2, 2)
+!hpf$ template T(8, 8)
+!hpf$ align A(i, j) with T(j, i)
+!hpf$ align B(i, j) with T(2*i+1, -j+7)
+!hpf$ distribute T(cyclic(2), block) onto Q
+  do i = 0, 7
+    do j = 0, 7
+      A(i, j) = B(j, i) * 2.0 + 1.0
+    enddo
+  enddo
+  if (A(0, 0) >= 3.5) then
+!hpf$ realign A(i, j) with T(i, j)
+    A(1, 1) = 0.0
+  else
+!hpf$ redistribute T(block, block)
+  endif
+!hpf$ kill B
+end subroutine
+|}
+
+let suite =
+  [
+    Alcotest.test_case "fig10 parses" `Quick test_fig10_parses;
+    Alcotest.test_case "parameter substitution" `Quick test_parameter_substitution;
+    Alcotest.test_case "remapping statements" `Quick test_remapping_statements;
+    Alcotest.test_case "interfaces" `Quick test_interfaces;
+    Alcotest.test_case "align subscripts" `Quick test_align_subscripts;
+    Alcotest.test_case "align star/const" `Quick test_align_star_and_const;
+    Alcotest.test_case "expressions" `Quick test_expressions;
+    Alcotest.test_case "parse error line" `Quick test_parse_error_reports_line;
+    Alcotest.test_case "inherit rejected" `Quick test_inherit_rejected;
+    Alcotest.test_case "case insensitive" `Quick test_case_insensitive;
+    Alcotest.test_case "round-trip fig10" `Quick test_roundtrip_fig10;
+    Alcotest.test_case "round-trip interfaces" `Quick test_roundtrip_interfaces;
+    Alcotest.test_case "round-trip misc" `Quick test_roundtrip_misc;
+  ]

@@ -1,0 +1,158 @@
+(* Direct unit tests of the forward mapping propagation (Appendix B's
+   dataflow): transfer-function behaviour on single vertices, save/restore
+   threading across calls, template vs array redistribute targets, and
+   realign resolution against the current state. *)
+
+module State = Hpfc_remap.State
+module Propagate = Hpfc_remap.Propagate
+module Cfg = Hpfc_cfg.Cfg
+open Hpfc_lang
+open Hpfc_mapping
+
+let parse = Hpfc_parser.Parser.parse_routine_string
+
+let setup src =
+  let r = parse src in
+  let env = Env.of_routine r in
+  let cfg = Cfg.of_routine r in
+  (env, cfg, Propagate.run env cfg)
+
+let mappings_at (prop : Propagate.result) vid a =
+  State.mappings prop.Propagate.state_out.(vid) a
+
+let find_vertex cfg pred =
+  let found = ref None in
+  Array.iter
+    (fun (v : Cfg.vertex) -> if !found = None && pred v.Cfg.kind then found := Some v.Cfg.vid)
+    cfg.Cfg.vertices;
+  Option.get !found
+
+let dist_of (m : Mapping.t) = (Mapping.resolve m).Mapping.dist
+
+let test_entry_seeds_state () =
+  let env, cfg, prop =
+    setup
+      "subroutine s(A)\n  real A(8), B(8)\n  intent(in) A\n!hpf$ distribute \
+       A(block)\n!hpf$ distribute B(cyclic)\n  B(0) = A(0)\nend subroutine\n"
+  in
+  ignore env;
+  (* the argument leaves v_c, the local leaves v_0 *)
+  Alcotest.(check int) "A at v_c" 1
+    (List.length (mappings_at prop cfg.Cfg.call_context "a"));
+  Alcotest.(check int) "B not yet at v_c" 0
+    (List.length (mappings_at prop cfg.Cfg.call_context "b"));
+  Alcotest.(check int) "B at v_0" 1 (List.length (mappings_at prop cfg.Cfg.entry "b"))
+
+let test_redistribute_array_target () =
+  let _, cfg, prop =
+    setup
+      "subroutine s()\n  real A(8), B(8)\n!hpf$ dynamic A, B\n!hpf$ align B \
+       with A\n!hpf$ distribute A(block)\n  A = 1.0\n!hpf$ redistribute \
+       A(cyclic)\n  A(0) = B(1)\nend subroutine\n"
+  in
+  let v =
+    find_vertex cfg (function
+      | Cfg.V_stmt { skind = Ast.Redistribute _; _ } -> true
+      | _ -> false)
+  in
+  (* redistributing array A's implicit template remaps the alignee B too *)
+  (match mappings_at prop v "b" with
+  | [ m ] -> (
+    match dist_of m with
+    | [| Dist.Cyclic 1 |] -> ()
+    | _ -> Alcotest.fail "B should be cyclic after the redistribute")
+  | _ -> Alcotest.fail "B should have exactly one mapping");
+  match mappings_at prop v "a" with
+  | [ m ] -> (
+    match dist_of m with
+    | [| Dist.Cyclic 1 |] -> ()
+    | _ -> Alcotest.fail "A should be cyclic")
+  | _ -> Alcotest.fail "A should have exactly one mapping"
+
+let test_branch_joins_mappings () =
+  let _, cfg, prop =
+    setup
+      "subroutine s(c)\n  integer c\n  real A(8)\n!hpf$ dynamic A\n!hpf$ \
+       distribute A(block)\n  A = 1.0\n  if (c > 0) then\n!hpf$ redistribute \
+       A(cyclic)\n  endif\n!hpf$ redistribute A(cyclic)\n  A(0) = 1.0\nend \
+       subroutine\n"
+  in
+  (* at the final redistribute both block and cyclic reach *)
+  let finals =
+    Array.to_list cfg.Cfg.vertices
+    |> List.filter (fun (v : Cfg.vertex) ->
+         match v.Cfg.kind with
+         | Cfg.V_stmt { skind = Ast.Redistribute _; _ } -> true
+         | _ -> false)
+  in
+  let last = List.nth finals 1 in
+  Alcotest.(check int) "two mappings reach" 2
+    (List.length (State.mappings prop.Propagate.state_in.(last.Cfg.vid) "a"))
+
+let test_call_save_restore_threading () =
+  let _, cfg, prop =
+    setup
+      "subroutine s()\n  real A(8)\n!hpf$ dynamic A\n!hpf$ distribute \
+       A(block)\n  interface\n    subroutine f(X)\n      real X(8)\n      \
+       intent(inout) X\n!hpf$ distribute X(cyclic)\n    end subroutine\n  \
+       end interface\n  A = 1.0\n  call f(A)\n  A(0) = 1.0\nend subroutine\n"
+  in
+  let vb =
+    find_vertex cfg (function Cfg.V_call_before _ -> true | _ -> false)
+  in
+  let vc = find_vertex cfg (function
+    | Cfg.V_stmt { skind = Ast.Call _; _ } -> true
+    | _ -> false)
+  in
+  let va =
+    find_vertex cfg (function Cfg.V_call_after _ -> true | _ -> false)
+  in
+  (* the dummy mapping holds between v_b and v_a; the save key carries the
+     caller mapping through; after v_a the original mapping is restored and
+     the save key is gone *)
+  (match mappings_at prop vb "a" with
+  | [ m ] -> Alcotest.(check bool) "cyclic at call" true (dist_of m = [| Dist.Cyclic 1 |])
+  | _ -> Alcotest.fail "single mapping expected at v_b");
+  let sid = match (Cfg.vertex cfg vc).Cfg.kind with
+    | Cfg.V_stmt s -> s.Ast.sid
+    | _ -> assert false
+  in
+  Alcotest.(check int) "save key alive through the call" 1
+    (List.length
+       (State.mappings prop.Propagate.state_out.(vc) (State.save_key sid "a")));
+  (match mappings_at prop va "a" with
+  | [ m ] ->
+    Alcotest.(check bool) "restored to block" true
+      (dist_of m = [| Dist.Block (Some 2) |])
+  | _ -> Alcotest.fail "single restored mapping expected");
+  Alcotest.(check int) "save key dropped" 0
+    (List.length (State.mappings prop.Propagate.state_out.(va) (State.save_key sid "a")))
+
+let test_realign_uses_current_target_state () =
+  let _, cfg, prop =
+    setup
+      "subroutine s()\n  real A(8), B(8)\n!hpf$ dynamic A, B\n!hpf$ \
+       distribute A(block)\n!hpf$ distribute B(block)\n  A = 1.0\n  B = \
+       2.0\n!hpf$ redistribute B(cyclic)\n!hpf$ realign A(i) with B(i)\n  \
+       A(0) = B(0)\nend subroutine\n"
+  in
+  let realign =
+    find_vertex cfg (function
+      | Cfg.V_stmt { skind = Ast.Realign _; _ } -> true
+      | _ -> false)
+  in
+  (* A aligns with B *after* B was redistributed: A must come out cyclic *)
+  match mappings_at prop realign "a" with
+  | [ m ] ->
+    Alcotest.(check bool) "A follows B's current mapping" true
+      (dist_of m = [| Dist.Cyclic 1 |])
+  | _ -> Alcotest.fail "single mapping expected"
+
+let suite =
+  [
+    Alcotest.test_case "entry seeds args/locals" `Quick test_entry_seeds_state;
+    Alcotest.test_case "redistribute through alignment" `Quick test_redistribute_array_target;
+    Alcotest.test_case "branch joins mappings" `Quick test_branch_joins_mappings;
+    Alcotest.test_case "call save/restore threading" `Quick test_call_save_restore_threading;
+    Alcotest.test_case "realign sees current state" `Quick test_realign_uses_current_target_state;
+  ]

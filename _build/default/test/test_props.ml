@@ -1,0 +1,176 @@
+(* Algebraic-law property tests for the analysis lattices and index-set
+   algebra: correctness of every dataflow pass rests on these. *)
+
+module U = Hpfc_effects.Use_info
+module Effects = Hpfc_effects.Effects
+module State = Hpfc_remap.State
+module Ivset = Hpfc_mapping.Ivset
+module D = Hpfc_mapping.Dist
+module Mapping = Hpfc_mapping.Mapping
+module Procs = Hpfc_mapping.Procs
+
+(* --- Use_info is a finite lattice -------------------------------------------- *)
+
+let all_uses = [ U.N; U.D; U.R; U.W ]
+
+let test_use_join_laws () =
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "idempotent" true (U.equal (U.join a a) a);
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "commutative" true
+            (U.equal (U.join a b) (U.join b a));
+          Alcotest.(check bool) "N is bottom" true
+            (U.equal (U.join U.N a) a);
+          Alcotest.(check bool) "W is top" true
+            (U.equal (U.join U.W a) U.W);
+          List.iter
+            (fun c ->
+              Alcotest.(check bool) "associative" true
+                (U.equal (U.join a (U.join b c)) (U.join (U.join a b) c)))
+            all_uses)
+        all_uses)
+    all_uses
+
+let ( ==> ) p q = (not p) || q
+
+(* joins only go up: monotonicity in both data and modification bits *)
+let test_use_join_monotone () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let j = U.join a b in
+          Alcotest.(check bool) "data bit monotone" true
+            ((not (U.needs_data a)) || U.needs_data j);
+          Alcotest.(check bool) "modify bit monotone" true
+            (U.preserves_copies j
+             ==> (U.preserves_copies a && U.preserves_copies b)))
+        all_uses)
+    all_uses
+
+(* --- effect maps --------------------------------------------------------------- *)
+
+let gen_effect_map =
+  QCheck2.Gen.(
+    list_size (int_range 0 5)
+      (pair (oneofl [ "a"; "b"; "c" ]) (oneofl all_uses))
+    |> map (fun pairs -> List.fold_left (fun m (a, u) -> Effects.add m a u) [] pairs))
+
+let prop_effect_join_comm =
+  QCheck2.Test.make ~name:"effect map join commutes" ~count:200
+    QCheck2.Gen.(pair gen_effect_map gen_effect_map)
+    (fun (m1, m2) ->
+      Effects.equal_maps (Effects.join_maps m1 m2) (Effects.join_maps m2 m1))
+
+let prop_effect_join_idem =
+  QCheck2.Test.make ~name:"effect map join idempotent" ~count:200 gen_effect_map
+    (fun m -> Effects.equal_maps (Effects.join_maps m m) m)
+
+let prop_effect_join_assoc =
+  QCheck2.Test.make ~name:"effect map join associates" ~count:200
+    QCheck2.Gen.(triple gen_effect_map gen_effect_map gen_effect_map)
+    (fun (m1, m2, m3) ->
+      Effects.equal_maps
+        (Effects.join_maps m1 (Effects.join_maps m2 m3))
+        (Effects.join_maps (Effects.join_maps m1 m2) m3))
+
+(* --- propagation state ----------------------------------------------------------- *)
+
+let gen_mapping =
+  QCheck2.Gen.(
+    let* d = oneofl [ D.block; D.cyclic; D.cyclic_sized 2; D.cyclic_sized 3 ] in
+    let* p = oneofl [ 2; 4 ] in
+    return
+      (Mapping.direct ~array_name:"a" ~extents:[| 16 |] ~dist:[| d |]
+         ~procs:(Procs.linear "p" p)))
+
+let gen_state =
+  QCheck2.Gen.(
+    let* ms = list_size (int_range 0 3) gen_mapping in
+    let* ms2 = list_size (int_range 0 3) gen_mapping in
+    let st = State.empty in
+    let st = if ms = [] then st else State.set_mappings st "a" ms in
+    let st = if ms2 = [] then st else State.set_mappings st "b" ms2 in
+    return st)
+
+let prop_state_join_comm =
+  QCheck2.Test.make ~name:"state join commutes" ~count:200
+    QCheck2.Gen.(pair gen_state gen_state)
+    (fun (s1, s2) -> State.equal (State.join s1 s2) (State.join s2 s1))
+
+let prop_state_join_idem =
+  QCheck2.Test.make ~name:"state join idempotent" ~count:200 gen_state (fun s ->
+      State.equal (State.join s s) s)
+
+let prop_state_join_upper_bound =
+  QCheck2.Test.make ~name:"state join is an upper bound" ~count:200
+    QCheck2.Gen.(pair gen_state gen_state)
+    (fun (s1, s2) ->
+      let j = State.join s1 s2 in
+      List.for_all
+        (fun (a, ms) ->
+          List.for_all
+            (fun m -> List.exists (Mapping.equal m) (State.mappings j a))
+            ms)
+        s1.State.arrays)
+
+(* --- interval sets ------------------------------------------------------------------ *)
+
+let gen_ivset =
+  QCheck2.Gen.(
+    let* extent = int_range 1 60 in
+    let* periodic = bool in
+    if periodic then
+      let* period = int_range 1 12 in
+      let* lo = int_range 0 (max 0 (period - 1)) in
+      let* len = int_range 1 (max 1 (period - lo)) in
+      return (Ivset.Periodic { period; pattern = [ (lo, lo + len) ]; extent })
+    else
+      let* ivs =
+        list_size (int_range 0 4) (pair (int_range 0 59) (int_range 1 6))
+      in
+      let ivs =
+        List.sort compare (List.map (fun (lo, len) -> (lo, min extent (lo + len))) ivs)
+        |> List.filter (fun (lo, hi) -> lo < hi && lo < extent)
+        |> Ivset.merge_adjacent
+      in
+      return (Ivset.Finite ivs))
+
+let prop_ivset_cardinal =
+  QCheck2.Test.make ~name:"cardinal = length of materialization" ~count:300
+    gen_ivset (fun s ->
+      Ivset.cardinal s = Ivset.size_of_intervals (Ivset.to_intervals s))
+
+let prop_ivset_inter_comm =
+  QCheck2.Test.make ~name:"inter_cardinal commutes" ~count:300
+    QCheck2.Gen.(pair gen_ivset gen_ivset)
+    (fun (s1, s2) -> Ivset.inter_cardinal s1 s2 = Ivset.inter_cardinal s2 s1)
+
+let prop_ivset_inter_self =
+  QCheck2.Test.make ~name:"inter with self = cardinal" ~count:300 gen_ivset
+    (fun s -> Ivset.inter_cardinal s s = Ivset.cardinal s)
+
+let prop_ivset_count_below_monotone =
+  QCheck2.Test.make ~name:"count_below is monotone" ~count:300
+    QCheck2.Gen.(triple gen_ivset (int_range 0 60) (int_range 0 60))
+    (fun (s, x, y) ->
+      let lo = min x y and hi = max x y in
+      Ivset.count_below s lo <= Ivset.count_below s hi)
+
+let suite =
+  [
+    Alcotest.test_case "use-info join laws" `Quick test_use_join_laws;
+    Alcotest.test_case "use-info join monotone" `Quick test_use_join_monotone;
+    QCheck_alcotest.to_alcotest prop_effect_join_comm;
+    QCheck_alcotest.to_alcotest prop_effect_join_idem;
+    QCheck_alcotest.to_alcotest prop_effect_join_assoc;
+    QCheck_alcotest.to_alcotest prop_state_join_comm;
+    QCheck_alcotest.to_alcotest prop_state_join_idem;
+    QCheck_alcotest.to_alcotest prop_state_join_upper_bound;
+    QCheck_alcotest.to_alcotest prop_ivset_cardinal;
+    QCheck_alcotest.to_alcotest prop_ivset_inter_comm;
+    QCheck_alcotest.to_alcotest prop_ivset_inter_self;
+    QCheck_alcotest.to_alcotest prop_ivset_count_below_monotone;
+  ]

@@ -1,0 +1,264 @@
+(* Remapping-graph construction tests against the paper's figures:
+   vertex/edge structure of Fig. 11, use qualifiers, version numbering,
+   ambiguity rejection (Fig. 5) and acceptance (Fig. 6), call handling
+   (Figs. 4/15/24), multiple leaving mappings (Fig. 21). *)
+
+open Hpfc_remap
+module Cfg = Hpfc_cfg.Cfg
+module U = Hpfc_effects.Use_info
+module Figures = Hpfc_kernels.Figures
+
+let build src = Construct.build (Hpfc_parser.Parser.parse_routine_string src)
+
+(* Find the unique G_R vertex whose underlying statement is the [n]-th
+   remapping statement (realign/redistribute) in source order. *)
+let remap_vertex g n =
+  let cfg = g.Graph.cfg in
+  let sids = ref [] in
+  Hpfc_lang.Ast.iter_stmts
+    (fun s ->
+      match s.Hpfc_lang.Ast.skind with
+      | Hpfc_lang.Ast.Realign _ | Hpfc_lang.Ast.Redistribute _ ->
+        sids := s.Hpfc_lang.Ast.sid :: !sids
+      | _ -> ())
+    cfg.Cfg.routine.Hpfc_lang.Ast.r_body;
+  let sid = List.nth (List.rev !sids) n in
+  let found = ref None in
+  Array.iter
+    (fun (v : Cfg.vertex) ->
+      if Cfg.sid_of_kind v.kind = Some sid then found := Some v.vid)
+    cfg.Cfg.vertices;
+  Option.get !found
+
+(* First vertex (in construction order) whose kind matches. *)
+let vertex_of_kind g pred =
+  let found = ref None in
+  Array.iter
+    (fun (v : Cfg.vertex) ->
+      if !found = None && pred v.Cfg.kind then found := Some v.vid)
+    g.Graph.cfg.Cfg.vertices;
+  Option.get !found
+
+let label g vid array =
+  match Graph.label_opt g vid array with
+  | Some l -> l
+  | None -> Alcotest.failf "no label for %s at vertex %d" array vid
+
+let check_use g vid array expected =
+  Alcotest.(check string)
+    (Fmt.str "U_%s(%d)" array vid)
+    (U.to_string expected)
+    (U.to_string (label g vid array).Graph.use)
+
+let check_versions g vid array ~reaching ~leaving =
+  let l = label g vid array in
+  Alcotest.(check (list int))
+    (Fmt.str "R_%s(%d)" array vid)
+    reaching
+    (List.sort compare l.Graph.reaching);
+  Alcotest.(check (list int))
+    (Fmt.str "L_%s(%d)" array vid)
+    leaving
+    (List.sort compare l.Graph.leaving)
+
+(* --- Fig. 10 / 11: the running example --------------------------------- *)
+
+let fig10_graph () = build Figures.fig10_src
+
+let test_fig11_vertices () =
+  let g = fig10_graph () in
+  (* v_c, v_0, four redistributes, v_e = 7 vertices *)
+  Alcotest.(check int) "seven G_R vertices" 7 (Graph.nb_vertices g)
+
+let test_fig11_versions () =
+  let g = fig10_graph () in
+  (* each of A, B, C takes four mappings: block-star, cyclic-star,
+     block-block, star-block *)
+  List.iter
+    (fun a -> Alcotest.(check int) (a ^ " versions") 4 (Version.count g.Graph.registry a))
+    [ "a"; "b"; "c" ]
+
+let test_fig11_labels () =
+  let g = fig10_graph () in
+  let v1 = remap_vertex g 0 in
+  (* then-branch: A written (W), B read (R), C unreferenced (N) *)
+  check_use g v1 "a" U.W;
+  check_use g v1 "b" U.R;
+  check_use g v1 "c" U.N;
+  check_versions g v1 "a" ~reaching:[ 0 ] ~leaving:[ 1 ];
+  let v2 = remap_vertex g 1 in
+  (* else-branch: A read only *)
+  check_use g v2 "a" U.R;
+  check_use g v2 "b" U.N;
+  check_use g v2 "c" U.N;
+  check_versions g v2 "a" ~reaching:[ 0 ] ~leaving:[ 2 ];
+  let v3 = remap_vertex g 2 in
+  (* loop: C = A fully defines C (D), reads A (R) *)
+  check_use g v3 "a" U.R;
+  check_use g v3 "c" U.D;
+  check_use g v3 "b" U.N;
+  (* reaching includes version 0 via the back edge from vertex 4 *)
+  check_versions g v3 "a" ~reaching:[ 0; 1; 2 ] ~leaving:[ 3 ];
+  let v4 = remap_vertex g 3 in
+  (* A = A + C: A written, C read *)
+  check_use g v4 "a" U.W;
+  check_use g v4 "c" U.R;
+  check_use g v4 "b" U.N;
+  check_versions g v4 "a" ~reaching:[ 3 ] ~leaving:[ 0 ]
+
+let test_fig11_entry_exit () =
+  let g = fig10_graph () in
+  let vc = vertex_of_kind g (fun k -> k = Cfg.V_call_context) in
+  let v0 = vertex_of_kind g (fun k -> k = Cfg.V_entry) in
+  let ve = vertex_of_kind g (fun k -> k = Cfg.V_exit) in
+  (* A is the (inout) argument: prescribed D at v_c, W at v_e *)
+  check_use g vc "a" U.D;
+  check_versions g vc "a" ~reaching:[] ~leaving:[ 0 ];
+  check_use g ve "a" U.W;
+  (* locals leave from v_0; B = A fully defines B (D) and the branch
+     condition then reads it (R): the product join gives W — modified and
+     data-bearing; C is unused until the loop remaps it (N) *)
+  check_use g v0 "b" U.W;
+  check_use g v0 "c" U.N;
+  (* at exit the argument is restored to its dummy mapping, locals die *)
+  check_versions g ve "a" ~reaching:[ 0; 1; 2 ] ~leaving:[ 0 ];
+  Alcotest.(check (list int)) "locals have no leaving at exit" []
+    (label g ve "b").Graph.leaving
+
+let test_fig11_edges () =
+  let g = fig10_graph () in
+  let v1 = remap_vertex g 0
+  and v2 = remap_vertex g 1
+  and v3 = remap_vertex g 2
+  and v4 = remap_vertex g 3 in
+  let ve = vertex_of_kind g (fun k -> k = Cfg.V_exit) in
+  let vc = vertex_of_kind g (fun k -> k = Cfg.V_call_context) in
+  let succs a vid = List.sort compare (Graph.succs_for g vid a) in
+  (* the paper's zero-trip edges: 1 -> E and 4 -> E *)
+  Alcotest.(check (list int)) "A: v_c -> {1,2}" (List.sort compare [ v1; v2 ]) (succs "a" vc);
+  Alcotest.(check (list int)) "A: 1 -> {3,E}" (List.sort compare [ v3; ve ]) (succs "a" v1);
+  Alcotest.(check (list int)) "A: 2 -> {3,E}" (List.sort compare [ v3; ve ]) (succs "a" v2);
+  Alcotest.(check (list int)) "A: 3 -> {4}" [ v4 ] (succs "a" v3);
+  Alcotest.(check (list int)) "A: 4 -> {3,E}" (List.sort compare [ v3; ve ]) (succs "a" v4)
+
+let test_fig11_reference_tagging () =
+  let g = fig10_graph () in
+  (* C = A inside the loop reads A under mapping 3 *)
+  let tagged = Hashtbl.fold (fun (_, a) v acc -> (a, v) :: acc) g.Graph.refs [] in
+  Alcotest.(check bool) "A referenced under version 3" true
+    (List.mem ("a", 3) tagged);
+  Alcotest.(check bool) "C referenced under version 3" true
+    (List.mem ("c", 3) tagged);
+  (* B is never referenced under (block,block) = version 2 *)
+  Alcotest.(check bool) "B_2 never referenced" false (List.mem ("b", 2) tagged);
+  Alcotest.(check bool) "C_1 never referenced" false (List.mem ("c", 1) tagged)
+
+(* --- ambiguity --------------------------------------------------------- *)
+
+let test_fig5_rejected () =
+  match build Figures.fig5_src with
+  | exception Hpfc_base.Error.Hpf_error (Ambiguous_mapping, _) -> ()
+  | exception e -> Alcotest.failf "wrong error: %s" (Hpfc_base.Error.to_string e)
+  | _ -> Alcotest.fail "fig5 should be rejected as ambiguous"
+
+let test_fig6_accepted () =
+  let g = build Figures.fig6_src in
+  (* final redistribute: reaching {block=0, cyclic=1}, leaving cyclic *)
+  let v = remap_vertex g 1 in
+  check_versions g v "a" ~reaching:[ 0; 1 ] ~leaving:[ 1 ]
+
+(* --- calls -------------------------------------------------------------- *)
+
+let test_fig4_call_vertices () =
+  let g = build Figures.fig4_src in
+  (* v_c, v_0, 3 x (before+after), v_e = 8 vertices; Y remapped at each *)
+  Alcotest.(check int) "eight G_R vertices" 8 (Graph.nb_vertices g);
+  (* Y takes block, cyclic, cyclic(4): 3 versions *)
+  Alcotest.(check int) "Y versions" 3 (Version.count g.Graph.registry "y")
+
+let test_fig4_call_labels () =
+  let g = build Figures.fig4_src in
+  let vb1 = vertex_of_kind g (function Cfg.V_call_before _ -> true | _ -> false) in
+  check_versions g vb1 "y" ~reaching:[ 0 ] ~leaving:[ 1 ];
+  (* the callee may modify the inout argument: W at the before vertex *)
+  check_use g vb1 "y" U.W
+
+let test_fig15_restore () =
+  let g = build Figures.fig15_src in
+  let va =
+    vertex_of_kind g (function Cfg.V_call_after _ -> true | _ -> false)
+  in
+  let l = label g va "a" in
+  Alcotest.(check bool) "restore vertex" true l.Graph.restore;
+  Alcotest.(check int) "two restore targets" 2 (List.length l.Graph.leaving);
+  check_versions g va "a" ~reaching:[ 2 ] ~leaving:[ 0; 1 ]
+
+(* --- Fig. 21: several leaving mappings ---------------------------------- *)
+
+let test_fig21_multiple_leaving () =
+  let g = build Figures.fig21_src in
+  let v = remap_vertex g 1 in
+  let l = label g v "a" in
+  Alcotest.(check bool) "not a restore vertex" false l.Graph.restore;
+  Alcotest.(check int) "two leaving mappings" 2 (List.length l.Graph.leaving)
+
+(* --- layout-equivalent realign ------------------------------------------ *)
+
+let test_noop_realign_not_remapped () =
+  (* realigning with an identically distributed template moves no data and
+     produces no remapping vertex *)
+  let g =
+    build
+      {|
+subroutine s()
+  real A(16)
+!hpf$ processors P(4)
+!hpf$ template T1(16)
+!hpf$ template T2(16)
+!hpf$ dynamic A
+!hpf$ align A with T1
+!hpf$ distribute T1(block) onto P
+!hpf$ distribute T2(cyclic) onto P
+  A = 1.0
+!hpf$ realign A(i) with T2(i)
+  A(0) = 2.0
+end subroutine
+|}
+  in
+  (* the realign is a real remapping (block -> cyclic): vertex exists *)
+  Alcotest.(check int) "A versions" 2 (Version.count g.Graph.registry "a");
+  let v = remap_vertex g 0 in
+  check_versions g v "a" ~reaching:[ 0 ] ~leaving:[ 1 ]
+
+let test_missing_interface_rejected () =
+  match
+    build
+      {|
+subroutine s()
+  real A(8)
+!hpf$ distribute A(block)
+  call mystery(A)
+end subroutine
+|}
+  with
+  | exception Hpfc_base.Error.Hpf_error (Missing_interface, _) -> ()
+  | exception e -> Alcotest.failf "wrong error: %s" (Hpfc_base.Error.to_string e)
+  | _ -> Alcotest.fail "missing interface should be rejected"
+
+let suite =
+  [
+    Alcotest.test_case "fig11: vertex count" `Quick test_fig11_vertices;
+    Alcotest.test_case "fig11: version count" `Quick test_fig11_versions;
+    Alcotest.test_case "fig11: labels" `Quick test_fig11_labels;
+    Alcotest.test_case "fig11: entry/exit" `Quick test_fig11_entry_exit;
+    Alcotest.test_case "fig11: edges (incl. zero-trip)" `Quick test_fig11_edges;
+    Alcotest.test_case "fig11: reference tagging" `Quick test_fig11_reference_tagging;
+    Alcotest.test_case "fig5: ambiguity rejected" `Quick test_fig5_rejected;
+    Alcotest.test_case "fig6: dead ambiguity accepted" `Quick test_fig6_accepted;
+    Alcotest.test_case "fig4: call vertices" `Quick test_fig4_call_vertices;
+    Alcotest.test_case "fig4: call labels" `Quick test_fig4_call_labels;
+    Alcotest.test_case "fig15: flow-dependent restore" `Quick test_fig15_restore;
+    Alcotest.test_case "fig21: multiple leaving" `Quick test_fig21_multiple_leaving;
+    Alcotest.test_case "no-op realign" `Quick test_noop_realign_not_remapped;
+    Alcotest.test_case "missing interface" `Quick test_missing_interface_rejected;
+  ]
