@@ -97,12 +97,19 @@ let run_cmd =
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the remapping event timeline after execution.") in
   let scalars = Arg.(value & opt_all scalar_assignments [] & info [ "s"; "set" ] ~docv:"X=V" ~doc:"Set a scalar before execution.") in
   let compare = Arg.(value & flag & info [ "compare" ] ~doc:"Run the naive and the optimized compilations and compare.") in
+  let sched = Arg.(value & flag & info [ "sched" ] ~doc:"Charge communication as contention-free steps (serialized, one send and one receive per processor per step) instead of one unordered burst.") in
   let compare_lex (a, _) (b, _) = Stdlib.compare a b in
-  let run file naive entry scalars compare distributed trace =
+  let run file naive entry scalars compare distributed trace sched =
     handle (fun () ->
+        let sched_mode =
+          if sched then Machine.Stepped else Machine.Burst
+        in
         let src = read_file file in
         if compare then begin
-          let c = Hpfc_driver.Pipeline.compare_pipelines ~scalars ?entry src in
+          let c =
+            Hpfc_driver.Pipeline.compare_pipelines ~scalars ?entry
+              ~sched:sched_mode src
+          in
           Fmt.pr "%a" Hpfc_driver.Pipeline.pp_comparison c
         end
         else begin
@@ -111,7 +118,7 @@ let run_cmd =
             else Hpfc_runtime.Store.Canonical
           in
           let machine =
-            Machine.create ~nprocs:4 ~record_trace:trace ()
+            Machine.create ~nprocs:4 ~sched:sched_mode ~record_trace:trace ()
           in
           let r =
             Hpfc_driver.Pipeline.run_source ~pipeline:(pipeline_of_naive naive)
@@ -132,7 +139,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated machine.")
-    Term.(const run $ file_arg $ naive_flag $ entry $ scalars $ compare $ distributed $ trace)
+    Term.(const run $ file_arg $ naive_flag $ entry $ scalars $ compare $ distributed $ trace $ sched)
 
 (* --- schedule ------------------------------------------------------------------ *)
 
@@ -163,7 +170,8 @@ let schedule_cmd =
   let dst = Arg.(required & pos 1 (some (list dist_format_conv)) None & info [] ~docv:"DST" ~doc:"Target distribution.") in
   let extents = Arg.(value & opt (list int) [ 16 ] & info [ "n" ] ~docv:"N,N" ~doc:"Array extents.") in
   let nprocs = Arg.(value & opt int 4 & info [ "p" ] ~docv:"P" ~doc:"Number of processors (linear grid).") in
-  let run src dst extents nprocs =
+  let steps = Arg.(value & flag & info [ "steps" ] ~doc:"Also print the contention-free step decomposition and its stepped vs burst modeled time.") in
+  let run src dst extents nprocs steps =
     handle (fun () ->
         let mk dists =
           Hpfc_mapping.Layout.of_mapping ~extents:(Array.of_list extents)
@@ -176,12 +184,30 @@ let schedule_cmd =
         let plan = Hpfc_runtime.Redist.plan_intervals ~src:s ~dst:d in
         Fmt.pr "%a@." Hpfc_runtime.Redist.pp plan;
         Fmt.pr "%a" Hpfc_runtime.Redist.pp_schedule
-          (Hpfc_runtime.Redist.schedule ~src:s ~dst:d ()))
+          (Hpfc_runtime.Redist.schedule ~src:s ~dst:d ());
+        if steps then begin
+          let ss = Hpfc_runtime.Redist.steps plan in
+          List.iteri
+            (fun i step ->
+              Fmt.pr "step %d (%d elements):%a@." i
+                (Hpfc_runtime.Redist.step_volume step)
+                (fun ppf ->
+                  List.iter (fun (p, q, n) -> Fmt.pf ppf " P%d->P%d:%d" p q n))
+                step)
+            ss;
+          let cost = Machine.default_cost in
+          Fmt.pr "burst time %.1f | stepped time %.1f in %d steps, peak %d \
+                  elements/step@."
+            (Hpfc_runtime.Redist.modeled_time cost plan)
+            (Hpfc_runtime.Redist.modeled_time_of_steps cost ss)
+            (List.length ss)
+            (Hpfc_runtime.Redist.peak_step_volume ss)
+        end)
   in
   Cmd.v
     (Cmd.info "schedule"
        ~doc:"Print the per-processor message schedule of a redistribution.")
-    Term.(const run $ src $ dst $ extents $ nprocs)
+    Term.(const run $ src $ dst $ extents $ nprocs $ steps)
 
 (* --- figures ------------------------------------------------------------------ *)
 

@@ -87,7 +87,7 @@ let pp_report ppf (r : compile_report) =
 
 (* Parse, compile and run a whole program from source. *)
 let run_source ?(pipeline = I.full_pipeline) ?(scalars = []) ?entry
-    ?use_interval_engine ?backend ?machine src : I.result =
+    ?use_interval_engine ?backend ?machine ?sched src : I.result =
   let prog = Hpfc_parser.Parser.parse_program src in
   let entry =
     match entry with
@@ -95,7 +95,8 @@ let run_source ?(pipeline = I.full_pipeline) ?(scalars = []) ?entry
     | None -> (List.hd prog.Ast.routines).Ast.r_name
   in
   let compiled = I.compile ~pipeline prog in
-  I.run ?machine ?use_interval_engine ?backend compiled ~entry ~scalars ()
+  I.run ?machine ?sched ?use_interval_engine ?backend compiled ~entry ~scalars
+    ()
 
 (* Compare the naive and the fully optimized pipeline on the same program;
    used by every Q experiment. *)
@@ -105,9 +106,15 @@ type comparison = {
   values_agree : bool;
 }
 
-let compare_pipelines ?(scalars = []) ?entry src : comparison =
-  let naive = run_source ~pipeline:I.naive_pipeline ~scalars ?entry src in
-  let optimized = run_source ~pipeline:I.full_pipeline ~scalars ?entry src in
+let compare_pipelines ?(scalars = []) ?entry ?sched src : comparison =
+  (* each leg runs on its own fresh machine (and plan cache): counters
+     cannot leak between the naive and the optimized run *)
+  let naive =
+    run_source ~pipeline:I.naive_pipeline ~scalars ?entry ?sched src
+  in
+  let optimized =
+    run_source ~pipeline:I.full_pipeline ~scalars ?entry ?sched src
+  in
   (* compare only program-defined elements: copies of killed or
      never-written data legitimately differ between compilations *)
   let values_agree =
@@ -131,10 +138,15 @@ let pp_comparison ppf (c : comparison) =
   and o = c.optimized.I.machine.Machine.counters in
   Fmt.pf ppf
     "          %12s %12s@.remaps    %12d %12d@.skipped   %12d %12d@.reuses   \
-     %12d %12d@.messages  %12d %12d@.volume    %12d %12d@.time      %12.1f \
-     %12.1f@.values    %s@."
+     %12d %12d@.messages  %12d %12d@.volume    %12d %12d@.plan h/m  %7d/%-4d \
+     %7d/%-4d@.time      %12.1f %12.1f@."
     "naive" "optimized" n.Machine.remaps_performed o.Machine.remaps_performed
     n.Machine.remaps_skipped o.Machine.remaps_skipped n.Machine.live_reuses
     o.Machine.live_reuses n.Machine.messages o.Machine.messages
-    n.Machine.volume o.Machine.volume n.Machine.time o.Machine.time
-    (if c.values_agree then "agree" else "DIFFER")
+    n.Machine.volume o.Machine.volume n.Machine.plan_hits
+    n.Machine.plan_misses o.Machine.plan_hits o.Machine.plan_misses
+    n.Machine.time o.Machine.time;
+  if c.naive.I.machine.Machine.sched = Machine.Stepped then
+    Fmt.pf ppf "steps     %12d %12d@.peak/step %12d %12d@." n.Machine.steps
+      o.Machine.steps n.Machine.peak_step_volume o.Machine.peak_step_volume;
+  Fmt.pf ppf "values    %s@." (if c.values_agree then "agree" else "DIFFER")

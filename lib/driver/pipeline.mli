@@ -27,7 +27,8 @@ val analyze :
 
 val pp_report : Format.formatter -> compile_report -> unit
 
-(** Parse, compile and run a whole program from source. *)
+(** Parse, compile and run a whole program from source.  [sched] selects
+    burst or stepped communication accounting for the default machine. *)
 val run_source :
   ?pipeline:Hpfc_interp.Interp.pipeline ->
   ?scalars:(string * Hpfc_interp.Interp.value) list ->
@@ -35,6 +36,7 @@ val run_source :
   ?use_interval_engine:bool ->
   ?backend:Hpfc_runtime.Store.backend ->
   ?machine:Hpfc_runtime.Machine.t ->
+  ?sched:Hpfc_runtime.Machine.sched_mode ->
   string ->
   Hpfc_interp.Interp.result
 
@@ -45,10 +47,13 @@ type comparison = {
       (** program-defined elements equal (undefined data may differ) *)
 }
 
-(** Run the naive and the fully optimized pipeline on the same program. *)
+(** Run the naive and the fully optimized pipeline on the same program.
+    Each leg gets its own fresh machine and plan cache, so counters never
+    leak across legs. *)
 val compare_pipelines :
   ?scalars:(string * Hpfc_interp.Interp.value) list ->
   ?entry:string ->
+  ?sched:Hpfc_runtime.Machine.sched_mode ->
   string ->
   comparison
 

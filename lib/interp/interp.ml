@@ -327,9 +327,12 @@ and exec_call p frame ~sid ~callee ~args =
     {
       routine = target;
       store =
+        (* the callee frame inherits the caller's plan cache: remappings
+           between the same layout pair plan once across the call tree *)
         Store.create
           ~use_interval_engine:frame.store.Store.use_interval_engine
-          ~backend:frame.store.Store.backend frame.store.Store.machine;
+          ~backend:frame.store.Store.backend ~plans:frame.store.Store.plans
+          frame.store.Store.machine;
       scalars = Hashtbl.create 8;
       tainted = Hashtbl.create 4;
       saved = Hashtbl.create 4;
@@ -406,9 +409,9 @@ and run_frame p frame =
 
 (* --- top-level run ----------------------------------------------------------- *)
 
-let run ?(machine : Machine.t option) ?(use_interval_engine = true)
-    ?(backend = Store.Canonical) ?(scalars = []) (p : program) ~entry () :
-    result =
+let run ?(machine : Machine.t option) ?(sched = Machine.Burst)
+    ?(use_interval_engine = true) ?(backend = Store.Canonical) ?(scalars = [])
+    (p : program) ~entry () : result =
   let target =
     match Hashtbl.find_opt p.compiled entry with
     | Some r -> r
@@ -417,7 +420,9 @@ let run ?(machine : Machine.t option) ?(use_interval_engine = true)
   let machine =
     match machine with
     | Some m -> m
-    | None -> Machine.create ~nprocs:target.Gen.graph.Graph.env.Env.default_procs.shape.(0) ()
+    | None ->
+      Machine.create ~sched
+        ~nprocs:target.Gen.graph.Graph.env.Env.default_procs.shape.(0) ()
   in
   let frame =
     {

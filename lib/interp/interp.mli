@@ -58,11 +58,13 @@ val compile : ?pipeline:pipeline -> Hpfc_lang.Ast.program -> program
 
 (** Run [entry] with the given scalar bindings.  Dummy arguments are
     materialized with a deterministic fill (imported values) for
-    in/inout.
+    in/inout.  [sched] selects the communication accounting mode of the
+    default machine (ignored when [machine] is given).
     @raise Hpfc_base.Error.Hpf_error on runtime faults or calls to
     unknown routines. *)
 val run :
   ?machine:Hpfc_runtime.Machine.t ->
+  ?sched:Hpfc_runtime.Machine.sched_mode ->
   ?use_interval_engine:bool ->
   ?backend:Hpfc_runtime.Store.backend ->
   ?scalars:(string * value) list ->

@@ -52,23 +52,13 @@ let adi ?p ~n () = parse_program (adi_src ?p ~n ())
 (* Stage 1 transforms rows (local under block-star), the remapping performs
    the "corner turn", stage 2 transforms the other dimension.  The butterfly
    is replaced by a local row combine with the same data-movement shape. *)
-let fft2d_src ?(p = 4) ~n () =
-  Fmt.str
-    {|
-subroutine fft2d()
-  parameter (n = %d)
-  integer i, j, h
-  real X(n, n)
-!hpf$ processors P(%d)
-!hpf$ dynamic X
-!hpf$ distribute X(block, *) onto P
-  do i = 0, n - 1
-    do j = 0, n - 1
-      X(i, j) = i + j * 2
-    enddo
-  enddo
-  h = n / 2
-  do i = 0, n - 1
+(* [sweeps] > 1 repeats the two-corner-turn pass in a loop (a stream of
+   transforms): the same (source layout, target layout) pairs recur every
+   iteration, the loop-carried pattern the runtime plan cache targets.
+   The default emits the single-pass program unchanged. *)
+let fft2d_src ?(p = 4) ?(sweeps = 1) ~n () =
+  let body =
+    {|  do i = 0, n - 1
     do j = 0, h - 1
       X(i, j) = X(i, j) + X(i, j + h)
       X(i, j + h) = X(i, j) - X(i, j + h) * 2.0
@@ -81,13 +71,37 @@ subroutine fft2d()
       X(i + h, j) = X(i, j) - X(i + h, j) * 2.0
     enddo
   enddo
-!hpf$ redistribute X(block, *)
+!hpf$ redistribute X(block, *)|}
+  in
+  let pass =
+    if sweeps = 1 then body
+    else
+      Fmt.str "  do s = 1, %d\n%s\n  enddo" sweeps body
+  in
+  Fmt.str
+    {|
+subroutine fft2d()
+  parameter (n = %d)
+  integer i, j, h%s
+  real X(n, n)
+!hpf$ processors P(%d)
+!hpf$ dynamic X
+!hpf$ distribute X(block, *) onto P
+  do i = 0, n - 1
+    do j = 0, n - 1
+      X(i, j) = i + j * 2
+    enddo
+  enddo
+  h = n / 2
+%s
   X(0, 0) = X(0, 0) + 1.0
 end subroutine
 |}
-    n p
+    n
+    (if sweeps = 1 then "" else ", s")
+    p pass
 
-let fft2d ?p ~n () = parse_program (fft2d_src ?p ~n ())
+let fft2d ?p ?sweeps ~n () = parse_program (fft2d_src ?p ?sweeps ~n ())
 
 (* --- dense solver phase change -------------------------------------------- *)
 

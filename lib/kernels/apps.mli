@@ -11,10 +11,13 @@ val adi_src : ?p:int -> n:int -> unit -> string
 val adi : ?p:int -> n:int -> unit -> Hpfc_lang.Ast.program
 
 (** 2-D FFT corner turns; the transform is a local row combine with the
-    FFT's data-movement shape. *)
-val fft2d_src : ?p:int -> n:int -> unit -> string
+    FFT's data-movement shape.  [sweeps] > 1 repeats the pass in a loop
+    (a stream of transforms), recurring the same layout pairs — the
+    loop-carried pattern the runtime plan cache targets; the default of 1
+    emits the single-pass program unchanged. *)
+val fft2d_src : ?p:int -> ?sweeps:int -> n:int -> unit -> string
 
-val fft2d : ?p:int -> n:int -> unit -> Hpfc_lang.Ast.program
+val fft2d : ?p:int -> ?sweeps:int -> n:int -> unit -> Hpfc_lang.Ast.program
 
 (** Dense solver: cyclic assembly, block elimination, cyclic output. *)
 val solver_src : n:int -> string

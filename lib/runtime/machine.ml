@@ -16,6 +16,17 @@ type cost_model = {
 
 let default_cost = { alpha = 50.0; beta = 1.0 }
 
+(* How a remapping's messages are charged against the clock:
+
+   - [Burst]: all messages at once; time is the alpha-beta critical path
+     (max over processors of send- or receive-side cost).
+   - [Stepped]: the plan is decomposed into contention-free steps (no
+     processor sends or receives twice within a step, cf. Rink et al.,
+     arXiv:2112.01075); each step costs its slowest message and the steps
+     are serialized.  The per-step volume doubles as a peak-memory proxy
+     for staging buffers. *)
+type sched_mode = Burst | Stepped
+
 type counters = {
   mutable messages : int;
   mutable volume : int;  (* elements sent between distinct processors *)
@@ -27,6 +38,10 @@ type counters = {
   mutable allocs : int;
   mutable frees : int;
   mutable evictions : int;  (* live copies freed under memory pressure *)
+  mutable plan_hits : int;  (* redistribution plans served from cache *)
+  mutable plan_misses : int;  (* plans computed from scratch *)
+  mutable steps : int;  (* contention-free steps executed (Stepped only) *)
+  mutable peak_step_volume : int;  (* max elements in flight in one step *)
   mutable time : float;  (* modeled communication time *)
 }
 
@@ -42,6 +57,10 @@ let fresh_counters () =
     allocs = 0;
     frees = 0;
     evictions = 0;
+    plan_hits = 0;
+    plan_misses = 0;
+    steps = 0;
+    peak_step_volume = 0;
     time = 0.0;
   }
 
@@ -57,6 +76,7 @@ type event = {
 type t = {
   nprocs : int;
   cost : cost_model;
+  sched : sched_mode;  (* how remapping messages are charged to [time] *)
   counters : counters;
   memory_limit : int option;  (* max live elements across all copies *)
   mutable memory_used : int;
@@ -64,11 +84,12 @@ type t = {
   record_trace : bool;
 }
 
-let create ?(cost = default_cost) ?memory_limit ?(record_trace = false)
-    ~nprocs () =
+let create ?(cost = default_cost) ?(sched = Burst) ?memory_limit
+    ?(record_trace = false) ~nprocs () =
   {
     nprocs;
     cost;
+    sched;
     counters = fresh_counters ();
     memory_limit;
     memory_used = 0;
@@ -96,23 +117,35 @@ let pp_event ppf (e : event) =
 let pp_trace ppf t =
   List.iter (fun e -> Fmt.pf ppf "%a@." pp_event e) (events t)
 
-let reset t =
-  let c = fresh_counters () in
-  t.counters.messages <- c.messages;
-  t.counters.volume <- c.volume;
-  t.counters.local_moves <- c.local_moves;
-  t.counters.remaps_performed <- c.remaps_performed;
-  t.counters.remaps_skipped <- c.remaps_skipped;
-  t.counters.live_reuses <- c.live_reuses;
-  t.counters.dead_copies <- c.dead_copies;
-  t.counters.allocs <- c.allocs;
-  t.counters.frees <- c.frees;
-  t.counters.evictions <- c.evictions;
-  t.counters.time <- c.time
+(* Copy every field of [src] into [dst].  [reset] and the cross-run
+   isolation tests rely on this covering the whole record: when a counter
+   is added, the compiler does not force an update here, so the coverage
+   test in test_runtime.ml compares a reset record against a fresh one
+   structurally. *)
+let copy_counters ~into:(dst : counters) (src : counters) =
+  dst.messages <- src.messages;
+  dst.volume <- src.volume;
+  dst.local_moves <- src.local_moves;
+  dst.remaps_performed <- src.remaps_performed;
+  dst.remaps_skipped <- src.remaps_skipped;
+  dst.live_reuses <- src.live_reuses;
+  dst.dead_copies <- src.dead_copies;
+  dst.allocs <- src.allocs;
+  dst.frees <- src.frees;
+  dst.evictions <- src.evictions;
+  dst.plan_hits <- src.plan_hits;
+  dst.plan_misses <- src.plan_misses;
+  dst.steps <- src.steps;
+  dst.peak_step_volume <- src.peak_step_volume;
+  dst.time <- src.time
+
+let reset t = copy_counters ~into:t.counters (fresh_counters ())
 
 let pp_counters ppf (c : counters) =
   Fmt.pf ppf
     "remaps performed=%d skipped=%d live-reuses=%d dead=%d | messages=%d \
-     volume=%d local=%d | allocs=%d frees=%d evictions=%d | time=%.1f"
+     volume=%d local=%d | allocs=%d frees=%d evictions=%d | plans hit=%d \
+     miss=%d | steps=%d peak-step-vol=%d | time=%.1f"
     c.remaps_performed c.remaps_skipped c.live_reuses c.dead_copies c.messages
-    c.volume c.local_moves c.allocs c.frees c.evictions c.time
+    c.volume c.local_moves c.allocs c.frees c.evictions c.plan_hits
+    c.plan_misses c.steps c.peak_step_volume c.time

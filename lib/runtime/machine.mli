@@ -16,6 +16,13 @@ type cost_model = {
 (** alpha = 50, beta = 1. *)
 val default_cost : cost_model
 
+(** How a remapping's messages are charged to the clock: [Burst] charges
+    the whole plan as one unordered exchange (alpha-beta critical path);
+    [Stepped] decomposes it into contention-free steps — no processor
+    sends or receives twice within a step — each costing its slowest
+    message, serialized (cf. Rink et al., arXiv:2112.01075). *)
+type sched_mode = Burst | Stepped
+
 type counters = {
   mutable messages : int;
   mutable volume : int;  (** elements sent between distinct processors *)
@@ -27,10 +34,21 @@ type counters = {
   mutable allocs : int;
   mutable frees : int;
   mutable evictions : int;  (** live copies freed under memory pressure *)
+  mutable plan_hits : int;  (** redistribution plans served from cache *)
+  mutable plan_misses : int;  (** plans computed from scratch *)
+  mutable steps : int;
+      (** contention-free steps executed (stepped mode only) *)
+  mutable peak_step_volume : int;
+      (** max elements in flight within one step — a peak-memory proxy
+          for communication staging buffers *)
   mutable time : float;  (** modeled communication time *)
 }
 
 val fresh_counters : unit -> counters
+
+(** Copy every field of the second record into [into] (used by {!reset}
+    and the counter-isolation tests). *)
+val copy_counters : into:counters -> counters -> unit
 
 (** One remapping event of the execution trace (gated by
     [record_trace]). *)
@@ -45,6 +63,7 @@ type event = {
 type t = {
   nprocs : int;
   cost : cost_model;
+  sched : sched_mode;  (** how remapping messages are charged to [time] *)
   counters : counters;
   memory_limit : int option;  (** max live elements across all copies *)
   mutable memory_used : int;
@@ -54,6 +73,7 @@ type t = {
 
 val create :
   ?cost:cost_model ->
+  ?sched:sched_mode ->
   ?memory_limit:int ->
   ?record_trace:bool ->
   nprocs:int ->

@@ -55,6 +55,68 @@ let modeled_time (cost : Machine.cost_model) plan =
   in
   Float.max (side send_msgs send_vol) (side recv_msgs recv_vol)
 
+(* --- stepped scheduling ---------------------------------------------------- *)
+
+(* A contention-free communication step: a subset of the plan's messages in
+   which no processor sends more than one message and no processor receives
+   more than one (one-port, full-duplex).  A plan's step decomposition is a
+   proper edge coloring of the bipartite sender/receiver multigraph; the
+   greedy first-fit coloring below uses at most 2*degree - 1 steps (the
+   optimum is the maximum degree, by Koenig's theorem), which is enough for
+   the time and peak-memory shapes we model (Rink et al., arXiv:2112.01075
+   decompose redistributions the same way to bound staging memory). *)
+type step = (int * int * int) list
+
+let step_volume (s : step) = List.fold_left (fun acc (_, _, n) -> acc + n) 0 s
+
+let peak_step_volume steps =
+  List.fold_left (fun acc s -> max acc (step_volume s)) 0 steps
+
+(* Greedy first-fit edge coloring, largest messages first so the heavy
+   messages share steps (better packing, and the per-step max that the
+   stepped time model charges is paid by fewer steps). *)
+let steps (plan : plan) : step list =
+  let by_size =
+    List.stable_sort (fun (_, _, a) (_, _, b) -> compare b a) plan.pairs
+  in
+  let slots = ref [] in  (* (senders, receivers, messages), in step order *)
+  let place ((f, t, _) as msg) =
+    let rec find = function
+      | [] ->
+        let slot = (Hashtbl.create 8, Hashtbl.create 8, ref []) in
+        slots := !slots @ [ slot ];
+        slot
+      | ((senders, receivers, _) as slot) :: rest ->
+        if Hashtbl.mem senders f || Hashtbl.mem receivers t then find rest
+        else slot
+    in
+    let senders, receivers, msgs = find !slots in
+    Hashtbl.replace senders f ();
+    Hashtbl.replace receivers t ();
+    msgs := msg :: !msgs
+  in
+  List.iter place by_size;
+  List.map (fun (_, _, msgs) -> List.sort compare !msgs) !slots
+
+(* Stepped time: within a step every message proceeds in parallel without
+   port contention, so the step costs its slowest message; steps are
+   serialized.  Always at least the burst critical path: a processor with k
+   messages to send appears in k distinct steps, each charging at least
+   alpha + beta * (that message), so the sum dominates its send-side
+   alpha-beta cost (and symmetrically for receives). *)
+let modeled_time_of_steps (cost : Machine.cost_model) steps =
+  List.fold_left
+    (fun acc s ->
+      acc
+      +. List.fold_left
+           (fun m (_, _, n) ->
+             Float.max m
+               (cost.Machine.alpha +. (cost.Machine.beta *. float_of_int n)))
+           0.0 s)
+    0.0 steps
+
+let modeled_time_stepped cost plan = modeled_time_of_steps cost (steps plan)
+
 (* --- naive oracle -------------------------------------------------------- *)
 
 let iter_indices extents f =
@@ -259,13 +321,93 @@ let covered plan = total_moved plan + plan.local
 
 let equal p1 p2 = p1.pairs = p2.pairs && p1.local = p2.local
 
-(* Account a plan's execution on the machine. *)
+(* --- plan cache ------------------------------------------------------------ *)
+
+(* Memoized plans keyed by the canonicalized (source layout, target layout,
+   extents) triple.  Planning cost is O(procs^2) per remap even with the
+   interval engine; inside loops the same layout pair recurs on every
+   iteration (and across arrays and call frames), so the cache makes all
+   but the first occurrence free.  The key strips everything
+   [Layout.equal] ignores — grid names — and keeps everything it compares:
+   extents, grid shapes, per-grid-dimension sources and per-array-dimension
+   roles of both sides. *)
+module Plan_cache = struct
+  type side = {
+    k_shape : int array;
+    k_sources : Layout.source array;
+    k_roles : Layout.dim_role array;
+  }
+
+  type key = { k_extents : int array; k_src : side; k_dst : side }
+
+  let side (l : Layout.t) =
+    {
+      k_shape = l.Layout.procs.Procs.shape;
+      k_sources = l.Layout.sources;
+      k_roles = l.Layout.roles;
+    }
+
+  let key ~(src : Layout.t) ~(dst : Layout.t) =
+    { k_extents = src.Layout.extents; k_src = side src; k_dst = side dst }
+
+  type t = {
+    table : (key, plan) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () = { table = Hashtbl.create 64; hits = 0; misses = 0 }
+  let size c = Hashtbl.length c.table
+  let hits c = c.hits
+  let misses c = c.misses
+
+  let clear c =
+    Hashtbl.reset c.table;
+    c.hits <- 0;
+    c.misses <- 0
+
+  (* Look up the plan for (src, dst), calling [compute] on a miss.  Hit and
+     miss totals go to the cache itself and, when given, to the machine
+     [counters] (so per-run reports can show the hit rate even though the
+     cache outlives machine resets). *)
+  let find c ?counters ~src ~dst compute =
+    let k = key ~src ~dst in
+    match Hashtbl.find_opt c.table k with
+    | Some p ->
+      c.hits <- c.hits + 1;
+      Option.iter
+        (fun (ct : Machine.counters) ->
+          ct.Machine.plan_hits <- ct.Machine.plan_hits + 1)
+        counters;
+      p
+    | None ->
+      c.misses <- c.misses + 1;
+      Option.iter
+        (fun (ct : Machine.counters) ->
+          ct.Machine.plan_misses <- ct.Machine.plan_misses + 1)
+        counters;
+      let p = compute () in
+      Hashtbl.add c.table k p;
+      p
+end
+
+(* Account a plan's execution on the machine, under its scheduling mode:
+   burst charges the whole exchange as one alpha-beta critical path;
+   stepped decomposes it into contention-free steps and serializes them,
+   also recording the step count and the peak in-flight volume. *)
 let account (m : Machine.t) plan =
   let c = m.Machine.counters in
   c.Machine.messages <- c.Machine.messages + nb_messages plan;
   c.Machine.volume <- c.Machine.volume + total_moved plan;
   c.Machine.local_moves <- c.Machine.local_moves + plan.local;
-  c.Machine.time <- c.Machine.time +. modeled_time m.Machine.cost plan
+  match m.Machine.sched with
+  | Machine.Burst -> c.Machine.time <- c.Machine.time +. modeled_time m.Machine.cost plan
+  | Machine.Stepped ->
+    let ss = steps plan in
+    c.Machine.steps <- c.Machine.steps + List.length ss;
+    c.Machine.peak_step_volume <-
+      max c.Machine.peak_step_volume (peak_step_volume ss);
+    c.Machine.time <- c.Machine.time +. modeled_time_of_steps m.Machine.cost ss
 
 let pp ppf plan =
   Fmt.pf ppf "plan: %d messages, %d moved, %d local" (nb_messages plan)

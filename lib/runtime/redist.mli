@@ -27,6 +27,31 @@ val nb_messages : plan -> int
     send-side and receive-side alpha-beta cost. *)
 val modeled_time : Machine.cost_model -> plan -> float
 
+(** A contention-free communication step: messages of the plan in which no
+    processor sends twice and no processor receives twice (one-port,
+    full-duplex). *)
+type step = (int * int * int) list
+
+(** Total elements in flight within one step. *)
+val step_volume : step -> int
+
+(** Max {!step_volume} over a decomposition — a peak-memory proxy for
+    communication staging buffers. *)
+val peak_step_volume : step list -> int
+
+(** Greedy bipartite edge coloring of the plan's messages, largest first:
+    the steps partition [plan.pairs] exactly, each step is contention-free,
+    and at most [2 * max degree - 1] steps are used. *)
+val steps : plan -> step list
+
+(** Stepped time: each step costs its slowest message
+    ([alpha + beta * count]), steps are serialized.  Always >= the burst
+    critical path {!modeled_time}. *)
+val modeled_time_stepped : Machine.cost_model -> plan -> float
+
+(** Same, over an already computed decomposition. *)
+val modeled_time_of_steps : Machine.cost_model -> step list -> float
+
 (** Iterate all index vectors of an extent vector (exposed for tests). *)
 val iter_indices : int array -> (int array -> unit) -> unit
 
@@ -68,7 +93,42 @@ val covered : plan -> int
 
 val equal : plan -> plan -> bool
 
-(** Account a plan's execution on the machine counters. *)
+(** Memoized plans keyed by canonicalized (source layout, target layout,
+    extents): loop-carried remappings between the same layout pair pay
+    planning cost once.  The key keeps exactly what
+    {!Hpfc_mapping.Layout.equal} compares (grid names are stripped). *)
+module Plan_cache : sig
+  type t
+
+  val create : unit -> t
+
+  (** Cached plans currently held. *)
+  val size : t -> int
+
+  (** Lifetime hit/miss totals of this cache (machine counters are bumped
+      per find when given, and reset independently). *)
+  val hits : t -> int
+
+  val misses : t -> int
+
+  (** Drop all cached plans and zero the lifetime totals. *)
+  val clear : t -> unit
+
+  (** [find c ?counters ~src ~dst compute] returns the cached plan for the
+      canonicalized layout pair, or computes, stores and returns it.
+      Bumps [plan_hits]/[plan_misses] on [counters] when given. *)
+  val find :
+    t ->
+    ?counters:Machine.counters ->
+    src:Hpfc_mapping.Layout.t ->
+    dst:Hpfc_mapping.Layout.t ->
+    (unit -> plan) ->
+    plan
+end
+
+(** Account a plan's execution on the machine counters, under the
+    machine's {!Machine.sched_mode} (burst critical path, or serialized
+    contention-free steps with step/peak-volume counters). *)
 val account : Machine.t -> plan -> unit
 
 val pp : Format.formatter -> plan -> unit

@@ -114,17 +114,21 @@ type descriptor = {
 type t = {
   machine : Machine.t;
   mutable descriptors : (string * descriptor) list;
-  (* plan cache keyed by (array, from_version, to_version) *)
-  plans : (string * int * int, Redist.plan) Hashtbl.t;
+  (* memoized redistribution plans, keyed by canonical layout pair; shared
+     down the call tree (callee frames pass it on) so loop-carried and
+     cross-frame remappings between the same layouts plan once *)
+  plans : Redist.Plan_cache.t;
   use_interval_engine : bool;
   backend : backend;
 }
 
-let create ?(use_interval_engine = true) ?(backend = Canonical) machine =
+let create ?(use_interval_engine = true) ?(backend = Canonical) ?plans machine
+    =
   {
     machine;
     descriptors = [];
-    plans = Hashtbl.create 32;
+    plans =
+      (match plans with Some c -> c | None -> Redist.Plan_cache.create ());
     use_interval_engine;
     backend;
   }
@@ -267,18 +271,14 @@ let alloc t d version layout =
       t.machine.Machine.counters.Machine.allocs + 1
   end
 
-(* The communication plan from version [src] to version [dst], cached. *)
+(* The communication plan from version [src] to version [dst], memoized on
+   the canonical layout pair (hit/miss counters go to the machine). *)
 let plan_for t d ~src ~dst =
-  match Hashtbl.find_opt t.plans (d.name, src, dst) with
-  | Some p -> p
-  | None ->
-    let s = (get_copy d src).layout and t' = (get_copy d dst).layout in
-    let p =
+  let s = (get_copy d src).layout and t' = (get_copy d dst).layout in
+  Redist.Plan_cache.find t.plans ~counters:t.machine.Machine.counters ~src:s
+    ~dst:t' (fun () ->
       if t.use_interval_engine then Redist.plan_intervals ~src:s ~dst:t'
-      else Redist.plan_naive ~src:s ~dst:t'
-    in
-    Hashtbl.add t.plans (d.name, src, dst) p;
-    p
+      else Redist.plan_naive ~src:s ~dst:t')
 
 (* Remapping copy A_dst := A_src (Fig. 19's "A_l := A_a"): accounts the
    communication and moves the payload.  [with_data] is false for D-labelled

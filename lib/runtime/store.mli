@@ -58,12 +58,21 @@ type descriptor = {
 type t = {
   machine : Machine.t;
   mutable descriptors : (string * descriptor) list;
-  plans : (string * int * int, Redist.plan) Hashtbl.t;  (** plan cache *)
+  plans : Redist.Plan_cache.t;
+      (** memoized plans, keyed by canonical layout pair; shared down the
+          call tree *)
   use_interval_engine : bool;
   backend : backend;
 }
 
-val create : ?use_interval_engine:bool -> ?backend:backend -> Machine.t -> t
+(** [plans] installs a shared plan cache (callee frames reuse the
+    caller's); a fresh one is created otherwise. *)
+val create :
+  ?use_interval_engine:bool ->
+  ?backend:backend ->
+  ?plans:Redist.Plan_cache.t ->
+  Machine.t ->
+  t
 
 (** @raise Hpfc_base.Error.Hpf_error when the array has no descriptor. *)
 val descriptor : t -> string -> descriptor

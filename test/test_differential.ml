@@ -394,9 +394,39 @@ let prop_live_sets_wellformed =
               (Graph.info g vid).Graph.labels)
           (Graph.vertex_ids g))
 
+(* --- counter isolation ------------------------------------------------------ *)
+
+module P = Hpfc_driver.Pipeline
+
+(* The soundness and profitability claims above compare counters across
+   the naive and optimized legs of compare_pipelines; they are only valid
+   if no counter state leaks between legs.  Each leg runs on a fresh
+   machine, so repeating the comparison is bit-identical, and a single
+   machine reused across both legs with Machine.reset in between must
+   reproduce the fresh-machine counters exactly. *)
+let test_counters_isolated () =
+  let src = Hpfc_kernels.Apps.adi_src ~n:16 () in
+  let scalars = [ ("t", I.VInt 2) ] in
+  let c1 = P.compare_pipelines ~scalars src in
+  let c2 = P.compare_pipelines ~scalars src in
+  let eq a b = a.I.machine.Machine.counters = b.I.machine.Machine.counters in
+  Alcotest.(check bool) "naive leg repeatable" true (eq c1.P.naive c2.P.naive);
+  Alcotest.(check bool) "optimized leg repeatable" true
+    (eq c1.P.optimized c2.P.optimized);
+  let m = Machine.create ~nprocs:4 () in
+  let r1 = P.run_source ~pipeline:I.naive_pipeline ~scalars ~machine:m src in
+  Alcotest.(check bool) "reused machine, naive = fresh naive" true
+    (eq r1 c1.P.naive);
+  Machine.reset m;
+  let r2 = P.run_source ~pipeline:I.full_pipeline ~scalars ~machine:m src in
+  Alcotest.(check bool) "after reset, optimized = fresh optimized" true
+    (eq r2 c1.P.optimized)
+
 let suite =
   suite
   @ [
       QCheck_alcotest.to_alcotest prop_removal_idempotent;
       QCheck_alcotest.to_alcotest prop_live_sets_wellformed;
+      Alcotest.test_case "counters isolated across legs" `Quick
+        test_counters_isolated;
     ]

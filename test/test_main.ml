@@ -9,6 +9,7 @@ let () =
       ("opt", Test_opt.suite);
       ("hoist-driver", Test_hoist_driver.suite);
       ("runtime", Test_runtime.suite);
+      ("redist-props", Test_redist_props.suite);
       ("codegen", Test_codegen.suite);
       ("more", Test_more.suite);
       ("interp", Test_interp.suite);

@@ -1,0 +1,176 @@
+(* Property tests for the redistribution engine and the stepped message
+   scheduler: on random layout pairs — including replicated and
+   constant-aligned layouts that fall back to the naive planner — the
+   interval engine agrees with the per-element oracle, the greedy
+   edge-coloring partitions the plan into contention-free steps, and the
+   stepped time model dominates the burst critical-path bound. *)
+
+open Hpfc_mapping
+open Hpfc_runtime
+
+let procs n = Procs.linear "P" n
+
+let layout_1d ?(n = 16) dist p =
+  Layout.of_mapping ~extents:[| n |]
+    (Mapping.direct ~array_name:"a" ~extents:[| n |] ~dist:[| dist |]
+       ~procs:(procs p))
+
+(* A regular (axis-driven) 1-D layout; block sizes too small to cover the
+   extent are widened to the default block. *)
+let gen_regular ~n =
+  QCheck2.Gen.(
+    let* p = int_range 1 5 in
+    let* fmt = Test_mapping.gen_fmt in
+    let fmt =
+      match fmt with
+      | Dist.Block (Some k) when k * p < n -> Dist.Block None
+      | f -> f
+    in
+    return (layout_1d ~n fmt p))
+
+(* An irregular layout: the array is aligned with a rank-2 template whose
+   second dimension is replicated (a copy at every grid coordinate) or
+   constant (the whole array at one fixed coordinate).  Both make
+   [plan_intervals] fall back to the naive walk. *)
+let gen_irregular ~n =
+  QCheck2.Gen.(
+    let* p = int_range 1 4 in
+    let* r = int_range 1 3 in
+    let* fmt = oneofl [ Dist.block; Dist.cyclic ] in
+    let* second =
+      oneof
+        [
+          return Align.Replicated;
+          map (fun c -> Align.Const c) (int_range 0 (r - 1));
+        ]
+    in
+    let t = Template.make "T" [| n; r |] in
+    let align =
+      [| Align.Axis { array_dim = 0; stride = 1; offset = 0 }; second |]
+    in
+    return
+      (Layout.of_mapping ~extents:[| n |]
+         (Mapping.v ~template:t ~align
+            ~dist:[| fmt; Dist.block |]
+            ~procs:(Procs.make "G" [| p; r |]))))
+
+let gen_side ~n =
+  QCheck2.Gen.(
+    let* irregular = frequency [ (3, return false); (1, return true) ] in
+    if irregular then gen_irregular ~n else gen_regular ~n)
+
+let gen_pair =
+  QCheck2.Gen.(
+    let* n = int_range 1 40 in
+    pair (gen_side ~n) (gen_side ~n))
+
+let print_pair (src, dst) =
+  Fmt.str "src=%a dst=%a" Layout.pp src Layout.pp dst
+
+(* --- engines agree ---------------------------------------------------------- *)
+
+let prop_engines_agree_mixed =
+  QCheck2.Test.make
+    ~name:"plan_intervals = plan_naive on volume and per-pair counts"
+    ~print:print_pair ~count:300 gen_pair (fun (src, dst) ->
+      let naive = Redist.plan_naive ~src ~dst in
+      let fast = Redist.plan_intervals ~src ~dst in
+      Redist.total_moved naive = Redist.total_moved fast
+      && naive.Redist.pairs = fast.Redist.pairs
+      && naive.Redist.local = fast.Redist.local)
+
+(* --- step decomposition ------------------------------------------------------ *)
+
+(* The steps partition plan.pairs exactly: same multiset of messages. *)
+let prop_steps_partition =
+  QCheck2.Test.make ~name:"steps partition plan.pairs exactly"
+    ~print:print_pair ~count:300 gen_pair (fun (src, dst) ->
+      let plan = Redist.plan_intervals ~src ~dst in
+      let flattened = List.concat (Redist.steps plan) in
+      List.sort compare flattened = plan.Redist.pairs)
+
+(* Within a step, no processor sends twice and none receives twice. *)
+let prop_steps_contention_free =
+  QCheck2.Test.make ~name:"no processor twice on either side of a step"
+    ~print:print_pair ~count:300 gen_pair (fun (src, dst) ->
+      let plan = Redist.plan_intervals ~src ~dst in
+      List.for_all
+        (fun step ->
+          let senders = List.map (fun (f, _, _) -> f) step
+          and receivers = List.map (fun (_, t, _) -> t) step in
+          List.length (List.sort_uniq compare senders) = List.length senders
+          && List.length (List.sort_uniq compare receivers)
+             = List.length receivers)
+        (Redist.steps plan))
+
+(* Every message carries something, and the recorded peak volume is the
+   max over steps of the step volume. *)
+let prop_steps_volumes =
+  QCheck2.Test.make ~name:"step volumes are positive and peak is their max"
+    ~print:print_pair ~count:300 gen_pair (fun (src, dst) ->
+      let plan = Redist.plan_intervals ~src ~dst in
+      let steps = Redist.steps plan in
+      List.for_all
+        (fun s -> List.for_all (fun (_, _, n) -> n > 0) s && s <> [])
+        steps
+      && Redist.peak_step_volume steps
+         = List.fold_left (fun acc s -> max acc (Redist.step_volume s)) 0 steps)
+
+(* --- stepped time dominates the burst bound ---------------------------------- *)
+
+let prop_stepped_dominates_burst =
+  QCheck2.Test.make ~name:"stepped modeled time >= burst critical path"
+    ~print:print_pair ~count:300 gen_pair (fun (src, dst) ->
+      let plan = Redist.plan_intervals ~src ~dst in
+      let burst = Redist.modeled_time Machine.default_cost plan in
+      let stepped = Redist.modeled_time_stepped Machine.default_cost plan in
+      stepped >= burst -. 1e-6)
+
+(* The greedy coloring never needs more than 2 * max degree - 1 steps
+   (first-fit bound on bipartite edge coloring). *)
+let prop_steps_bounded =
+  QCheck2.Test.make ~name:"greedy coloring uses < 2 * max degree steps"
+    ~print:print_pair ~count:300 gen_pair (fun (src, dst) ->
+      let plan = Redist.plan_intervals ~src ~dst in
+      let degree =
+        let tally = Hashtbl.create 16 in
+        let bump k =
+          Hashtbl.replace tally k
+            (1 + Option.value (Hashtbl.find_opt tally k) ~default:0)
+        in
+        List.iter
+          (fun (f, t, _) ->
+            bump (`S f);
+            bump (`R t))
+          plan.Redist.pairs;
+        Hashtbl.fold (fun _ n acc -> max n acc) tally 0
+      in
+      List.length (Redist.steps plan) <= max 0 ((2 * degree) - 1))
+
+(* --- plan cache -------------------------------------------------------------- *)
+
+(* The cache returns the plan computed on the first occurrence of a layout
+   pair (physically, so cached plans are never recomputed), and the key
+   canonicalization ignores grid names but distinguishes extents. *)
+let prop_cache_memoizes =
+  QCheck2.Test.make ~name:"plan cache memoizes on the canonical layout pair"
+    ~print:print_pair ~count:300 gen_pair (fun (src, dst) ->
+      let cache = Redist.Plan_cache.create () in
+      let plan () = Redist.plan_intervals ~src ~dst in
+      let p1 = Redist.Plan_cache.find cache ~src ~dst plan in
+      let p2 = Redist.Plan_cache.find cache ~src ~dst plan in
+      p1 == p2
+      && Redist.Plan_cache.hits cache = 1
+      && Redist.Plan_cache.misses cache = 1
+      && Redist.Plan_cache.size cache = 1)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_engines_agree_mixed;
+    QCheck_alcotest.to_alcotest prop_steps_partition;
+    QCheck_alcotest.to_alcotest prop_steps_contention_free;
+    QCheck_alcotest.to_alcotest prop_steps_volumes;
+    QCheck_alcotest.to_alcotest prop_stepped_dominates_burst;
+    QCheck_alcotest.to_alcotest prop_steps_bounded;
+    QCheck_alcotest.to_alcotest prop_cache_memoizes;
+  ]

@@ -164,7 +164,85 @@ let test_plan_cache () =
   Store.alloc s d 1 (layout_1d Dist.cyclic 4);
   let p1 = Store.plan_for s d ~src:0 ~dst:1 in
   let p2 = Store.plan_for s d ~src:0 ~dst:1 in
-  Alcotest.(check bool) "same plan object" true (p1 == p2)
+  Alcotest.(check bool) "same plan object" true (p1 == p2);
+  Alcotest.(check int) "one miss" 1 m.Machine.counters.Machine.plan_misses;
+  Alcotest.(check int) "one hit" 1 m.Machine.counters.Machine.plan_hits
+
+(* The cache key is the canonical layout pair: a second array remapping
+   between the same layouts hits the plan computed for the first. *)
+let test_plan_cache_layout_keyed () =
+  let m = Machine.create ~nprocs:4 () in
+  let s = Store.create m in
+  let da = Store.add_descriptor s ~name:"a" ~extents:[| 16 |] ~nb_versions:2 () in
+  let db = Store.add_descriptor s ~name:"b" ~extents:[| 16 |] ~nb_versions:2 () in
+  List.iter
+    (fun d ->
+      Store.alloc s d 0 (layout_1d Dist.block 4);
+      Store.alloc s d 1 (layout_1d Dist.cyclic 4))
+    [ da; db ];
+  let p1 = Store.plan_for s da ~src:0 ~dst:1 in
+  let p2 = Store.plan_for s db ~src:0 ~dst:1 in
+  Alcotest.(check bool) "shared across arrays" true (p1 == p2);
+  Alcotest.(check int) "one miss" 1 m.Machine.counters.Machine.plan_misses;
+  Alcotest.(check int) "one hit" 1 m.Machine.counters.Machine.plan_hits
+
+(* Changing the extents changes the key: no false hit. *)
+let test_plan_cache_extents_miss () =
+  let cache = Redist.Plan_cache.create () in
+  let find n =
+    Redist.Plan_cache.find cache ~src:(layout_1d ~n Dist.block 4)
+      ~dst:(layout_1d ~n Dist.cyclic 4) (fun () ->
+        Redist.plan_intervals ~src:(layout_1d ~n Dist.block 4)
+          ~dst:(layout_1d ~n Dist.cyclic 4))
+  in
+  ignore (find 16 : Redist.plan);
+  ignore (find 32 : Redist.plan);
+  Alcotest.(check int) "two misses" 2 (Redist.Plan_cache.misses cache);
+  Alcotest.(check int) "no hits" 0 (Redist.Plan_cache.hits cache);
+  ignore (find 16 : Redist.plan);
+  Alcotest.(check int) "then a hit" 1 (Redist.Plan_cache.hits cache);
+  Alcotest.(check int) "two plans held" 2 (Redist.Plan_cache.size cache)
+
+(* End-to-end on the ADI kernel: the loop-carried corner turns replan from
+   the cache, and every data-carrying remap goes through it exactly once. *)
+let test_plan_cache_adi () =
+  let r =
+    Hpfc_driver.Pipeline.run_source
+      ~scalars:[ ("t", Hpfc_interp.Interp.VInt 4) ]
+      (Hpfc_kernels.Apps.adi_src ~n:16 ())
+  in
+  let c = r.Hpfc_interp.Interp.machine.Machine.counters in
+  Alcotest.(check int) "one lookup per data-carrying remap"
+    c.Machine.remaps_performed
+    (c.Machine.plan_hits + c.Machine.plan_misses);
+  Alcotest.(check bool) "loop-carried remaps hit" true (c.Machine.plan_hits > 0);
+  Alcotest.(check bool) "fewer plans than remaps" true
+    (c.Machine.plan_misses < c.Machine.remaps_performed)
+
+(* Machine.reset and fresh_counters must cover every counter — a stale
+   field would leak state between the naive and optimized legs of
+   compare_pipelines and void the differential soundness claims. *)
+let test_counter_reset_coverage () =
+  let m = Machine.create ~nprocs:4 () in
+  let c = m.Machine.counters in
+  c.Machine.messages <- 1;
+  c.Machine.volume <- 2;
+  c.Machine.local_moves <- 3;
+  c.Machine.remaps_performed <- 4;
+  c.Machine.remaps_skipped <- 5;
+  c.Machine.live_reuses <- 6;
+  c.Machine.dead_copies <- 7;
+  c.Machine.allocs <- 8;
+  c.Machine.frees <- 9;
+  c.Machine.evictions <- 10;
+  c.Machine.plan_hits <- 11;
+  c.Machine.plan_misses <- 12;
+  c.Machine.steps <- 13;
+  c.Machine.peak_step_volume <- 14;
+  c.Machine.time <- 15.0;
+  Machine.reset m;
+  Alcotest.(check bool) "reset zeroes every field" true
+    (c = Machine.fresh_counters ())
 
 let suite =
   [
@@ -179,6 +257,13 @@ let suite =
     Alcotest.test_case "store version check" `Quick test_store_version_check;
     Alcotest.test_case "store eviction" `Quick test_store_eviction;
     Alcotest.test_case "plan cache" `Quick test_plan_cache;
+    Alcotest.test_case "plan cache keyed by layout" `Quick
+      test_plan_cache_layout_keyed;
+    Alcotest.test_case "plan cache misses on new extents" `Quick
+      test_plan_cache_extents_miss;
+    Alcotest.test_case "plan cache on ADI kernel" `Quick test_plan_cache_adi;
+    Alcotest.test_case "counter reset covers every field" `Quick
+      test_counter_reset_coverage;
   ]
 
 (* --- rank-3 layouts ---------------------------------------------------------- *)
