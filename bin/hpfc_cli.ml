@@ -94,7 +94,7 @@ let scalar_assignments =
 let run_cmd =
   let entry = Arg.(value & opt (some string) None & info [ "entry" ] ~docv:"NAME" ~doc:"Entry routine (default: first).") in
   let distributed = Arg.(value & flag & info [ "distributed" ] ~doc:"Execute with per-processor local buffers instead of canonical global payloads.") in
-  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the remapping event timeline after execution.") in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the structured event timeline as JSON lines on stdout (remap begin/end, plan cache probes, step boundaries, messages, evictions); counters and scalars go to stderr.") in
   let scalars = Arg.(value & opt_all scalar_assignments [] & info [ "s"; "set" ] ~docv:"X=V" ~doc:"Set a scalar before execution.") in
   let compare = Arg.(value & flag & info [ "compare" ] ~doc:"Run the naive and the optimized compilations and compare.") in
   let sched = Arg.(value & flag & info [ "sched" ] ~doc:"Charge communication as contention-free steps (serialized, one send and one receive per processor per step) instead of one unordered burst.") in
@@ -124,13 +124,21 @@ let run_cmd =
             Hpfc_driver.Pipeline.run_source ~pipeline:(pipeline_of_naive naive)
               ~scalars ?entry ~backend ~machine src
           in
-          if trace then
-            Fmt.pr "--- remapping timeline ---@.%a" Machine.pp_trace
-              r.I.machine;
-          Fmt.pr "%a@." Machine.pp_counters r.I.machine.Machine.counters;
+          (* with --trace, stdout is a pure JSON-lines stream (one event
+             per line); the human-readable summary moves to stderr *)
+          let report = if trace then Fmt.epr else Fmt.pr in
+          if trace then begin
+            List.iter
+              (fun e -> print_endline (Machine.event_to_json e))
+              (Machine.events r.I.machine);
+            if Machine.dropped_events r.I.machine > 0 then
+              Fmt.epr "trace: %d oldest events dropped (ring buffer full)@."
+                (Machine.dropped_events r.I.machine)
+          end;
+          report "%a@." Machine.pp_counters r.I.machine.Machine.counters;
           List.iter
             (fun (n, v) ->
-              Fmt.pr "%s = %s@." n
+              report "%s = %s@." n
                 (match v with
                 | I.VInt i -> string_of_int i
                 | I.VFloat f -> Fmt.str "%g" f))
@@ -183,25 +191,17 @@ let schedule_cmd =
         let s = mk src and d = mk dst in
         let plan = Hpfc_runtime.Redist.plan_intervals ~src:s ~dst:d in
         Fmt.pr "%a@." Hpfc_runtime.Redist.pp plan;
-        Fmt.pr "%a" Hpfc_runtime.Redist.pp_schedule
-          (Hpfc_runtime.Redist.schedule ~src:s ~dst:d ());
+        Fmt.pr "%a" Hpfc_runtime.Redist.pp_moves plan;
         if steps then begin
-          let ss = Hpfc_runtime.Redist.steps plan in
-          List.iteri
-            (fun i step ->
-              Fmt.pr "step %d (%d elements):%a@." i
-                (Hpfc_runtime.Redist.step_volume step)
-                (fun ppf ->
-                  List.iter (fun (p, q, n) -> Fmt.pf ppf " P%d->P%d:%d" p q n))
-                step)
-            ss;
+          Fmt.pr "%a" Hpfc_runtime.Redist.pp_steps plan;
           let cost = Machine.default_cost in
+          let prog = Hpfc_runtime.Redist.step_program plan in
           Fmt.pr "burst time %.1f | stepped time %.1f in %d steps, peak %d \
                   elements/step@."
             (Hpfc_runtime.Redist.modeled_time cost plan)
-            (Hpfc_runtime.Redist.modeled_time_of_steps cost ss)
-            (List.length ss)
-            (Hpfc_runtime.Redist.peak_step_volume ss)
+            (Hpfc_runtime.Redist.modeled_time_of_steps cost prog)
+            (List.length prog)
+            (Hpfc_runtime.Redist.peak_step_volume prog)
         end)
   in
   Cmd.v

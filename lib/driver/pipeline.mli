@@ -28,7 +28,8 @@ val analyze :
 val pp_report : Format.formatter -> compile_report -> unit
 
 (** Parse, compile and run a whole program from source.  [sched] selects
-    burst or stepped communication accounting for the default machine. *)
+    burst or stepped communication accounting for the default machine;
+    [record_trace] turns on its structured event trace. *)
 val run_source :
   ?pipeline:Hpfc_interp.Interp.pipeline ->
   ?scalars:(string * Hpfc_interp.Interp.value) list ->
@@ -37,6 +38,7 @@ val run_source :
   ?backend:Hpfc_runtime.Store.backend ->
   ?machine:Hpfc_runtime.Machine.t ->
   ?sched:Hpfc_runtime.Machine.sched_mode ->
+  ?record_trace:bool ->
   string ->
   Hpfc_interp.Interp.result
 

@@ -118,13 +118,7 @@ let rec exec_code frame (code : Rt_ir.code) =
     if d.Store.status <> Some version then exec_code frame body
     else begin
       Machine.record store.Store.machine
-        {
-          Machine.ev_array = array;
-          ev_src = d.Store.status;
-          ev_dst = version;
-          ev_volume = 0;
-          ev_kind = `Skip;
-        };
+        (Machine.Skip { array; dst = version });
       counters.Machine.remaps_skipped <- counters.Machine.remaps_skipped + 1
     end
   | Rt_ir.If_status_is { array; version; body } ->
@@ -136,13 +130,7 @@ let rec exec_code frame (code : Rt_ir.code) =
       (match live with
       | Rt_ir.Note_live_reuse ->
         Machine.record store.Store.machine
-          {
-            Machine.ev_array = array;
-            ev_src = d.Store.status;
-            ev_dst = version;
-            ev_volume = 0;
-            ev_kind = `Reuse;
-          }
+          (Machine.Live_reuse { array; dst = version })
       | _ -> ());
       exec_code frame live
     end
@@ -410,8 +398,9 @@ and run_frame p frame =
 (* --- top-level run ----------------------------------------------------------- *)
 
 let run ?(machine : Machine.t option) ?(sched = Machine.Burst)
-    ?(use_interval_engine = true) ?(backend = Store.Canonical) ?(scalars = [])
-    (p : program) ~entry () : result =
+    ?(record_trace = false) ?(use_interval_engine = true)
+    ?(backend = Store.Canonical) ?(scalars = []) (p : program) ~entry () :
+    result =
   let target =
     match Hashtbl.find_opt p.compiled entry with
     | Some r -> r
@@ -421,7 +410,7 @@ let run ?(machine : Machine.t option) ?(sched = Machine.Burst)
     match machine with
     | Some m -> m
     | None ->
-      Machine.create ~sched
+      Machine.create ~sched ~record_trace
         ~nprocs:target.Gen.graph.Graph.env.Env.default_procs.shape.(0) ()
   in
   let frame =

@@ -65,6 +65,7 @@ val compile : ?pipeline:pipeline -> Hpfc_lang.Ast.program -> program
 val run :
   ?machine:Hpfc_runtime.Machine.t ->
   ?sched:Hpfc_runtime.Machine.sched_mode ->
+  ?record_trace:bool ->
   ?use_interval_engine:bool ->
   ?backend:Hpfc_runtime.Store.backend ->
   ?scalars:(string * value) list ->

@@ -292,6 +292,14 @@ let local_linear_index t index =
   Array.iteri (fun d x -> acc := (!acc * locals.(d)) + x) li;
   !acc
 
+(* Row-major linear position of [index] in an array with [extents] —
+   the one global address computation, shared by payload accessors and
+   the communication executor. *)
+let global_linear_index extents index =
+  let acc = ref 0 in
+  Array.iteri (fun d x -> acc := (!acc * extents.(d)) + x) index;
+  !acc
+
 (* --- equality --------------------------------------------------------- *)
 
 let equal_source a b =

@@ -83,6 +83,11 @@ val local_size : t -> proc:int array -> int
     the address computation of the generated SPMD code. *)
 val local_linear_index : t -> int array -> int
 
+(** Row-major linear position of [index] in an array with [extents]: the
+    single global address computation shared by payload accessors and the
+    communication executor. *)
+val global_linear_index : int array -> int array -> int
+
 val equal_source : source -> source -> bool
 
 (** Layout equivalence: identical element-to-processor function (grid

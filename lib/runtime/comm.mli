@@ -1,0 +1,31 @@
+(** Communication executor: the execute layer of the plan / schedule /
+    execute pipeline.
+
+    Runs a plan's step program message by message — pack the source box
+    into a staging buffer in row-major box order, deliver, unpack into
+    the target copy — and owns the accounting: message/volume/local-move
+    counters always, clock charges per the machine's scheduling mode.
+    With [record_trace], step boundaries ([Step_begin]/[Step_end]) and
+    individual [Message] events land in the machine trace; each
+    [Step_end] carries the step's modeled cost, so in stepped mode the
+    traced step times sum to the time charged. *)
+
+(** How the executor touches a copy's storage.  [rank] is the linear
+    processor rank the access is performed on: per-rank backends address
+    that rank's buffer directly; global payloads ignore it. *)
+type endpoint = {
+  read : rank:int -> int array -> float;
+  write : rank:int -> int array -> float -> unit;
+}
+
+(** On-processor move: no staging buffer, no [Message] event. *)
+val run_local : src:endpoint -> dst:endpoint -> Redist.message -> unit
+
+(** Pack, deliver, unpack one cross-processor message; records a
+    [Message] event. *)
+val run_message :
+  Machine.t -> src:endpoint -> dst:endpoint -> Redist.message -> unit
+
+(** Execute a plan end to end: local moves first, then the step program
+    in schedule order. *)
+val execute : Machine.t -> src:endpoint -> dst:endpoint -> Redist.plan -> unit

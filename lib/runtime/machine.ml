@@ -64,14 +64,41 @@ let fresh_counters () =
     time = 0.0;
   }
 
-(* One remapping event, for the execution trace. *)
-type event = {
-  ev_array : string;
-  ev_src : int option;  (* None: materialized without a source *)
-  ev_dst : int;
-  ev_volume : int;  (* elements moved between processors *)
-  ev_kind : [ `Copy | `Dead | `Reuse | `Skip | `Evict ];
+(* Structured execution-trace events, one constructor per observable
+   runtime transition across the plan / schedule / execute layers.  A
+   remapping that runs brackets its message stream between [Remap_begin]
+   and [Remap_end]; within it, each scheduled step brackets its messages
+   between [Step_begin] and [Step_end]. *)
+type event =
+  | Remap_begin of { array : string; src : int option; dst : int }
+  | Remap_end of {
+      array : string;
+      src : int option;
+      dst : int;
+      volume : int;  (* elements moved between distinct processors *)
+      time : float;  (* modeled clock charged to this remap *)
+    }
+  | Plan_lookup of { hit : bool }  (* plan-cache probe for a remap *)
+  | Step_begin of { index : int; nb_messages : int; volume : int }
+  | Step_end of { index : int; time : float }
+      (* [time] is the step's modeled cost: alpha + beta * slowest message *)
+  | Message of { from_rank : int; to_rank : int; count : int }
+  | Dead_copy of { array : string; src : int option; dst : int }
+  | Live_reuse of { array : string; dst : int }
+  | Skip of { array : string; dst : int }
+  | Evict of { array : string; version : int }
+
+(* Bounded trace: a ring buffer so long runs cannot grow memory without
+   bound; once full, the oldest events are overwritten and counted in
+   [dropped]. *)
+type trace = {
+  buf : event option array;
+  mutable head : int;  (* next write position *)
+  mutable len : int;
+  mutable dropped : int;
 }
+
+let default_trace_capacity = 65536
 
 type t = {
   nprocs : int;
@@ -80,12 +107,13 @@ type t = {
   counters : counters;
   memory_limit : int option;  (* max live elements across all copies *)
   mutable memory_used : int;
-  mutable trace : event list;  (* newest first; [record_trace] gates it *)
+  trace : trace;
   record_trace : bool;
 }
 
 let create ?(cost = default_cost) ?(sched = Burst) ?memory_limit
-    ?(record_trace = false) ~nprocs () =
+    ?(record_trace = false) ?(trace_capacity = default_trace_capacity)
+    ~nprocs () =
   {
     nprocs;
     cost;
@@ -93,29 +121,121 @@ let create ?(cost = default_cost) ?(sched = Burst) ?memory_limit
     counters = fresh_counters ();
     memory_limit;
     memory_used = 0;
-    trace = [];
+    trace =
+      {
+        buf = Array.make (max 1 trace_capacity) None;
+        head = 0;
+        len = 0;
+        dropped = 0;
+      };
     record_trace;
   }
 
-let record t ev = if t.record_trace then t.trace <- ev :: t.trace
+let record t ev =
+  if t.record_trace then begin
+    let tr = t.trace in
+    let cap = Array.length tr.buf in
+    tr.buf.(tr.head) <- Some ev;
+    tr.head <- (tr.head + 1) mod cap;
+    if tr.len < cap then tr.len <- tr.len + 1 else tr.dropped <- tr.dropped + 1
+  end
 
-let events t = List.rev t.trace
+let events t =
+  let tr = t.trace in
+  let cap = Array.length tr.buf in
+  let start = ((tr.head - tr.len) mod cap + cap) mod cap in
+  List.init tr.len (fun i ->
+      match tr.buf.((start + i) mod cap) with
+      | Some ev -> ev
+      | None -> assert false)
 
-let pp_event ppf (e : event) =
-  let kind =
-    match e.ev_kind with
-    | `Copy -> "copy"
-    | `Dead -> "dead"
-    | `Reuse -> "reuse"
-    | `Skip -> "skip"
-    | `Evict -> "evict"
-  in
-  Fmt.pf ppf "%-5s %s_%s -> %s_%d (%d moved)" kind e.ev_array
-    (match e.ev_src with Some v -> string_of_int v | None -> "?")
-    e.ev_array e.ev_dst e.ev_volume
+let dropped_events t = t.trace.dropped
+
+let pp_event ppf = function
+  | Remap_begin { array; src; dst } ->
+    Fmt.pf ppf "remap %s_%s -> %s_%d begin" array
+      (match src with Some v -> string_of_int v | None -> "?")
+      array dst
+  | Remap_end { array; src; dst; volume; time } ->
+    Fmt.pf ppf "remap %s_%s -> %s_%d end (%d moved, t=%.1f)" array
+      (match src with Some v -> string_of_int v | None -> "?")
+      array dst volume time
+  | Plan_lookup { hit } -> Fmt.pf ppf "plan  %s" (if hit then "hit" else "miss")
+  | Step_begin { index; nb_messages; volume } ->
+    Fmt.pf ppf "step  #%d begin (%d msgs, %d elements)" index nb_messages
+      volume
+  | Step_end { index; time } -> Fmt.pf ppf "step  #%d end (t=%.1f)" index time
+  | Message { from_rank; to_rank; count } ->
+    Fmt.pf ppf "msg   P%d -> P%d (%d)" from_rank to_rank count
+  | Dead_copy { array; src; dst } ->
+    Fmt.pf ppf "dead  %s_%s -> %s_%d" array
+      (match src with Some v -> string_of_int v | None -> "?")
+      array dst
+  | Live_reuse { array; dst } -> Fmt.pf ppf "reuse %s_%d" array dst
+  | Skip { array; dst } -> Fmt.pf ppf "skip  %s_%d" array dst
+  | Evict { array; version } -> Fmt.pf ppf "evict %s_%d" array version
 
 let pp_trace ppf t =
   List.iter (fun e -> Fmt.pf ppf "%a@." pp_event e) (events t)
+
+(* --- JSON-lines encoding (no JSON library in the toolchain) ------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* %.12g never prints a bare trailing point, so the output stays valid
+   JSON ("350" rather than OCaml's "350."). *)
+let json_float f = Printf.sprintf "%.12g" f
+
+let json_src = function
+  | Some v -> string_of_int v
+  | None -> "null"
+
+let event_to_json = function
+  | Remap_begin { array; src; dst } ->
+    Printf.sprintf {|{"ev":"remap_begin","array":"%s","src":%s,"dst":%d}|}
+      (json_escape array) (json_src src) dst
+  | Remap_end { array; src; dst; volume; time } ->
+    Printf.sprintf
+      {|{"ev":"remap_end","array":"%s","src":%s,"dst":%d,"volume":%d,"time":%s}|}
+      (json_escape array) (json_src src) dst volume (json_float time)
+  | Plan_lookup { hit } ->
+    Printf.sprintf {|{"ev":"plan_lookup","hit":%b}|} hit
+  | Step_begin { index; nb_messages; volume } ->
+    Printf.sprintf
+      {|{"ev":"step_begin","index":%d,"messages":%d,"volume":%d}|} index
+      nb_messages volume
+  | Step_end { index; time } ->
+    Printf.sprintf {|{"ev":"step_end","index":%d,"time":%s}|} index
+      (json_float time)
+  | Message { from_rank; to_rank; count } ->
+    Printf.sprintf {|{"ev":"message","from":%d,"to":%d,"count":%d}|} from_rank
+      to_rank count
+  | Dead_copy { array; src; dst } ->
+    Printf.sprintf {|{"ev":"dead_copy","array":"%s","src":%s,"dst":%d}|}
+      (json_escape array) (json_src src) dst
+  | Live_reuse { array; dst } ->
+    Printf.sprintf {|{"ev":"live_reuse","array":"%s","dst":%d}|}
+      (json_escape array) dst
+  | Skip { array; dst } ->
+    Printf.sprintf {|{"ev":"skip","array":"%s","dst":%d}|} (json_escape array)
+      dst
+  | Evict { array; version } ->
+    Printf.sprintf {|{"ev":"evict","array":"%s","version":%d}|}
+      (json_escape array) version
 
 (* Copy every field of [src] into [dst].  [reset] and the cross-run
    isolation tests rely on this covering the whole record: when a counter

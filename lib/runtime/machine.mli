@@ -50,15 +50,40 @@ val fresh_counters : unit -> counters
     and the counter-isolation tests). *)
 val copy_counters : into:counters -> counters -> unit
 
-(** One remapping event of the execution trace (gated by
-    [record_trace]). *)
-type event = {
-  ev_array : string;
-  ev_src : int option;  (** None: materialized without a source *)
-  ev_dst : int;
-  ev_volume : int;
-  ev_kind : [ `Copy | `Dead | `Reuse | `Skip | `Evict ];
+(** Structured execution-trace events (gated by [record_trace]), one
+    constructor per observable transition of the plan / schedule / execute
+    pipeline.  A remapping that runs brackets its message stream between
+    [Remap_begin] and [Remap_end]; within it, each contention-free step
+    brackets its messages between [Step_begin] and [Step_end]. *)
+type event =
+  | Remap_begin of { array : string; src : int option; dst : int }
+  | Remap_end of {
+      array : string;
+      src : int option;
+      dst : int;
+      volume : int;  (** elements moved between distinct processors *)
+      time : float;  (** modeled clock charged to this remap *)
+    }
+  | Plan_lookup of { hit : bool }  (** plan-cache probe for a remap *)
+  | Step_begin of { index : int; nb_messages : int; volume : int }
+  | Step_end of { index : int; time : float }
+      (** [time]: the step's modeled cost, [alpha + beta * slowest] *)
+  | Message of { from_rank : int; to_rank : int; count : int }
+  | Dead_copy of { array : string; src : int option; dst : int }
+  | Live_reuse of { array : string; dst : int }
+  | Skip of { array : string; dst : int }
+  | Evict of { array : string; version : int }
+
+(** Bounded event trace: a ring buffer — once full, the oldest events are
+    overwritten and counted as dropped. *)
+type trace = {
+  buf : event option array;
+  mutable head : int;  (** next write position *)
+  mutable len : int;
+  mutable dropped : int;
 }
+
+val default_trace_capacity : int
 
 type t = {
   nprocs : int;
@@ -67,7 +92,7 @@ type t = {
   counters : counters;
   memory_limit : int option;  (** max live elements across all copies *)
   mutable memory_used : int;
-  mutable trace : event list;  (** newest first *)
+  trace : trace;
   record_trace : bool;
 }
 
@@ -76,6 +101,7 @@ val create :
   ?sched:sched_mode ->
   ?memory_limit:int ->
   ?record_trace:bool ->
+  ?trace_capacity:int ->
   nprocs:int ->
   unit ->
   t
@@ -83,11 +109,18 @@ val create :
 (** Append an event (no-op unless [record_trace]). *)
 val record : t -> event -> unit
 
-(** Events in execution order. *)
+(** Retained events in execution order (oldest first). *)
 val events : t -> event list
+
+(** Events overwritten because the ring buffer was full. *)
+val dropped_events : t -> int
 
 val pp_event : Format.formatter -> event -> unit
 val pp_trace : Format.formatter -> t -> unit
+
+(** One event as a single-line JSON object (the [--trace] dump format);
+    hand-rolled, since the toolchain carries no JSON library. *)
+val event_to_json : event -> string
 
 (** Zero all counters. *)
 val reset : t -> unit

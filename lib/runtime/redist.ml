@@ -1,35 +1,72 @@
 (* Redistribution engine: given a source and a target layout of the same
    array, compute the communication plan — which (sender, receiver)
-   processor pairs exchange how many elements.
+   processor pairs exchange which elements.
 
-   Two algorithms compute the same plan:
+   Every planned message carries its payload as a *box*: one compressed
+   periodic interval set per array dimension whose cross product is
+   exactly the element set exchanged, i.e. the strided sections a real
+   SPMD runtime packs into the send buffer.  Two algorithms compute the
+   same plan:
 
    - [plan_naive]: walk every element, look up both owners.  The oracle.
+     Its boxes come from the interval machinery and are cross-checked
+     against the walked counts.
    - [plan_intervals]: exploit per-dimension structure, a la the efficient
      block-cyclic redistribution algorithms of Prylli & Tourancheau [19]:
-     for each array dimension, the elements owned by source coordinate c1
-     and target coordinate c2 form an intersection of interval lists, and
-     the count of elements exchanged between two full processor coordinates
-     is the product of the per-dimension intersection counts.  Cost is
-     O(procs^2 * intervals) instead of O(elements).
+     the elements owned along one dimension by source coordinate c1 and
+     target coordinate c2 form an intersection of periodic interval sets,
+     and a (sender, receiver) payload is the cross product of the
+     per-dimension intersections.  Cost is O(procs^2 * periods) and
+     independent of the array extent.
 
-   Layouts with replicated or constant-aligned grid dimensions fall back to
-   the naive walk (they are rare and small in the paper's programs). *)
+   Replicated and constant-aligned grid dimensions do not force a naive
+   walk: they never carry an array dimension, so they only constrain
+   which grid coordinates participate — a constant alignment pins the
+   coordinate, a replicated source dimension sends from the canonical
+   coordinate 0 (matching [Layout.owner]) and a replicated target
+   dimension receives on every coordinate (matching [Layout.owners]). *)
 
 open Hpfc_mapping
 
-type plan = {
-  (* messages.(p_src * nprocs_dst + p_dst) = element count; diagonal-ish
-     entries where src and dst linear ranks coincide are local moves *)
-  pairs : (int * int * int) list;  (* (from, to, count), from <> to *)
-  local : int;
-  nprocs_src : int;
-  nprocs_dst : int;
+(* A message payload: per array dimension, the owned-intersection set in
+   the compressed periodic representation.  Kept unmaterialized so plans
+   stay extent-independent; the executor expands it lazily. *)
+type box = Ivset.t array
+
+let box_size (b : box) =
+  Array.fold_left (fun acc s -> acc * Ivset.cardinal s) 1 b
+
+type message = {
+  m_from : int;  (* sender, linear rank in the source grid *)
+  m_to : int;  (* receiver, linear rank in the target grid *)
+  m_count : int;  (* elements = box_size m_box *)
+  m_box : box;
 }
 
-let total_moved plan = List.fold_left (fun acc (_, _, n) -> acc + n) 0 plan.pairs
+type plan = {
+  moves : message list;  (* m_from <> m_to, sorted by (from, to) *)
+  locals : message list;  (* m_from = m_to: on-processor moves *)
+  nprocs_src : int;
+  nprocs_dst : int;
+  mutable sprog : step list option;  (* memoized step program *)
+}
 
-let nb_messages plan = List.length plan.pairs
+(* A contention-free communication step: messages of the plan in which no
+   processor sends more than one message and no processor receives more
+   than one (one-port, full-duplex). *)
+and step = message list
+
+let triple m = (m.m_from, m.m_to, m.m_count)
+let pairs plan = List.map triple plan.moves
+let local_pairs plan = List.map triple plan.locals
+
+let total_moved plan =
+  List.fold_left (fun acc m -> acc + m.m_count) 0 plan.moves
+
+let local_total plan =
+  List.fold_left (fun acc m -> acc + m.m_count) 0 plan.locals
+
+let nb_messages plan = List.length plan.moves
 
 (* Critical-path time under an alpha-beta model: max over processors of
    send-side and receive-side cost. *)
@@ -45,7 +82,7 @@ let modeled_time (cost : Machine.cost_model) plan =
       bump send_vol f n;
       bump recv_msgs t 1;
       bump recv_vol t n)
-    plan.pairs;
+    (pairs plan);
   let side msgs vol =
     Hashtbl.fold
       (fun p m acc ->
@@ -57,46 +94,59 @@ let modeled_time (cost : Machine.cost_model) plan =
 
 (* --- stepped scheduling ---------------------------------------------------- *)
 
-(* A contention-free communication step: a subset of the plan's messages in
-   which no processor sends more than one message and no processor receives
-   more than one (one-port, full-duplex).  A plan's step decomposition is a
-   proper edge coloring of the bipartite sender/receiver multigraph; the
-   greedy first-fit coloring below uses at most 2*degree - 1 steps (the
-   optimum is the maximum degree, by Koenig's theorem), which is enough for
-   the time and peak-memory shapes we model (Rink et al., arXiv:2112.01075
-   decompose redistributions the same way to bound staging memory). *)
-type step = (int * int * int) list
+(* A plan's step decomposition is a proper edge coloring of the bipartite
+   sender/receiver multigraph; the greedy first-fit coloring below uses at
+   most 2*degree - 1 steps (the optimum is the maximum degree, by
+   Koenig's theorem), which is enough for the time and peak-memory shapes
+   we model (Rink et al., arXiv:2112.01075 decompose redistributions the
+   same way to bound staging memory). *)
 
-let step_volume (s : step) = List.fold_left (fun acc (_, _, n) -> acc + n) 0 s
+let step_volume (s : step) = List.fold_left (fun acc m -> acc + m.m_count) 0 s
 
 let peak_step_volume steps =
   List.fold_left (fun acc s -> max acc (step_volume s)) 0 steps
 
+let compare_endpoints a b = compare (a.m_from, a.m_to) (b.m_from, b.m_to)
+
 (* Greedy first-fit edge coloring, largest messages first so the heavy
    messages share steps (better packing, and the per-step max that the
-   stepped time model charges is paid by fewer steps). *)
+   stepped time model charges is paid by fewer steps).  A pure
+   [plan -> step program] transformer: the cost model and the executor
+   both consume its output. *)
 let steps (plan : plan) : step list =
   let by_size =
-    List.stable_sort (fun (_, _, a) (_, _, b) -> compare b a) plan.pairs
+    List.stable_sort (fun a b -> compare b.m_count a.m_count) plan.moves
   in
   let slots = ref [] in  (* (senders, receivers, messages), in step order *)
-  let place ((f, t, _) as msg) =
+  let place m =
     let rec find = function
       | [] ->
         let slot = (Hashtbl.create 8, Hashtbl.create 8, ref []) in
         slots := !slots @ [ slot ];
         slot
       | ((senders, receivers, _) as slot) :: rest ->
-        if Hashtbl.mem senders f || Hashtbl.mem receivers t then find rest
+        if Hashtbl.mem senders m.m_from || Hashtbl.mem receivers m.m_to then
+          find rest
         else slot
     in
     let senders, receivers, msgs = find !slots in
-    Hashtbl.replace senders f ();
-    Hashtbl.replace receivers t ();
-    msgs := msg :: !msgs
+    Hashtbl.replace senders m.m_from ();
+    Hashtbl.replace receivers m.m_to ();
+    msgs := m :: !msgs
   in
   List.iter place by_size;
-  List.map (fun (_, _, msgs) -> List.sort compare !msgs) !slots
+  List.map (fun (_, _, msgs) -> List.sort compare_endpoints !msgs) !slots
+
+(* The memoized step program of a plan (plans are immutable once built,
+   and cached plans recur on every loop iteration, so the coloring is
+   paid once per distinct layout pair). *)
+let step_program plan =
+  match plan.sprog with
+  | Some s -> s
+  | None ->
+    let s = steps plan in
+    plan.sprog <- Some s;
+    s
 
 (* Stepped time: within a step every message proceeds in parallel without
    port contention, so the step costs its slowest message; steps are
@@ -104,18 +154,133 @@ let steps (plan : plan) : step list =
    messages to send appears in k distinct steps, each charging at least
    alpha + beta * (that message), so the sum dominates its send-side
    alpha-beta cost (and symmetrically for receives). *)
-let modeled_time_of_steps (cost : Machine.cost_model) steps =
+let step_time (cost : Machine.cost_model) (s : step) =
   List.fold_left
-    (fun acc s ->
-      acc
-      +. List.fold_left
-           (fun m (_, _, n) ->
-             Float.max m
-               (cost.Machine.alpha +. (cost.Machine.beta *. float_of_int n)))
-           0.0 s)
-    0.0 steps
+    (fun m msg ->
+      Float.max m
+        (cost.Machine.alpha +. (cost.Machine.beta *. float_of_int msg.m_count)))
+    0.0 s
 
-let modeled_time_stepped cost plan = modeled_time_of_steps cost (steps plan)
+let modeled_time_of_steps (cost : Machine.cost_model) steps =
+  List.fold_left (fun acc s -> acc +. step_time cost s) 0.0 steps
+
+let modeled_time_stepped cost plan =
+  modeled_time_of_steps cost (step_program plan)
+
+(* --- per-dimension interval machinery -------------------------------------- *)
+
+(* Owned sets along array dimension [dim], indexed by the grid coordinate
+   of the driving grid dimension ([Local] dims contribute a single
+   pseudo-coordinate 0 owning the whole extent). *)
+let dim_sets (l : Layout.t) dim : Ivset.t array =
+  match l.Layout.roles.(dim) with
+  | Layout.Local -> [| Ivset.Finite [ (0, l.Layout.extents.(dim)) ] |]
+  | Layout.Dist pdim ->
+    Array.init l.Layout.procs.Procs.shape.(pdim) (fun c ->
+        Layout.owned_set l ~array_dim:dim ~coord:c)
+
+(* tables.(d).(c1).(c2): the owned-intersection set (and its cardinal)
+   along dimension [d] between source coordinate c1 and target coordinate
+   c2.  Sets use the compressed periodic representation, so each
+   intersection costs O(combined period), not O(extent). *)
+type dim_tables = {
+  t_boxes : Ivset.t array array array;
+  t_counts : int array array array;
+}
+
+let dim_tables ~(src : Layout.t) ~(dst : Layout.t) =
+  let rank = Layout.rank src in
+  let t_boxes =
+    Array.init rank (fun d ->
+        let s1 = dim_sets src d and s2 = dim_sets dst d in
+        Array.map (fun a -> Array.map (fun b -> Ivset.inter a b) s2) s1)
+  in
+  { t_boxes; t_counts = Array.map (Array.map (Array.map Ivset.cardinal)) t_boxes }
+
+(* Coordinate of the grid dim driven by array dim [d] within the full
+   coordinate vector (0 for Local pseudo-dims). *)
+let dim_coord (l : Layout.t) coords d =
+  match l.Layout.roles.(d) with
+  | Layout.Local -> 0
+  | Layout.Dist pdim -> coords.(pdim)
+
+(* Grid dimensions not driven by any array dimension only constrain which
+   coordinates participate in the exchange.  On the source side the
+   canonical copy sends: a constant alignment pins the coordinate and a
+   replicated dimension sends from coordinate 0, exactly [Layout.owner].
+   On the target side every replica receives: a constant alignment pins
+   the coordinate and a replicated dimension admits all, exactly
+   [Layout.owners]. *)
+let admissible_sender (l : Layout.t) coords =
+  let ok = ref true in
+  Array.iteri
+    (fun pdim source ->
+      match source with
+      | Layout.From_axis _ -> ()
+      | Layout.From_const c -> if coords.(pdim) <> c then ok := false
+      | Layout.Replicated -> if coords.(pdim) <> 0 then ok := false)
+    l.Layout.sources;
+  !ok
+
+let admissible_receiver (l : Layout.t) coords =
+  let ok = ref true in
+  Array.iteri
+    (fun pdim source ->
+      match source with
+      | Layout.From_axis _ | Layout.Replicated -> ()
+      | Layout.From_const c -> if coords.(pdim) <> c then ok := false)
+    l.Layout.sources;
+  !ok
+
+let message_box ~(src : Layout.t) ~(dst : Layout.t) tables cs cd : box =
+  Array.init (Layout.rank src) (fun d ->
+      tables.t_boxes.(d).(dim_coord src cs d).(dim_coord dst cd d))
+
+let make_plan ~moves ~locals ~nprocs_src ~nprocs_dst =
+  {
+    moves = List.sort compare_endpoints moves;
+    locals = List.sort compare_endpoints locals;
+    nprocs_src;
+    nprocs_dst;
+    sprog = None;
+  }
+
+(* --- interval engine ------------------------------------------------------ *)
+
+let plan_intervals ~(src : Layout.t) ~(dst : Layout.t) : plan =
+  assert (src.Layout.extents = dst.Layout.extents);
+  let rank = Layout.rank src in
+  let tables = dim_tables ~src ~dst in
+  let np_src = Procs.size src.Layout.procs
+  and np_dst = Procs.size dst.Layout.procs in
+  let moves = ref [] and locals = ref [] in
+  for ps = 0 to np_src - 1 do
+    let cs = Procs.delinearize src.Layout.procs ps in
+    if admissible_sender src cs then
+      for pd = 0 to np_dst - 1 do
+        let cd = Procs.delinearize dst.Layout.procs pd in
+        if admissible_receiver dst cd then begin
+          let count = ref 1 in
+          for d = 0 to rank - 1 do
+            count :=
+              !count * tables.t_counts.(d).(dim_coord src cs d).(dim_coord dst cd d)
+          done;
+          if !count > 0 then begin
+            let m =
+              {
+                m_from = ps;
+                m_to = pd;
+                m_count = !count;
+                m_box = message_box ~src ~dst tables cs cd;
+              }
+            in
+            (* processors are identified across layouts by linear rank *)
+            if ps = pd then locals := m :: !locals else moves := m :: !moves
+          end
+        end
+      done
+  done;
+  make_plan ~moves:!moves ~locals:!locals ~nprocs_src:np_src ~nprocs_dst:np_dst
 
 (* --- naive oracle -------------------------------------------------------- *)
 
@@ -137,169 +302,38 @@ let plan_naive ~(src : Layout.t) ~(dst : Layout.t) : plan =
   let np_src = Procs.size src.Layout.procs
   and np_dst = Procs.size dst.Layout.procs in
   let tally = Hashtbl.create 64 in
-  let local = ref 0 in
   iter_indices src.Layout.extents (fun index ->
       let from_lin = Procs.linearize src.Layout.procs (Layout.owner src index) in
       List.iter
         (fun dst_coords ->
           let to_lin = Procs.linearize dst.Layout.procs dst_coords in
-          (* processors are identified across layouts by linear rank *)
-          if from_lin = to_lin then incr local
-          else
-            Hashtbl.replace tally (from_lin, to_lin)
-              (1 + Option.value (Hashtbl.find_opt tally (from_lin, to_lin)) ~default:0))
+          Hashtbl.replace tally (from_lin, to_lin)
+            (1 + Option.value (Hashtbl.find_opt tally (from_lin, to_lin)) ~default:0))
         (Layout.owners dst index));
-  let pairs = Hashtbl.fold (fun (f, t) n acc -> (f, t, n) :: acc) tally [] in
-  { pairs = List.sort compare pairs; local = !local; nprocs_src = np_src; nprocs_dst = np_dst }
+  (* attach each pair's interval box; its size must reproduce the walked
+     count exactly — a per-pair cross-check of the interval machinery
+     against the element-walk oracle *)
+  let tables = dim_tables ~src ~dst in
+  let moves = ref [] and locals = ref [] in
+  Hashtbl.iter
+    (fun (f, t) n ->
+      let cs = Procs.delinearize src.Layout.procs f
+      and cd = Procs.delinearize dst.Layout.procs t in
+      let b = message_box ~src ~dst tables cs cd in
+      assert (box_size b = n);
+      let m = { m_from = f; m_to = t; m_count = n; m_box = b } in
+      if f = t then locals := m :: !locals else moves := m :: !moves)
+    tally;
+  make_plan ~moves:!moves ~locals:!locals ~nprocs_src:np_src ~nprocs_dst:np_dst
 
-(* --- interval engine ------------------------------------------------------ *)
+(* --- box iteration --------------------------------------------------------- *)
 
-let has_irregular_sources (l : Layout.t) =
-  Array.exists
-    (function Layout.From_const _ | Layout.Replicated -> true | Layout.From_axis _ -> false)
-    l.Layout.sources
-
-(* Per-dimension table: counts.(c1).(c2) = number of indices along [dim]
-   owned by source grid-coordinate c1 and target grid-coordinate c2; a
-   [Local] role contributes a single pseudo-coordinate 0.  Sets use the
-   compressed periodic representation, so each intersection costs
-   O(combined period), not O(extent). *)
-let dim_table ~(src : Layout.t) ~(dst : Layout.t) dim =
-  let sets (l : Layout.t) : Ivset.t array =
-    match l.Layout.roles.(dim) with
-    | Layout.Local -> [| Ivset.Finite [ (0, l.Layout.extents.(dim)) ] |]
-    | Layout.Dist pdim ->
-      Array.init l.Layout.procs.Procs.shape.(pdim) (fun c ->
-          Layout.owned_set l ~array_dim:dim ~coord:c)
-  in
-  let s1 = sets src and s2 = sets dst in
-  Array.map (fun a -> Array.map (fun b -> Ivset.inter_cardinal a b) s2) s1
-
-let plan_intervals ~(src : Layout.t) ~(dst : Layout.t) : plan =
-  if has_irregular_sources src || has_irregular_sources dst then
-    plan_naive ~src ~dst
-  else begin
-    assert (src.Layout.extents = dst.Layout.extents);
-    let rank = Layout.rank src in
-    let tables = Array.init rank (fun d -> dim_table ~src ~dst d) in
-    (* enumerate (src coord vector, dst coord vector) pairs *)
-    let np_src = Procs.size src.Layout.procs
-    and np_dst = Procs.size dst.Layout.procs in
-    let pairs = ref [] and local = ref 0 in
-    for ps = 0 to np_src - 1 do
-      let cs = Procs.delinearize src.Layout.procs ps in
-      for pd = 0 to np_dst - 1 do
-        let cd = Procs.delinearize dst.Layout.procs pd in
-        let count = ref 1 in
-        for d = 0 to rank - 1 do
-          let c1 =
-            match src.Layout.roles.(d) with
-            | Layout.Local -> 0
-            | Layout.Dist pdim -> cs.(pdim)
-          in
-          let c2 =
-            match dst.Layout.roles.(d) with
-            | Layout.Local -> 0
-            | Layout.Dist pdim -> cd.(pdim)
-          in
-          count := !count * tables.(d).(c1).(c2)
-        done;
-        (* grid dims of src not constrained by any array dim cannot occur
-           (every distributed dim is driven when sources are regular); but
-           a src coordinate that owns nothing yields 0 naturally *)
-        if !count > 0 then
-          if ps = pd then local := !local + !count
-          else pairs := (ps, pd, !count) :: !pairs
-      done
-    done;
-    {
-      pairs = List.sort compare !pairs;
-      local = !local;
-      nprocs_src = np_src;
-      nprocs_dst = np_dst;
-    }
-  end
-
-(* --- message schedules ----------------------------------------------------- *)
-
-(* A message's payload as a cross product of per-dimension index interval
-   lists: exactly the strided sections a real SPMD runtime would pack into
-   the send buffer.  [boxes] multiply out to the plan's element count. *)
-type box = (int * int) list array
-
-let box_size (b : box) =
-  Array.fold_left
-    (fun acc ivs -> acc * Hpfc_mapping.Ivset.size_of_intervals ivs)
-    1 b
-
-type schedule = ((int * int) * box) list  (* (sender, receiver) -> payload *)
-
-(* Per-dimension owned-intersection intervals between a source coordinate
-   and a destination coordinate. *)
-let dim_intersection ~(src : Layout.t) ~(dst : Layout.t) dim c1 c2 =
-  let ivs (l : Layout.t) c =
-    match l.Layout.roles.(dim) with
-    | Layout.Local -> [ (0, l.Layout.extents.(dim)) ]
-    | Layout.Dist _ -> Layout.owned_intervals l ~array_dim:dim ~coord:c
-  in
-  Ivset.inter_intervals (ivs src c1) (ivs dst c2) []
-
-(* The full message schedule between two regular layouts: for every
-   (sender, receiver) pair, the box of elements to move.  Requires regular
-   (axis-driven) layouts, like the interval planner.  [include_local] adds
-   the diagonal (sender = receiver) entries, making the schedule a complete
-   partition of the elements — what the distributed executor uses to move
-   payloads. *)
-let schedule ?(include_local = false) ~(src : Layout.t) ~(dst : Layout.t) ()
-    : schedule =
-  if has_irregular_sources src || has_irregular_sources dst then
-    invalid_arg "Redist.schedule: irregular layout";
-  let rank = Layout.rank src in
-  let np_src = Procs.size src.Layout.procs
-  and np_dst = Procs.size dst.Layout.procs in
-  let moves = ref [] in
-  for ps = 0 to np_src - 1 do
-    let cs = Procs.delinearize src.Layout.procs ps in
-    for pd = 0 to np_dst - 1 do
-      if include_local || ps <> pd then begin
-        let cd = Procs.delinearize dst.Layout.procs pd in
-        let b =
-          Array.init rank (fun d ->
-              let c1 =
-                match src.Layout.roles.(d) with
-                | Layout.Local -> 0
-                | Layout.Dist pdim -> cs.(pdim)
-              in
-              let c2 =
-                match dst.Layout.roles.(d) with
-                | Layout.Local -> 0
-                | Layout.Dist pdim -> cd.(pdim)
-              in
-              dim_intersection ~src ~dst d c1 c2)
-        in
-        if box_size b > 0 then moves := ((ps, pd), b) :: !moves
-      end
-    done
-  done;
-  List.rev !moves
-
-let pp_box ppf (b : box) =
-  Fmt.pf ppf "%a"
-    (Hpfc_base.Util.pp_list ~sep:" x " (fun ppf ivs ->
-         Fmt.pf ppf "{%a}"
-           (Hpfc_base.Util.pp_list (fun ppf (lo, hi) -> Fmt.pf ppf "[%d,%d)" lo hi))
-           ivs))
-    (Array.to_list b)
-
-let pp_schedule ppf (s : schedule) =
-  List.iter
-    (fun ((p, q), b) ->
-      Fmt.pf ppf "P%d -> P%d : %d elements  %a@." p q (box_size b) pp_box b)
-    s
-
-(* Iterate every index vector of a box (cross product of the per-dimension
-   interval lists). *)
+(* Iterate every index vector of a box in row-major order (the packing
+   order of the communication executor).  The per-dimension sets are
+   materialized here, at execution time: cost is proportional to the
+   elements being moved, never to the array extent. *)
 let iter_box (b : box) f =
+  let ivs = Array.map Ivset.to_intervals b in
   let rank = Array.length b in
   let index = Array.make rank 0 in
   let rec loop d =
@@ -311,15 +345,39 @@ let iter_box (b : box) f =
             index.(d) <- x;
             loop (d + 1)
           done)
-        b.(d)
+        ivs.(d)
   in
   if rank > 0 then loop 0
 
+let pp_box ppf (b : box) =
+  Fmt.pf ppf "%a"
+    (Hpfc_base.Util.pp_list ~sep:" x " (fun ppf s ->
+         Fmt.pf ppf "{%a}"
+           (Hpfc_base.Util.pp_list (fun ppf (lo, hi) -> Fmt.pf ppf "[%d,%d)" lo hi))
+           (Ivset.to_intervals s)))
+    (Array.to_list b)
+
+let pp_message ppf m =
+  Fmt.pf ppf "P%d -> P%d : %d elements  %a" m.m_from m.m_to m.m_count pp_box
+    m.m_box
+
+(* Every cross-processor message of the plan, one per line. *)
+let pp_moves ppf plan =
+  List.iter (fun m -> Fmt.pf ppf "%a@." pp_message m) plan.moves
+
+let pp_steps ppf plan =
+  List.iteri
+    (fun i s ->
+      Fmt.pf ppf "step %d (%d msgs, %d elements):@." i (List.length s)
+        (step_volume s);
+      List.iter (fun m -> Fmt.pf ppf "  %a@." pp_message m) s)
+    (step_program plan)
+
 (* Sanity: a plan covers every element exactly once (modulo replication in
    the destination, where each element lands on several processors). *)
-let covered plan = total_moved plan + plan.local
+let covered plan = total_moved plan + local_total plan
 
-let equal p1 p2 = p1.pairs = p2.pairs && p1.local = p2.local
+let equal p1 p2 = pairs p1 = pairs p2 && local_pairs p1 = local_pairs p2
 
 (* --- plan cache ------------------------------------------------------------ *)
 
@@ -367,48 +425,33 @@ module Plan_cache = struct
     c.misses <- 0
 
   (* Look up the plan for (src, dst), calling [compute] on a miss.  Hit and
-     miss totals go to the cache itself and, when given, to the machine
-     [counters] (so per-run reports can show the hit rate even though the
-     cache outlives machine resets). *)
-  let find c ?counters ~src ~dst compute =
+     miss totals go to the cache itself and, when given, to the [machine]
+     — counter bumps plus a [Plan_lookup] trace event (the cache outlives
+     machine resets, so per-run reports use the machine's view). *)
+  let find c ?machine ~src ~dst compute =
     let k = key ~src ~dst in
+    let note hit =
+      Option.iter
+        (fun (m : Machine.t) ->
+          let ct = m.Machine.counters in
+          if hit then ct.Machine.plan_hits <- ct.Machine.plan_hits + 1
+          else ct.Machine.plan_misses <- ct.Machine.plan_misses + 1;
+          Machine.record m (Machine.Plan_lookup { hit }))
+        machine
+    in
     match Hashtbl.find_opt c.table k with
     | Some p ->
       c.hits <- c.hits + 1;
-      Option.iter
-        (fun (ct : Machine.counters) ->
-          ct.Machine.plan_hits <- ct.Machine.plan_hits + 1)
-        counters;
+      note true;
       p
     | None ->
       c.misses <- c.misses + 1;
-      Option.iter
-        (fun (ct : Machine.counters) ->
-          ct.Machine.plan_misses <- ct.Machine.plan_misses + 1)
-        counters;
+      note false;
       let p = compute () in
       Hashtbl.add c.table k p;
       p
 end
 
-(* Account a plan's execution on the machine, under its scheduling mode:
-   burst charges the whole exchange as one alpha-beta critical path;
-   stepped decomposes it into contention-free steps and serializes them,
-   also recording the step count and the peak in-flight volume. *)
-let account (m : Machine.t) plan =
-  let c = m.Machine.counters in
-  c.Machine.messages <- c.Machine.messages + nb_messages plan;
-  c.Machine.volume <- c.Machine.volume + total_moved plan;
-  c.Machine.local_moves <- c.Machine.local_moves + plan.local;
-  match m.Machine.sched with
-  | Machine.Burst -> c.Machine.time <- c.Machine.time +. modeled_time m.Machine.cost plan
-  | Machine.Stepped ->
-    let ss = steps plan in
-    c.Machine.steps <- c.Machine.steps + List.length ss;
-    c.Machine.peak_step_volume <-
-      max c.Machine.peak_step_volume (peak_step_volume ss);
-    c.Machine.time <- c.Machine.time +. modeled_time_of_steps m.Machine.cost ss
-
 let pp ppf plan =
   Fmt.pf ppf "plan: %d messages, %d moved, %d local" (nb_messages plan)
-    (total_moved plan) plan.local
+    (total_moved plan) (local_total plan)

@@ -1,36 +1,68 @@
 (** Redistribution engine: the communication plan between two layouts of
-    the same array.
+    the same array, as messages carrying their payloads.
 
-    Two algorithms compute the same plan: {!plan_naive} walks every element
-    (the oracle); {!plan_intervals} works per dimension on compressed
+    Every message carries a {!box}: one compressed periodic interval set
+    per array dimension whose cross product is the exchanged element set
+    — the strided sections an SPMD runtime packs into a send buffer.
+
+    Two algorithms compute the same plan: {!plan_naive} walks every
+    element (the oracle, cross-checking each pair's box against the
+    walked count); {!plan_intervals} works per dimension on compressed
     periodic ownership sets, so its cost is O(grid^2 * periods) and
     independent of the array extent — the efficient block-cyclic
-    redistribution idea of Prylli & Tourancheau.  Layouts with replicated
-    or constant-aligned grid dimensions fall back to the naive walk. *)
+    redistribution idea of Prylli & Tourancheau.  Replicated and
+    constant-aligned grid dimensions only constrain which coordinates
+    participate (canonical sender, all-replica receivers), so both
+    engines handle every layout. *)
+
+(** Per array dimension, the owned-intersection set in the compressed
+    periodic representation ({!Hpfc_mapping.Ivset.t}); kept
+    unmaterialized so plans stay extent-independent. *)
+type box = Hpfc_mapping.Ivset.t array
+
+(** Number of elements in the box (product of per-dimension cardinals). *)
+val box_size : box -> int
+
+type message = {
+  m_from : int;  (** sender, linear rank in the source grid *)
+  m_to : int;  (** receiver, linear rank in the target grid *)
+  m_count : int;  (** elements, [= box_size m_box] *)
+  m_box : box;
+}
 
 type plan = {
-  pairs : (int * int * int) list;
-      (** (sender, receiver, element count) with sender <> receiver, by
-          linear processor rank *)
-  local : int;  (** elements staying on their processor *)
+  moves : message list;
+      (** cross-processor messages, [m_from <> m_to], sorted by
+          (sender, receiver) *)
+  locals : message list;  (** on-processor moves, [m_from = m_to] *)
   nprocs_src : int;
   nprocs_dst : int;
+  mutable sprog : step list option;  (** memoized step program *)
 }
+
+(** A contention-free communication step: messages of the plan in which
+    no processor sends twice and no processor receives twice (one-port,
+    full-duplex). *)
+and step = message list
+
+(** The cross-processor messages as (sender, receiver, count) triples. *)
+val pairs : plan -> (int * int * int) list
+
+(** The on-processor moves as (rank, rank, count) triples. *)
+val local_pairs : plan -> (int * int * int) list
 
 (** Total elements crossing processors. *)
 val total_moved : plan -> int
 
-(** Number of (sender, receiver) messages. *)
+(** Total elements staying on their processor. *)
+val local_total : plan -> int
+
+(** Number of cross-processor messages. *)
 val nb_messages : plan -> int
 
 (** Critical-path time under the cost model: max over processors of the
     send-side and receive-side alpha-beta cost. *)
 val modeled_time : Machine.cost_model -> plan -> float
-
-(** A contention-free communication step: messages of the plan in which no
-    processor sends twice and no processor receives twice (one-port,
-    full-duplex). *)
-type step = (int * int * int) list
 
 (** Total elements in flight within one step. *)
 val step_volume : step -> int
@@ -40,13 +72,21 @@ val step_volume : step -> int
 val peak_step_volume : step list -> int
 
 (** Greedy bipartite edge coloring of the plan's messages, largest first:
-    the steps partition [plan.pairs] exactly, each step is contention-free,
-    and at most [2 * max degree - 1] steps are used. *)
+    a pure [plan -> step program] transformer.  The steps partition
+    [plan.moves] exactly, each step is contention-free, and at most
+    [2 * max degree - 1] steps are used. *)
 val steps : plan -> step list
 
-(** Stepped time: each step costs its slowest message
-    ([alpha + beta * count]), steps are serialized.  Always >= the burst
-    critical path {!modeled_time}. *)
+(** The plan's step program, memoized in the plan (cached plans recur on
+    every loop iteration; the coloring is paid once).  Shared by the cost
+    model and the communication executor. *)
+val step_program : plan -> step list
+
+(** A step's modeled cost: [alpha + beta * slowest message]. *)
+val step_time : Machine.cost_model -> step -> float
+
+(** Stepped time: each step costs its slowest message, steps are
+    serialized.  Always >= the burst critical path {!modeled_time}. *)
 val modeled_time_stepped : Machine.cost_model -> plan -> float
 
 (** Same, over an already computed decomposition. *)
@@ -55,42 +95,33 @@ val modeled_time_of_steps : Machine.cost_model -> step list -> float
 (** Iterate all index vectors of an extent vector (exposed for tests). *)
 val iter_indices : int array -> (int array -> unit) -> unit
 
-(** Per-element oracle. *)
+(** Per-element oracle; boxes attached from the interval machinery and
+    asserted against the walked counts. *)
 val plan_naive : src:Hpfc_mapping.Layout.t -> dst:Hpfc_mapping.Layout.t -> plan
 
 (** Periodic-interval engine; identical plans (qcheck-verified). *)
 val plan_intervals :
   src:Hpfc_mapping.Layout.t -> dst:Hpfc_mapping.Layout.t -> plan
 
-(** A message payload as per-dimension index interval lists (the box is
-    their cross product): the strided sections an SPMD runtime packs. *)
-type box = (int * int) list array
-
-val box_size : box -> int
-
-(** One entry per (sender, receiver) pair with a non-empty payload. *)
-type schedule = ((int * int) * box) list
-
-(** The full message schedule between two regular layouts;
-    [include_local] adds the sender = receiver entries, making the schedule
-    a complete partition of the elements.
-    @raise Invalid_argument on replicated or constant-aligned layouts. *)
-val schedule :
-  ?include_local:bool ->
-  src:Hpfc_mapping.Layout.t ->
-  dst:Hpfc_mapping.Layout.t ->
-  unit ->
-  schedule
-
-(** Iterate every index vector of a box. *)
+(** Iterate every index vector of a box in row-major order — the packing
+    order of the communication executor.  Materializes the per-dimension
+    sets, so cost is proportional to the elements moved. *)
 val iter_box : box -> (int array -> unit) -> unit
 
 val pp_box : Format.formatter -> box -> unit
-val pp_schedule : Format.formatter -> schedule -> unit
+val pp_message : Format.formatter -> message -> unit
+
+(** Every cross-processor message of the plan, one per line. *)
+val pp_moves : Format.formatter -> plan -> unit
+
+(** The step decomposition, one step header plus its messages per step. *)
+val pp_steps : Format.formatter -> plan -> unit
 
 (** moved + local: the number of (element, destination-copy) pairs. *)
 val covered : plan -> int
 
+(** Same (sender, receiver, count) multisets on both the cross-processor
+    and the on-processor side. *)
 val equal : plan -> plan -> bool
 
 (** Memoized plans keyed by canonicalized (source layout, target layout,
@@ -114,21 +145,17 @@ module Plan_cache : sig
   (** Drop all cached plans and zero the lifetime totals. *)
   val clear : t -> unit
 
-  (** [find c ?counters ~src ~dst compute] returns the cached plan for the
+  (** [find c ?machine ~src ~dst compute] returns the cached plan for the
       canonicalized layout pair, or computes, stores and returns it.
-      Bumps [plan_hits]/[plan_misses] on [counters] when given. *)
+      Bumps [plan_hits]/[plan_misses] and records a
+      {!Machine.event.Plan_lookup} trace event on [machine] when given. *)
   val find :
     t ->
-    ?counters:Machine.counters ->
+    ?machine:Machine.t ->
     src:Hpfc_mapping.Layout.t ->
     dst:Hpfc_mapping.Layout.t ->
     (unit -> plan) ->
     plan
 end
-
-(** Account a plan's execution on the machine counters, under the
-    machine's {!Machine.sched_mode} (burst critical path, or serialized
-    contention-free steps with step/peak-volume counters). *)
-val account : Machine.t -> plan -> unit
 
 val pp : Format.formatter -> plan -> unit

@@ -40,27 +40,46 @@ type copy = {
 (* Element access through a copy's payload. *)
 let copy_get (c : copy) index =
   match c.payload with
-  | Global g -> g.(let acc = ref 0 in
-                   Array.iteri
-                     (fun d x -> acc := (!acc * c.layout.Layout.extents.(d)) + x)
-                     index;
-                   !acc)
+  | Global g -> g.(Layout.global_linear_index c.layout.Layout.extents index)
   | Locals ls ->
     let p = Procs.linearize c.layout.Layout.procs (Layout.owner c.layout index) in
     ls.(p).(Layout.local_linear_index c.layout index)
 
 let copy_set (c : copy) index v =
   match c.payload with
-  | Global g ->
-    let acc = ref 0 in
-    Array.iteri (fun d x -> acc := (!acc * c.layout.Layout.extents.(d)) + x) index;
-    g.(!acc) <- v
+  | Global g -> g.(Layout.global_linear_index c.layout.Layout.extents index) <- v
   | Locals ls ->
     (* replicated layouts write every replica *)
     let lli = Layout.local_linear_index c.layout index in
     List.iter
       (fun coords -> ls.(Procs.linearize c.layout.Layout.procs coords).(lli) <- v)
       (Layout.owners c.layout index)
+
+(* How the communication executor touches this copy's storage.  The
+   global payload ignores the rank (every rank's access lands in the one
+   canonical array — replaying the message stream there cross-validates
+   the IR against the distributed run); local buffers address the given
+   rank directly, so a replicated target is written one replica per
+   message rather than broadcast on every write. *)
+let endpoint_of_copy (c : copy) : Comm.endpoint =
+  match c.payload with
+  | Global g ->
+    let extents = c.layout.Layout.extents in
+    {
+      Comm.read =
+        (fun ~rank:_ index -> g.(Layout.global_linear_index extents index));
+      write =
+        (fun ~rank:_ index v ->
+          g.(Layout.global_linear_index extents index) <- v);
+    }
+  | Locals ls ->
+    {
+      Comm.read =
+        (fun ~rank index -> ls.(rank).(Layout.local_linear_index c.layout index));
+      write =
+        (fun ~rank index v ->
+          ls.(rank).(Layout.local_linear_index c.layout index) <- v);
+    }
 
 let iter_global_indices extents f =
   let rank = Array.length extents in
@@ -230,13 +249,7 @@ let make_room t needed =
               then begin
                 free t d v;
                 Machine.record t.machine
-                  {
-                    Machine.ev_array = d.name;
-                    ev_src = None;
-                    ev_dst = v;
-                    ev_volume = 0;
-                    ev_kind = `Evict;
-                  };
+                  (Machine.Evict { array = d.name; version = v });
                 t.machine.Machine.counters.Machine.evictions <-
                   t.machine.Machine.counters.Machine.evictions + 1
               end)
@@ -272,75 +285,57 @@ let alloc t d version layout =
   end
 
 (* The communication plan from version [src] to version [dst], memoized on
-   the canonical layout pair (hit/miss counters go to the machine). *)
+   the canonical layout pair (hit/miss counters and a [Plan_lookup] trace
+   event go to the machine). *)
 let plan_for t d ~src ~dst =
   let s = (get_copy d src).layout and t' = (get_copy d dst).layout in
-  Redist.Plan_cache.find t.plans ~counters:t.machine.Machine.counters ~src:s
-    ~dst:t' (fun () ->
+  Redist.Plan_cache.find t.plans ~machine:t.machine ~src:s ~dst:t' (fun () ->
       if t.use_interval_engine then Redist.plan_intervals ~src:s ~dst:t'
       else Redist.plan_naive ~src:s ~dst:t')
 
-(* Remapping copy A_dst := A_src (Fig. 19's "A_l := A_a"): accounts the
-   communication and moves the payload.  [with_data] is false for D-labelled
+(* Remapping copy A_dst := A_src (Fig. 19's "A_l := A_a"): every remap,
+   under either backend, runs the plan's step program through the
+   communication executor — the canonical backend replays the identical
+   message stream against the global payload, so the backends
+   cross-validate the IR itself.  [with_data] is false for D-labelled
    copies (allocation only). *)
 let copy_version t d ~src ~dst ~with_data =
   let c = t.machine.Machine.counters in
   if with_data then begin
-    let plan = plan_for t d ~src ~dst in
-    Redist.account t.machine plan;
     Machine.record t.machine
-      {
-        Machine.ev_array = d.name;
-        ev_src = Some src;
-        ev_dst = dst;
-        ev_volume = Redist.total_moved plan;
-        ev_kind = `Copy;
-      };
-    let s = get_copy d src and dstc = get_copy d dst in
-    (match (s.payload, dstc.payload) with
-    | Global g1, Global g2 -> Array.blit g1 0 g2 0 (Array.length g1)
-    | _ -> (
-      (* distributed move: drive the per-processor message schedule (the
-         equivalence tests thereby check the schedules are a complete
-         partition); irregular layouts fall back to an element walk *)
-      match
-        Redist.schedule ~include_local:true ~src:s.layout ~dst:dstc.layout ()
-      with
-      | sched ->
-        List.iter
-          (fun (_, box) ->
-            Redist.iter_box box (fun index ->
-                copy_set dstc index (copy_get s index)))
-          sched
-      | exception Invalid_argument _ ->
-        iter_global_indices s.layout.Layout.extents (fun index ->
-            copy_set dstc index (copy_get s index))));
-    c.Machine.remaps_performed <- c.Machine.remaps_performed + 1
+      (Machine.Remap_begin { array = d.name; src = Some src; dst });
+    let plan = plan_for t d ~src ~dst in
+    let t0 = c.Machine.time in
+    let sc = get_copy d src and dc = get_copy d dst in
+    Comm.execute t.machine ~src:(endpoint_of_copy sc) ~dst:(endpoint_of_copy dc)
+      plan;
+    c.Machine.remaps_performed <- c.Machine.remaps_performed + 1;
+    Machine.record t.machine
+      (Machine.Remap_end
+         {
+           array = d.name;
+           src = Some src;
+           dst;
+           volume = Redist.total_moved plan;
+           time = c.Machine.time -. t0;
+         })
   end
   else begin
     Machine.record t.machine
-      {
-        Machine.ev_array = d.name;
-        ev_src = Some src;
-        ev_dst = dst;
-        ev_volume = 0;
-        ev_kind = `Dead;
-      };
+      (Machine.Dead_copy { array = d.name; src = Some src; dst });
     c.Machine.dead_copies <- c.Machine.dead_copies + 1
   end
 
 (* --- element access ------------------------------------------------------ *)
 
 let linear_index extents index =
-  let rank = Array.length extents in
-  let acc = ref 0 in
-  for d = 0 to rank - 1 do
-    if index.(d) < 0 || index.(d) >= extents.(d) then
-      Hpfc_base.Error.fail Runtime_fault "index %d out of bounds [0,%d)"
-        index.(d) extents.(d);
-    acc := (!acc * extents.(d)) + index.(d)
-  done;
-  !acc
+  Array.iteri
+    (fun d x ->
+      if x < 0 || x >= extents.(d) then
+        Hpfc_base.Error.fail Runtime_fault "index %d out of bounds [0,%d)" x
+          extents.(d))
+    index;
+  Layout.global_linear_index extents index
 
 (* Read/write through the *current* copy; a version check catches compiler
    bugs (reference compiled against a copy that is not current). *)

@@ -33,6 +33,11 @@ val copy_get : copy -> int array -> float
 
 val copy_set : copy -> int array -> float -> unit
 
+(** How the communication executor touches this copy's storage: global
+    payloads ignore the rank; local buffers address the given rank
+    directly (a replicated target is written one replica per message). *)
+val endpoint_of_copy : copy -> Comm.endpoint
+
 (** Initialize a payload from a global-linear-position function. *)
 val fill_copy : copy -> (int -> float) -> unit
 

@@ -10,6 +10,7 @@ let () =
       ("hoist-driver", Test_hoist_driver.suite);
       ("runtime", Test_runtime.suite);
       ("redist-props", Test_redist_props.suite);
+      ("comm", Test_comm.suite);
       ("codegen", Test_codegen.suite);
       ("more", Test_more.suite);
       ("interp", Test_interp.suite);

@@ -178,19 +178,25 @@ let test_trace_events () =
       Figures.fig13_src
   in
   let events = Machine.events r.I.machine in
-  let kinds = List.map (fun (e : Machine.event) -> e.Machine.ev_kind) events in
+  let is_copy = function Machine.Remap_end _ -> true | _ -> false
+  and is_reuse = function Machine.Live_reuse _ -> true | _ -> false in
   (* else path: one real copy to cyclic(2), then the block restore is a
      live reuse *)
-  Alcotest.(check bool) "has a copy" true (List.mem `Copy kinds);
-  Alcotest.(check bool) "has a reuse" true (List.mem `Reuse kinds);
+  Alcotest.(check bool) "has a copy" true (List.exists is_copy events);
+  Alcotest.(check bool) "has a reuse" true (List.exists is_reuse events);
   (* the copy precedes the reuse *)
   let rec before l =
     match l with
-    | `Copy :: rest -> List.mem `Reuse rest
+    | e :: rest when is_copy e -> List.exists is_reuse rest
     | _ :: rest -> before rest
     | [] -> false
   in
-  Alcotest.(check bool) "copy before reuse" true (before kinds)
+  Alcotest.(check bool) "copy before reuse" true (before events);
+  (* every remap brackets correctly: begin, then end on the same array *)
+  let begins =
+    List.length (List.filter (function Machine.Remap_begin _ -> true | _ -> false) events)
+  and ends = List.length (List.filter is_copy events) in
+  Alcotest.(check int) "balanced remap begin/end" begins ends
 
 let test_trace_disabled_by_default () =
   let machine = Machine.create ~nprocs:4 () in

@@ -1,9 +1,10 @@
 (* Property tests for the redistribution engine and the stepped message
    scheduler: on random layout pairs — including replicated and
-   constant-aligned layouts that fall back to the naive planner — the
-   interval engine agrees with the per-element oracle, the greedy
-   edge-coloring partitions the plan into contention-free steps, and the
-   stepped time model dominates the burst critical-path bound. *)
+   constant-aligned layouts, which the interval engine now plans directly
+   by constraining grid coordinates — the interval engine agrees with the
+   per-element oracle, message boxes multiply out to their counts, the
+   greedy edge-coloring partitions the plan into contention-free steps,
+   and the stepped time model dominates the burst critical-path bound. *)
 
 open Hpfc_mapping
 open Hpfc_runtime
@@ -30,8 +31,9 @@ let gen_regular ~n =
 
 (* An irregular layout: the array is aligned with a rank-2 template whose
    second dimension is replicated (a copy at every grid coordinate) or
-   constant (the whole array at one fixed coordinate).  Both make
-   [plan_intervals] fall back to the naive walk. *)
+   constant (the whole array at one fixed coordinate).  Neither carries an
+   array dimension, so the interval engine plans them by constraining
+   which grid coordinates participate. *)
 let gen_irregular ~n =
   QCheck2.Gen.(
     let* p = int_range 1 4 in
@@ -76,18 +78,36 @@ let prop_engines_agree_mixed =
       let naive = Redist.plan_naive ~src ~dst in
       let fast = Redist.plan_intervals ~src ~dst in
       Redist.total_moved naive = Redist.total_moved fast
-      && naive.Redist.pairs = fast.Redist.pairs
-      && naive.Redist.local = fast.Redist.local)
+      && Redist.pairs naive = Redist.pairs fast
+      && Redist.local_pairs naive = Redist.local_pairs fast)
+
+(* Every message's box multiplies out to its element count, and its
+   per-dimension sets materialize to that many index vectors. *)
+let prop_boxes_match_counts =
+  QCheck2.Test.make ~name:"message boxes multiply out to their counts"
+    ~print:print_pair ~count:300 gen_pair (fun (src, dst) ->
+      let plan = Redist.plan_intervals ~src ~dst in
+      List.for_all
+        (fun (m : Redist.message) ->
+          let walked = ref 0 in
+          Redist.iter_box m.Redist.m_box (fun _ -> incr walked);
+          Redist.box_size m.Redist.m_box = m.Redist.m_count
+          && !walked = m.Redist.m_count)
+        (plan.Redist.moves @ plan.Redist.locals))
 
 (* --- step decomposition ------------------------------------------------------ *)
 
-(* The steps partition plan.pairs exactly: same multiset of messages. *)
+let triples ms =
+  List.map (fun (m : Redist.message) -> (m.Redist.m_from, m.Redist.m_to, m.Redist.m_count)) ms
+
+(* The steps partition the plan's moves exactly: same multiset of
+   messages. *)
 let prop_steps_partition =
-  QCheck2.Test.make ~name:"steps partition plan.pairs exactly"
+  QCheck2.Test.make ~name:"steps partition the plan's moves exactly"
     ~print:print_pair ~count:300 gen_pair (fun (src, dst) ->
       let plan = Redist.plan_intervals ~src ~dst in
-      let flattened = List.concat (Redist.steps plan) in
-      List.sort compare flattened = plan.Redist.pairs)
+      let flattened = triples (List.concat (Redist.steps plan)) in
+      List.sort compare flattened = Redist.pairs plan)
 
 (* Within a step, no processor sends twice and none receives twice. *)
 let prop_steps_contention_free =
@@ -96,8 +116,8 @@ let prop_steps_contention_free =
       let plan = Redist.plan_intervals ~src ~dst in
       List.for_all
         (fun step ->
-          let senders = List.map (fun (f, _, _) -> f) step
-          and receivers = List.map (fun (_, t, _) -> t) step in
+          let senders = List.map (fun (f, _, _) -> f) (triples step)
+          and receivers = List.map (fun (_, t, _) -> t) (triples step) in
           List.length (List.sort_uniq compare senders) = List.length senders
           && List.length (List.sort_uniq compare receivers)
              = List.length receivers)
@@ -111,7 +131,9 @@ let prop_steps_volumes =
       let plan = Redist.plan_intervals ~src ~dst in
       let steps = Redist.steps plan in
       List.for_all
-        (fun s -> List.for_all (fun (_, _, n) -> n > 0) s && s <> [])
+        (fun s ->
+          List.for_all (fun (m : Redist.message) -> m.Redist.m_count > 0) s
+          && s <> [])
         steps
       && Redist.peak_step_volume steps
          = List.fold_left (fun acc s -> max acc (Redist.step_volume s)) 0 steps)
@@ -142,7 +164,7 @@ let prop_steps_bounded =
           (fun (f, t, _) ->
             bump (`S f);
             bump (`R t))
-          plan.Redist.pairs;
+          (Redist.pairs plan);
         Hashtbl.fold (fun _ n acc -> max n acc) tally 0
       in
       List.length (Redist.steps plan) <= max 0 ((2 * degree) - 1))
@@ -167,6 +189,7 @@ let prop_cache_memoizes =
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_engines_agree_mixed;
+    QCheck_alcotest.to_alcotest prop_boxes_match_counts;
     QCheck_alcotest.to_alcotest prop_steps_partition;
     QCheck_alcotest.to_alcotest prop_steps_contention_free;
     QCheck_alcotest.to_alcotest prop_steps_volumes;

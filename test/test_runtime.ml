@@ -31,7 +31,7 @@ let test_identity_plan_is_free () =
   let src = layout_1d Dist.block 4 in
   let plan = Redist.plan_naive ~src ~dst:src in
   Alcotest.(check int) "no messages" 0 (Redist.nb_messages plan);
-  Alcotest.(check int) "all local" 16 plan.Redist.local
+  Alcotest.(check int) "all local" 16 (Redist.local_total plan)
 
 let test_transpose_plan () =
   (* block-star -> star-block: classic 2-D FFT transpose remap; every
@@ -40,7 +40,7 @@ let test_transpose_plan () =
   and dst = layout_2d [ Dist.star; Dist.block ] (procs 4) in
   let plan = Redist.plan_intervals ~src ~dst in
   Alcotest.(check int) "messages" (4 * 3) (Redist.nb_messages plan);
-  Alcotest.(check int) "local" (4 * 2 * 2) plan.Redist.local;
+  Alcotest.(check int) "local" (4 * 2 * 2) (Redist.local_total plan);
   Alcotest.(check int) "moved" (64 - 16) (Redist.total_moved plan)
 
 let test_plan_cost_model () =
@@ -280,7 +280,7 @@ let test_3d_plan () =
   let fast = Redist.plan_intervals ~src ~dst in
   Alcotest.(check bool) "engines agree in 3-D" true (Redist.equal naive fast);
   (* transpose-like: each processor keeps its 2x2x4 diagonal block *)
-  Alcotest.(check int) "local" (4 * 2 * 2 * 4) naive.Redist.local;
+  Alcotest.(check int) "local" (4 * 2 * 2 * 4) (Redist.local_total naive);
   Alcotest.(check int) "moved" ((8 * 8 * 4) - 64) (Redist.total_moved naive)
 
 let test_3d_ownership_partition () =
@@ -303,53 +303,60 @@ let suite =
       Alcotest.test_case "3-D ownership partition" `Quick test_3d_ownership_partition;
     ]
 
-(* --- message schedules -------------------------------------------------------- *)
+(* --- message boxes -------------------------------------------------------- *)
 
-let test_schedule_matches_plan () =
+(* Every plan message carries an interval box whose dimensions multiply
+   out to the message's element count. *)
+let test_boxes_match_plan () =
   let src = layout_2d [ Dist.block; Dist.star ] (procs 4)
   and dst = layout_2d [ Dist.star; Dist.block ] (procs 4) in
   let plan = Redist.plan_naive ~src ~dst in
-  let sched = Redist.schedule ~src ~dst () in
   Alcotest.(check int) "one box per message" (Redist.nb_messages plan)
-    (List.length sched);
+    (List.length plan.Redist.moves);
   List.iter
-    (fun (p, q, n) ->
-      match List.assoc_opt (p, q) sched with
-      | Some box -> Alcotest.(check int) "box size" n (Redist.box_size box)
-      | None -> Alcotest.failf "missing message %d -> %d" p q)
-    plan.Redist.pairs
+    (fun (m : Redist.message) ->
+      Alcotest.(check int) "box size" m.Redist.m_count
+        (Redist.box_size m.Redist.m_box))
+    plan.Redist.moves
 
-let prop_schedule_sizes =
-  QCheck2.Test.make ~name:"schedule boxes multiply out to plan counts"
+let prop_box_sizes =
+  QCheck2.Test.make ~name:"message boxes multiply out to plan counts"
     ~count:200 gen_pair (fun (src, dst) ->
       let plan = Redist.plan_naive ~src ~dst in
-      let sched = Redist.schedule ~src ~dst () in
-      List.length sched = Redist.nb_messages plan
-      && List.for_all
-           (fun (p, q, n) ->
-             match List.assoc_opt (p, q) sched with
-             | Some box -> Redist.box_size box = n
-             | None -> false)
-           plan.Redist.pairs)
+      List.for_all
+        (fun (m : Redist.message) ->
+          Redist.box_size m.Redist.m_box = m.Redist.m_count)
+        (plan.Redist.moves @ plan.Redist.locals))
 
-let test_schedule_contents () =
+let find_move plan (p, q) =
+  List.find_opt
+    (fun (m : Redist.message) -> m.Redist.m_from = p && m.Redist.m_to = q)
+    plan.Redist.moves
+
+let test_box_contents () =
   (* block -> cyclic over 8 elements on 2 procs: proc 0 owns [0,4) then
      {0,2,4,6}; it keeps 0 and 2, sends 1 and 3 to proc 1 *)
   let src = layout_1d ~n:8 Dist.block 2 and dst = layout_1d ~n:8 Dist.cyclic 2 in
-  let sched = Redist.schedule ~src ~dst () in
-  (match List.assoc_opt (0, 1) sched with
-  | Some box -> Alcotest.(check (list (pair int int))) "P0->P1" [ (1, 2); (3, 4) ] box.(0)
+  let plan = Redist.plan_intervals ~src ~dst in
+  (match find_move plan (0, 1) with
+  | Some m ->
+    Alcotest.(check (list (pair int int)))
+      "P0->P1" [ (1, 2); (3, 4) ]
+      (Ivset.to_intervals m.Redist.m_box.(0))
   | None -> Alcotest.fail "missing P0->P1");
-  match List.assoc_opt (1, 0) sched with
-  | Some box -> Alcotest.(check (list (pair int int))) "P1->P0" [ (4, 5); (6, 7) ] box.(0)
+  match find_move plan (1, 0) with
+  | Some m ->
+    Alcotest.(check (list (pair int int)))
+      "P1->P0" [ (4, 5); (6, 7) ]
+      (Ivset.to_intervals m.Redist.m_box.(0))
   | None -> Alcotest.fail "missing P1->P0"
 
 let suite =
   suite
   @ [
-      Alcotest.test_case "schedule matches plan" `Quick test_schedule_matches_plan;
-      QCheck_alcotest.to_alcotest prop_schedule_sizes;
-      Alcotest.test_case "schedule contents" `Quick test_schedule_contents;
+      Alcotest.test_case "boxes match plan" `Quick test_boxes_match_plan;
+      QCheck_alcotest.to_alcotest prop_box_sizes;
+      Alcotest.test_case "box contents" `Quick test_box_contents;
     ]
 
 (* --- replication (broadcast) plans --------------------------------------------- *)
