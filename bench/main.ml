@@ -512,12 +512,151 @@ let time_sched () =
     (uncached /. Float.max 1e-9 cached)
     (Redist.Plan_cache.hits cache)
     (Redist.Plan_cache.misses cache);
+  row "cache bound: capacity %d, %d evictions this run@."
+    (Redist.Plan_cache.capacity cache)
+    (Redist.Plan_cache.evictions cache);
+  (* the LRU bound in action: a capacity-2 cache cycling through 3 layout
+     pairs evicts on every find, so each round re-plans once *)
+  let small = Redist.Plan_cache.create ~capacity:2 () in
+  let (), bounded =
+    time_of (fun () ->
+        for _ = 1 to reps do
+          List.iter
+            (fun (src, dst) ->
+              ignore
+                (Redist.Plan_cache.find small ~src ~dst (fun () ->
+                     Redist.plan_intervals ~src ~dst)
+                  : Redist.plan))
+            pairs
+        done)
+  in
+  row
+    "bounded cache (capacity 2, 3 pairs): %.2f ms, %d hits / %d misses / %d \
+     evictions@."
+    (bounded *. 1e3)
+    (Redist.Plan_cache.hits small)
+    (Redist.Plan_cache.misses small)
+    (Redist.Plan_cache.evictions small);
   row
     "shape: loop kernels re-plan the same layout pair each iteration; the \
      cache pays planning once.  Stepped time always dominates the burst \
      critical path; on balanced corner turns the two coincide (every step \
      is a perfect matching of equal messages), while skewed plans pay for \
      the contention the burst model ignores.@."
+
+(* --- TIME_PAR: shared-memory parallel backend --------------------------------- *)
+
+module Store = Hpfc_runtime.Store
+module Par = Hpfc_par.Par
+
+(* One corner-turn store: version 0 block, version 1 cyclic, n elements on
+   P ranks.  [remap ()] re-runs the redistribution (the plan is cached
+   after the first call, so reps time execution, not planning). *)
+let corner_turn ?executor ?(record_trace = false) ~n ~p () =
+  let mk dist =
+    Layout.of_mapping ~extents:[| n |]
+      (Mapping.direct ~array_name:"a" ~extents:[| n |] ~dist:[| dist |]
+         ~procs:(Procs.linear "P" p))
+  in
+  let m =
+    Machine.create ~nprocs:p ~sched:Machine.Stepped ~record_trace ()
+  in
+  let s = Store.create ~backend:Store.Distributed ?executor m in
+  let d = Store.add_descriptor s ~name:"a" ~extents:[| n |] ~nb_versions:2 () in
+  Store.alloc s d 0 (mk Dist.block);
+  d.Store.status <- Some 0;
+  Store.set_live s d 0 true;
+  Store.fill_copy (Store.get_copy d 0) float_of_int;
+  Store.alloc s d 1 (mk Dist.cyclic);
+  let remap () = Store.copy_version s d ~src:0 ~dst:1 ~with_data:true in
+  (m, d, remap)
+
+let time_par () =
+  section "time_par"
+    "parallel backend: modeled vs measured step times, speedup vs sequential";
+  let cores = Domain.recommended_domain_count () in
+  let n = 100_000 in
+  row "block -> cyclic corner turn, n=%d; %d core(s) recommended@." n cores;
+  let reps = 20 in
+  let json_rows = ref [] in
+  row "%4s %8s | %12s %12s %8s | %10s@." "P" "domains" "seq wall(ms)"
+    "par wall(ms)" "speedup" "modeled";
+  List.iter
+    (fun p ->
+      let ndomains = max 1 (min p cores) in
+      let seq_wall =
+        let _, _, remap = corner_turn ~n ~p () in
+        remap () (* warm the plan cache before timing *);
+        let (), t = time_of (fun () -> for _ = 1 to reps do remap () done) in
+        t /. float_of_int reps
+      in
+      let pool = Par.create ~ndomains () in
+      let modeled, par_wall =
+        Fun.protect
+          ~finally:(fun () -> Par.destroy pool)
+          (fun () ->
+            let m, _, remap =
+              corner_turn ~executor:(Par.executor pool) ~n ~p ()
+            in
+            remap ();
+            let (), t =
+              time_of (fun () -> for _ = 1 to reps do remap () done)
+            in
+            ( m.Machine.counters.Machine.time /. float_of_int (reps + 1),
+              t /. float_of_int reps ))
+      in
+      let speedup = seq_wall /. Float.max 1e-9 par_wall in
+      row "%4d %8d | %12.3f %12.3f %7.2fx | %10.1f@." p ndomains
+        (seq_wall *. 1e3) (par_wall *. 1e3) speedup modeled;
+      json_rows :=
+        Printf.sprintf
+          {|{"p":%d,"ndomains":%d,"seq_ms":%.6f,"par_ms":%.6f,"speedup":%.4f}|}
+          p ndomains (seq_wall *. 1e3) (par_wall *. 1e3) speedup
+        :: !json_rows)
+    [ 4; 8 ];
+  (* per-step detail: modeled Step_end times next to measured Wall_step
+     clocks from one traced run *)
+  let m, _, remap =
+    let pool = Par.create ~ndomains:(max 1 (min 4 cores)) () in
+    at_exit (fun () -> Par.destroy pool);
+    corner_turn ~executor:(Par.executor pool) ~record_trace:true ~n ~p:4 ()
+  in
+  remap ();
+  let modeled =
+    List.filter_map
+      (function
+        | Machine.Step_end { index; time } -> Some (index, time) | _ -> None)
+      (Machine.events m)
+  and measured =
+    List.filter_map
+      (function
+        | Machine.Wall_step { index; wall } -> Some (index, wall) | _ -> None)
+      (Machine.events m)
+  in
+  row "@.per-step, P=4 (one traced run):@.";
+  row "%5s | %12s | %14s@." "step" "modeled" "measured(ms)";
+  List.iter
+    (fun (i, t) ->
+      let w = try List.assoc i measured with Not_found -> Float.nan in
+      row "%5d | %12.1f | %14.4f@." i t (w *. 1e3))
+    modeled;
+  (match Sys.getenv_opt "HPFC_BENCH_JSON" with
+  | Some path when path <> "" ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      {|{"bench":"time_par","n":%d,"reps":%d,"cores":%d,"rows":[%s]}|} n reps
+      cores
+      (String.concat "," (List.rev !json_rows));
+    output_char oc '\n';
+    close_out oc;
+    row "json summary written to %s@." path
+  | Some _ | None -> ());
+  row
+    "shape: measured wall tracks the modeled per-step profile; speedup over \
+     the sequential executor needs real cores (expect >1x for P>=4 only \
+     when at least 4 cores are available — with %d core(s) the domains \
+     multiplex and the barrier overhead dominates).@."
+    cores
 
 (* --- TIMELINE: per-step trace of a stepped run ------------------------------------ *)
 
@@ -555,8 +694,9 @@ let timeline () =
              (match src with Some v -> string_of_int v | None -> "?")
              dst)
           !cache !steps !msgs volume time
-      | Machine.Message _ | Machine.Dead_copy _ | Machine.Live_reuse _
-      | Machine.Skip _ | Machine.Evict _ -> ())
+      | Machine.Message _ | Machine.Wall_step _ | Machine.Wall_remap _
+      | Machine.Dead_copy _ | Machine.Live_reuse _ | Machine.Skip _
+      | Machine.Evict _ -> ())
     (Machine.events r.I.machine);
   let clock = (counters r).Machine.time in
   row "summed step times %.1f | machine clock %.1f | dropped events %d@."
@@ -583,6 +723,7 @@ let sections () =
       ("q9_scaling", q9_scaling);
       ("time", bechamel_section);
       ("time_sched", time_sched);
+      ("time_par", time_par);
       ("timeline", timeline);
     ]
 

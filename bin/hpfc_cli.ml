@@ -94,12 +94,13 @@ let scalar_assignments =
 let run_cmd =
   let entry = Arg.(value & opt (some string) None & info [ "entry" ] ~docv:"NAME" ~doc:"Entry routine (default: first).") in
   let distributed = Arg.(value & flag & info [ "distributed" ] ~doc:"Execute with per-processor local buffers instead of canonical global payloads.") in
+  let par = Arg.(value & opt ~vopt:(Some "auto") (some string) None & info [ "par" ] ~docv:"N" ~doc:"Execute remappings for real on a pool of OCaml domains (implies --distributed): one worker per core by default, or N workers; ranks multiplex onto the pool.  Measured per-step wall-clock lands in the trace next to the modeled times.") in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the structured event timeline as JSON lines on stdout (remap begin/end, plan cache probes, step boundaries, messages, evictions); counters and scalars go to stderr.") in
   let scalars = Arg.(value & opt_all scalar_assignments [] & info [ "s"; "set" ] ~docv:"X=V" ~doc:"Set a scalar before execution.") in
   let compare = Arg.(value & flag & info [ "compare" ] ~doc:"Run the naive and the optimized compilations and compare.") in
   let sched = Arg.(value & flag & info [ "sched" ] ~doc:"Charge communication as contention-free steps (serialized, one send and one receive per processor per step) instead of one unordered burst.") in
   let compare_lex (a, _) (b, _) = Stdlib.compare a b in
-  let run file naive entry scalars compare distributed trace sched =
+  let run file naive entry scalars compare distributed par trace sched =
     handle (fun () ->
         let sched_mode =
           if sched then Machine.Stepped else Machine.Burst
@@ -113,28 +114,60 @@ let run_cmd =
           Fmt.pr "%a" Hpfc_driver.Pipeline.pp_comparison c
         end
         else begin
+          (* --par runs remappings for real on a domain pool; per-rank
+             local buffers are what the workers may touch race-free, so
+             it implies --distributed *)
+          let pool =
+            Option.map
+              (fun spec ->
+                let ndomains =
+                  match int_of_string_opt spec with
+                  | Some n when n > 0 -> Some n
+                  | Some _ -> None
+                  | None when spec = "auto" -> None
+                  | None ->
+                    Fmt.epr "hpfc: --par expects an integer or 'auto'@.";
+                    exit 2
+                in
+                Hpfc_par.Par.create ?ndomains ())
+              par
+          in
           let backend =
-            if distributed then Hpfc_runtime.Store.Distributed
+            if distributed || pool <> None then Hpfc_runtime.Store.Distributed
             else Hpfc_runtime.Store.Canonical
           in
           let machine =
             Machine.create ~nprocs:4 ~sched:sched_mode ~record_trace:trace ()
           in
+          let finally () = Option.iter Hpfc_par.Par.destroy pool in
           let r =
-            Hpfc_driver.Pipeline.run_source ~pipeline:(pipeline_of_naive naive)
-              ~scalars ?entry ~backend ~machine src
+            Fun.protect ~finally (fun () ->
+                Hpfc_driver.Pipeline.run_source
+                  ~pipeline:(pipeline_of_naive naive) ~scalars ?entry ~backend
+                  ?executor:(Option.map Hpfc_par.Par.executor pool) ~machine
+                  src)
           in
           (* with --trace, stdout is a pure JSON-lines stream (one event
-             per line); the human-readable summary moves to stderr *)
+             per line, closed by a summary line); the human-readable
+             summary moves to stderr *)
           let report = if trace then Fmt.epr else Fmt.pr in
           if trace then begin
             List.iter
               (fun e -> print_endline (Machine.event_to_json e))
               (Machine.events r.I.machine);
+            print_endline (Machine.trace_summary_json r.I.machine);
             if Machine.dropped_events r.I.machine > 0 then
-              Fmt.epr "trace: %d oldest events dropped (ring buffer full)@."
+              Fmt.epr
+                "trace: warning: ring buffer overflowed, the %d oldest \
+                 events were dropped — the dump above is incomplete@."
                 (Machine.dropped_events r.I.machine)
           end;
+          Option.iter
+            (fun p ->
+              report "par: %d worker domains, measured wall %.3f ms@."
+                (Hpfc_par.Par.ndomains p)
+                (r.I.machine.Machine.counters.Machine.wall_time *. 1e3))
+            pool;
           report "%a@." Machine.pp_counters r.I.machine.Machine.counters;
           List.iter
             (fun (n, v) ->
@@ -147,7 +180,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated machine.")
-    Term.(const run $ file_arg $ naive_flag $ entry $ scalars $ compare $ distributed $ trace $ sched)
+    Term.(const run $ file_arg $ naive_flag $ entry $ scalars $ compare $ distributed $ par $ trace $ sched)
 
 (* --- schedule ------------------------------------------------------------------ *)
 

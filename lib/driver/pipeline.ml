@@ -87,8 +87,8 @@ let pp_report ppf (r : compile_report) =
 
 (* Parse, compile and run a whole program from source. *)
 let run_source ?(pipeline = I.full_pipeline) ?(scalars = []) ?entry
-    ?use_interval_engine ?backend ?machine ?sched ?record_trace src : I.result
-    =
+    ?use_interval_engine ?backend ?executor ?machine ?sched ?record_trace src :
+    I.result =
   let prog = Hpfc_parser.Parser.parse_program src in
   let entry =
     match entry with
@@ -96,8 +96,8 @@ let run_source ?(pipeline = I.full_pipeline) ?(scalars = []) ?entry
     | None -> (List.hd prog.Ast.routines).Ast.r_name
   in
   let compiled = I.compile ~pipeline prog in
-  I.run ?machine ?sched ?record_trace ?use_interval_engine ?backend compiled
-    ~entry ~scalars ()
+  I.run ?machine ?sched ?record_trace ?use_interval_engine ?backend ?executor
+    compiled ~entry ~scalars ()
 
 (* Compare the naive and the fully optimized pipeline on the same program;
    used by every Q experiment. *)

@@ -29,13 +29,16 @@ val pp_report : Format.formatter -> compile_report -> unit
 
 (** Parse, compile and run a whole program from source.  [sched] selects
     burst or stepped communication accounting for the default machine;
-    [record_trace] turns on its structured event trace. *)
+    [record_trace] turns on its structured event trace; [executor]
+    installs an alternative communication executor (e.g. the
+    domain-parallel backend's). *)
 val run_source :
   ?pipeline:Hpfc_interp.Interp.pipeline ->
   ?scalars:(string * Hpfc_interp.Interp.value) list ->
   ?entry:string ->
   ?use_interval_engine:bool ->
   ?backend:Hpfc_runtime.Store.backend ->
+  ?executor:Hpfc_runtime.Comm.executor ->
   ?machine:Hpfc_runtime.Machine.t ->
   ?sched:Hpfc_runtime.Machine.sched_mode ->
   ?record_trace:bool ->

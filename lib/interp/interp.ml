@@ -315,12 +315,15 @@ and exec_call p frame ~sid ~callee ~args =
     {
       routine = target;
       store =
-        (* the callee frame inherits the caller's plan cache: remappings
-           between the same layout pair plan once across the call tree *)
+        (* the callee frame inherits the caller's plan cache and
+           communication executor: remappings between the same layout
+           pair plan once across the call tree, and every frame runs on
+           the same (possibly parallel) backend *)
         Store.create
           ~use_interval_engine:frame.store.Store.use_interval_engine
-          ~backend:frame.store.Store.backend ~plans:frame.store.Store.plans
-          frame.store.Store.machine;
+          ~backend:frame.store.Store.backend
+          ~executor:frame.store.Store.executor
+          ~plans:frame.store.Store.plans frame.store.Store.machine;
       scalars = Hashtbl.create 8;
       tainted = Hashtbl.create 4;
       saved = Hashtbl.create 4;
@@ -397,10 +400,34 @@ and run_frame p frame =
 
 (* --- top-level run ----------------------------------------------------------- *)
 
+(* CI hook: HPFC_FORCE_PAR reroutes every run without an explicit
+   executor through the domain-parallel backend (and per-rank payloads),
+   so the whole test suite exercises it.  An integer value sets the team
+   size; any other non-empty value (e.g. "auto") uses the recommended
+   domain count; "", "0" and unset leave the sequential executor.  The
+   pool is created once and shared — runs are sequential within a
+   process, and the coordinator owns all accounting, so reuse is safe. *)
+let forced_par_pool =
+  lazy
+    (let ndomains =
+       match Sys.getenv_opt "HPFC_FORCE_PAR" with
+       | Some v -> (
+         match int_of_string_opt (String.trim v) with
+         | Some n when n > 0 -> Some n
+         | Some _ | None -> None)
+       | None -> None
+     in
+     Hpfc_par.Par.create ?ndomains ())
+
+let force_par () =
+  match Sys.getenv_opt "HPFC_FORCE_PAR" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
 let run ?(machine : Machine.t option) ?(sched = Machine.Burst)
     ?(record_trace = false) ?(use_interval_engine = true)
-    ?(backend = Store.Canonical) ?(scalars = []) (p : program) ~entry () :
-    result =
+    ?(backend = Store.Canonical) ?executor ?(scalars = []) (p : program)
+    ~entry () : result =
   let target =
     match Hashtbl.find_opt p.compiled entry with
     | Some r -> r
@@ -413,10 +440,19 @@ let run ?(machine : Machine.t option) ?(sched = Machine.Burst)
       Machine.create ~sched ~record_trace
         ~nprocs:target.Gen.graph.Graph.env.Env.default_procs.shape.(0) ()
   in
+  let backend, executor =
+    match executor with
+    | Some _ -> (backend, executor)
+    | None ->
+      if force_par () then
+        ( Store.Distributed,
+          Some (Hpfc_par.Par.executor (Lazy.force forced_par_pool)) )
+      else (backend, None)
+  in
   let frame =
     {
       routine = target;
-      store = Store.create ~use_interval_engine ~backend machine;
+      store = Store.create ~use_interval_engine ~backend ?executor machine;
       scalars = Hashtbl.create 8;
       tainted = Hashtbl.create 4;
       saved = Hashtbl.create 4;

@@ -59,7 +59,14 @@ val compile : ?pipeline:pipeline -> Hpfc_lang.Ast.program -> program
 (** Run [entry] with the given scalar bindings.  Dummy arguments are
     materialized with a deterministic fill (imported values) for
     in/inout.  [sched] selects the communication accounting mode of the
-    default machine (ignored when [machine] is given).
+    default machine (ignored when [machine] is given).  [executor]
+    installs an alternative communication executor, shared by every
+    frame of the call tree (e.g. [Hpfc_par.Par.executor] for the
+    domain-parallel backend, which wants [backend = Distributed]).  When
+    no executor is given and the [HPFC_FORCE_PAR] environment variable
+    is set non-empty and non-zero, the run is rerouted through a shared
+    domain-parallel pool (an integer value sets the team size) — the CI
+    hook that executes the whole suite on the parallel backend.
     @raise Hpfc_base.Error.Hpf_error on runtime faults or calls to
     unknown routines. *)
 val run :
@@ -68,6 +75,7 @@ val run :
   ?record_trace:bool ->
   ?use_interval_engine:bool ->
   ?backend:Hpfc_runtime.Store.backend ->
+  ?executor:Hpfc_runtime.Comm.executor ->
   ?scalars:(string * value) list ->
   program ->
   entry:string ->

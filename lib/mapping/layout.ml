@@ -236,23 +236,19 @@ let owned_set t ~array_dim ~coord : Ivset.t =
     | From_const _ | Replicated -> assert false)
 
 (* Number of owned indices strictly below [x] along [array_dim] for the
-   grid coordinate that owns [x] — the dense local index along that dim. *)
+   grid coordinate that owns [x] — the dense local index along that dim.
+   Counts in the compressed periodic set, so one lookup is O(pattern),
+   independent of the array extent (cyclic ownership used to be walked
+   interval by interval here, making every payload access O(extent)). *)
 let local_index_along t ~array_dim x =
   match t.roles.(array_dim) with
   | Local -> x
   | Dist pdim -> (
     match t.sources.(pdim) with
-    | From_axis { stride; offset; fmt; textent; _ } ->
+    | From_axis { stride; offset; fmt; _ } ->
       let nprocs = t.procs.shape.(pdim) in
       let coord = owner_of_cell ~nprocs fmt ((stride * x) + offset) in
-      let intervals =
-        owned_cell_intervals ~nprocs ~textent fmt coord
-        |> List.filter_map
-             (preimage_interval ~stride ~offset ~extent:t.extents.(array_dim))
-      in
-      List.fold_left
-        (fun acc (lo, hi) -> if x >= hi then acc + (hi - lo) else if x > lo then acc + (x - lo) else acc)
-        0 intervals
+      Ivset.count_below (owned_set t ~array_dim ~coord) x
     | From_const _ | Replicated -> assert false)
 
 let local_index t index = Array.mapi (fun d x -> local_index_along t ~array_dim:d x) index
@@ -275,8 +271,7 @@ let local_extents t ~proc =
         match t.roles.(d) with
         | Local -> t.extents.(d)
         | Dist pdim ->
-          owned_intervals t ~array_dim:d ~coord:proc.(pdim)
-          |> List.fold_left (fun acc (lo, hi) -> acc + hi - lo) 0)
+          Ivset.cardinal (owned_set t ~array_dim:d ~coord:proc.(pdim)))
       t.extents
 
 let local_size t ~proc = Array.fold_left ( * ) 1 (local_extents t ~proc)

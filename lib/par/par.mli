@@ -1,0 +1,44 @@
+(** Shared-memory SPMD execution backend: runs the communication IR for
+    real on OCaml 5 domains.
+
+    A {!t} is a persistent team of worker domains; processor ranks are
+    multiplexed onto the team round robin, so one pool serves plans over
+    any processor grid and nprocs may exceed the core count.  A remap
+    executes the plan's existing step program the way a message-passing
+    runtime would: per step, every rank packs its outgoing boxes into
+    staging buffers, posts them to the receiving ranks' mailboxes,
+    unpacks what it received, and crosses a barrier — so the schedule's
+    contention-freedom is exercised by construction.  The caller's domain
+    owns all machine accounting: the usual counters and modeled clock
+    (shared with the sequential executor through [Comm.charge]) plus the
+    measured [Wall_step] / [Wall_remap] trace events and the [wall_time]
+    counter. *)
+
+type t
+
+(** Spawn a team of [ndomains] worker domains (defaults to
+    [Domain.recommended_domain_count ()]; values < 1 also fall back to
+    it).  The pool persists until {!destroy}. *)
+val create : ?ndomains:int -> unit -> t
+
+val ndomains : t -> int
+
+(** Join the team.  The pool cannot be used afterwards: {!execute}
+    raises.  Idempotent. *)
+val destroy : t -> unit
+
+(** Execute a plan on the pool: local moves, then the step program,
+    step by step with pack / post / unpack / barrier per rank.  Payload
+    endpoints must address per-rank storage races-free under a
+    contention-free schedule — the store's payloads qualify.
+    @raise Hpfc_base.Error.Hpf_error if the pool was destroyed. *)
+val execute :
+  t ->
+  Hpfc_runtime.Machine.t ->
+  src:Hpfc_runtime.Comm.endpoint ->
+  dst:Hpfc_runtime.Comm.endpoint ->
+  Hpfc_runtime.Redist.plan ->
+  unit
+
+(** {!execute} as a store-pluggable executor. *)
+val executor : t -> Hpfc_runtime.Comm.executor

@@ -46,12 +46,32 @@ let run_message mach ~src ~dst (m : Redist.message) =
   Machine.record mach
     (Machine.Message { from_rank = m.m_from; to_rank = m.m_to; count = m.m_count })
 
+(* How an executor runs a plan end to end; [execute] below is the
+   sequential reference, the domain-parallel backend provides another. *)
+type executor = Machine.t -> src:endpoint -> dst:endpoint -> Redist.plan -> unit
+
+(* Message/volume counters and the modeled clock charge for one executed
+   plan, per the machine's scheduling mode — shared by every executor so
+   the accounting cannot drift between backends. *)
+let charge (mach : Machine.t) (plan : Redist.plan) (prog : Redist.step list) =
+  let c = mach.Machine.counters in
+  c.Machine.local_moves <- c.Machine.local_moves + Redist.local_total plan;
+  c.Machine.messages <- c.Machine.messages + Redist.nb_messages plan;
+  c.Machine.volume <- c.Machine.volume + Redist.total_moved plan;
+  match mach.Machine.sched with
+  | Machine.Burst ->
+    c.Machine.time <- c.Machine.time +. Redist.modeled_time mach.Machine.cost plan
+  | Machine.Stepped ->
+    c.Machine.steps <- c.Machine.steps + List.length prog;
+    c.Machine.peak_step_volume <-
+      max c.Machine.peak_step_volume (Redist.peak_step_volume prog);
+    c.Machine.time <-
+      c.Machine.time +. Redist.modeled_time_of_steps mach.Machine.cost prog
+
 (* Execute a plan: local moves first (they need no schedule), then the
    step program in schedule order. *)
 let execute (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
-  let c = mach.Machine.counters in
   List.iter (run_local ~src ~dst) plan.Redist.locals;
-  c.Machine.local_moves <- c.Machine.local_moves + Redist.local_total plan;
   let prog = Redist.step_program plan in
   List.iteri
     (fun i s ->
@@ -66,14 +86,4 @@ let execute (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
       Machine.record mach
         (Machine.Step_end { index = i; time = Redist.step_time mach.Machine.cost s }))
     prog;
-  c.Machine.messages <- c.Machine.messages + Redist.nb_messages plan;
-  c.Machine.volume <- c.Machine.volume + Redist.total_moved plan;
-  match mach.Machine.sched with
-  | Machine.Burst ->
-    c.Machine.time <- c.Machine.time +. Redist.modeled_time mach.Machine.cost plan
-  | Machine.Stepped ->
-    c.Machine.steps <- c.Machine.steps + List.length prog;
-    c.Machine.peak_step_volume <-
-      max c.Machine.peak_step_volume (Redist.peak_step_volume prog);
-    c.Machine.time <-
-      c.Machine.time +. Redist.modeled_time_of_steps mach.Machine.cost prog
+  charge mach plan prog

@@ -26,6 +26,16 @@ val run_local : src:endpoint -> dst:endpoint -> Redist.message -> unit
 val run_message :
   Machine.t -> src:endpoint -> dst:endpoint -> Redist.message -> unit
 
+(** How an executor runs a plan end to end; {!execute} is the sequential
+    reference implementation, [Hpfc_par.Par.executor] the domain-parallel
+    one. *)
+type executor = Machine.t -> src:endpoint -> dst:endpoint -> Redist.plan -> unit
+
+(** Message/volume counters and the modeled clock charge for one executed
+    plan, per the machine's scheduling mode — shared by every executor so
+    the accounting cannot drift between backends. *)
+val charge : Machine.t -> Redist.plan -> Redist.step list -> unit
+
 (** Execute a plan end to end: local moves first, then the step program
     in schedule order. *)
-val execute : Machine.t -> src:endpoint -> dst:endpoint -> Redist.plan -> unit
+val execute : executor

@@ -40,9 +40,13 @@ type counters = {
   mutable evictions : int;  (* live copies freed under memory pressure *)
   mutable plan_hits : int;  (* redistribution plans served from cache *)
   mutable plan_misses : int;  (* plans computed from scratch *)
+  mutable plan_evictions : int;  (* plans dropped by the LRU-bounded cache *)
   mutable steps : int;  (* contention-free steps executed (Stepped only) *)
   mutable peak_step_volume : int;  (* max elements in flight in one step *)
   mutable time : float;  (* modeled communication time *)
+  mutable wall_time : float;
+      (* measured wall-clock seconds spent moving data in a real parallel
+         backend; 0 under purely simulated execution *)
 }
 
 let fresh_counters () =
@@ -59,9 +63,11 @@ let fresh_counters () =
     evictions = 0;
     plan_hits = 0;
     plan_misses = 0;
+    plan_evictions = 0;
     steps = 0;
     peak_step_volume = 0;
     time = 0.0;
+    wall_time = 0.0;
   }
 
 (* Structured execution-trace events, one constructor per observable
@@ -83,6 +89,12 @@ type event =
   | Step_end of { index : int; time : float }
       (* [time] is the step's modeled cost: alpha + beta * slowest message *)
   | Message of { from_rank : int; to_rank : int; count : int }
+  | Wall_step of { index : int; wall : float }
+      (* measured wall-clock seconds of one step on a real parallel
+         backend; follows the step's [Step_end] *)
+  | Wall_remap of { steps : int; wall : float }
+      (* measured wall-clock seconds of a whole remap (local moves plus
+         every step) on a real parallel backend; precedes [Remap_end] *)
   | Dead_copy of { array : string; src : int option; dst : int }
   | Live_reuse of { array : string; dst : int }
   | Skip of { array : string; dst : int }
@@ -150,6 +162,7 @@ let events t =
       | None -> assert false)
 
 let dropped_events t = t.trace.dropped
+let trace_capacity t = Array.length t.trace.buf
 
 let pp_event ppf = function
   | Remap_begin { array; src; dst } ->
@@ -167,6 +180,10 @@ let pp_event ppf = function
   | Step_end { index; time } -> Fmt.pf ppf "step  #%d end (t=%.1f)" index time
   | Message { from_rank; to_rank; count } ->
     Fmt.pf ppf "msg   P%d -> P%d (%d)" from_rank to_rank count
+  | Wall_step { index; wall } ->
+    Fmt.pf ppf "step  #%d wall %.3f ms" index (wall *. 1e3)
+  | Wall_remap { steps; wall } ->
+    Fmt.pf ppf "remap wall %.3f ms over %d steps" (wall *. 1e3) steps
   | Dead_copy { array; src; dst } ->
     Fmt.pf ppf "dead  %s_%s -> %s_%d" array
       (match src with Some v -> string_of_int v | None -> "?")
@@ -224,6 +241,12 @@ let event_to_json = function
   | Message { from_rank; to_rank; count } ->
     Printf.sprintf {|{"ev":"message","from":%d,"to":%d,"count":%d}|} from_rank
       to_rank count
+  | Wall_step { index; wall } ->
+    Printf.sprintf {|{"ev":"wall_step","index":%d,"wall":%s}|} index
+      (json_float wall)
+  | Wall_remap { steps; wall } ->
+    Printf.sprintf {|{"ev":"wall_remap","steps":%d,"wall":%s}|} steps
+      (json_float wall)
   | Dead_copy { array; src; dst } ->
     Printf.sprintf {|{"ev":"dead_copy","array":"%s","src":%s,"dst":%d}|}
       (json_escape array) (json_src src) dst
@@ -236,6 +259,13 @@ let event_to_json = function
   | Evict { array; version } ->
     Printf.sprintf {|{"ev":"evict","array":"%s","version":%d}|}
       (json_escape array) version
+
+(* One-line JSON summary of the trace dump, emitted after the retained
+   events so a truncated trace is never mistaken for a complete one. *)
+let trace_summary_json t =
+  Printf.sprintf
+    {|{"ev":"trace_summary","events":%d,"dropped":%d,"capacity":%d,"complete":%b}|}
+    t.trace.len t.trace.dropped (trace_capacity t) (t.trace.dropped = 0)
 
 (* Copy every field of [src] into [dst].  [reset] and the cross-run
    isolation tests rely on this covering the whole record: when a counter
@@ -255,9 +285,11 @@ let copy_counters ~into:(dst : counters) (src : counters) =
   dst.evictions <- src.evictions;
   dst.plan_hits <- src.plan_hits;
   dst.plan_misses <- src.plan_misses;
+  dst.plan_evictions <- src.plan_evictions;
   dst.steps <- src.steps;
   dst.peak_step_volume <- src.peak_step_volume;
-  dst.time <- src.time
+  dst.time <- src.time;
+  dst.wall_time <- src.wall_time
 
 let reset t = copy_counters ~into:t.counters (fresh_counters ())
 
@@ -265,7 +297,8 @@ let pp_counters ppf (c : counters) =
   Fmt.pf ppf
     "remaps performed=%d skipped=%d live-reuses=%d dead=%d | messages=%d \
      volume=%d local=%d | allocs=%d frees=%d evictions=%d | plans hit=%d \
-     miss=%d | steps=%d peak-step-vol=%d | time=%.1f"
+     miss=%d evict=%d | steps=%d peak-step-vol=%d | time=%.1f"
     c.remaps_performed c.remaps_skipped c.live_reuses c.dead_copies c.messages
     c.volume c.local_moves c.allocs c.frees c.evictions c.plan_hits
-    c.plan_misses c.steps c.peak_step_volume c.time
+    c.plan_misses c.plan_evictions c.steps c.peak_step_volume c.time;
+  if c.wall_time > 0.0 then Fmt.pf ppf " | wall=%.3fms" (c.wall_time *. 1e3)

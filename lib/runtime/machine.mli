@@ -36,12 +36,17 @@ type counters = {
   mutable evictions : int;  (** live copies freed under memory pressure *)
   mutable plan_hits : int;  (** redistribution plans served from cache *)
   mutable plan_misses : int;  (** plans computed from scratch *)
+  mutable plan_evictions : int;
+      (** plans dropped by the LRU bound of the plan cache *)
   mutable steps : int;
       (** contention-free steps executed (stepped mode only) *)
   mutable peak_step_volume : int;
       (** max elements in flight within one step — a peak-memory proxy
           for communication staging buffers *)
   mutable time : float;  (** modeled communication time *)
+  mutable wall_time : float;
+      (** measured wall-clock seconds spent moving data in a real
+          parallel backend; 0 under purely simulated execution *)
 }
 
 val fresh_counters : unit -> counters
@@ -69,6 +74,12 @@ type event =
   | Step_end of { index : int; time : float }
       (** [time]: the step's modeled cost, [alpha + beta * slowest] *)
   | Message of { from_rank : int; to_rank : int; count : int }
+  | Wall_step of { index : int; wall : float }
+      (** measured wall-clock seconds of one step on a real parallel
+          backend; recorded right after the step's [Step_end] *)
+  | Wall_remap of { steps : int; wall : float }
+      (** measured wall-clock seconds of a whole remap on a real parallel
+          backend; recorded right before [Remap_end] *)
   | Dead_copy of { array : string; src : int option; dst : int }
   | Live_reuse of { array : string; dst : int }
   | Skip of { array : string; dst : int }
@@ -114,6 +125,14 @@ val events : t -> event list
 
 (** Events overwritten because the ring buffer was full. *)
 val dropped_events : t -> int
+
+(** Size of the trace ring buffer. *)
+val trace_capacity : t -> int
+
+(** One-line JSON summary of the trace ([events], [dropped], [capacity],
+    [complete]); dumped after the retained events so a truncated trace is
+    never mistaken for a complete one. *)
+val trace_summary_json : t -> string
 
 val pp_event : Format.formatter -> event -> unit
 val pp_trace : Format.formatter -> t -> unit

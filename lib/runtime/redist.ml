@@ -408,26 +408,71 @@ module Plan_cache = struct
   let key ~(src : Layout.t) ~(dst : Layout.t) =
     { k_extents = src.Layout.extents; k_src = side src; k_dst = side dst }
 
+  (* Entries carry a last-use tick for the LRU bound; the table never
+     holds more than [capacity] plans, so long multi-kernel runs cannot
+     grow the cache without limit. *)
+  type entry = { e_plan : plan; mutable e_tick : int }
+
   type t = {
-    table : (key, plan) Hashtbl.t;
+    table : (key, entry) Hashtbl.t;
+    capacity : int;
+    mutable clock : int;  (* bumped on every touch; max tick = most recent *)
     mutable hits : int;
     mutable misses : int;
+    mutable evictions : int;
   }
 
-  let create () = { table = Hashtbl.create 64; hits = 0; misses = 0 }
+  let default_capacity = 512
+
+  let create ?(capacity = default_capacity) () =
+    {
+      table = Hashtbl.create 64;
+      capacity = max 1 capacity;
+      clock = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+
   let size c = Hashtbl.length c.table
+  let capacity c = c.capacity
   let hits c = c.hits
   let misses c = c.misses
+  let evictions c = c.evictions
 
   let clear c =
     Hashtbl.reset c.table;
+    c.clock <- 0;
     c.hits <- 0;
-    c.misses <- 0
+    c.misses <- 0;
+    c.evictions <- 0
 
-  (* Look up the plan for (src, dst), calling [compute] on a miss.  Hit and
-     miss totals go to the cache itself and, when given, to the [machine]
-     — counter bumps plus a [Plan_lookup] trace event (the cache outlives
-     machine resets, so per-run reports use the machine's view). *)
+  let touch c e =
+    c.clock <- c.clock + 1;
+    e.e_tick <- c.clock
+
+  (* Drop the least recently used entry (O(size) scan; the capacity is a
+     few hundred, and eviction only runs once the cache is full). *)
+  let evict_lru c =
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, t) when t <= e.e_tick -> acc
+          | _ -> Some (k, e.e_tick))
+        c.table None
+    in
+    match victim with
+    | Some (k, _) ->
+      Hashtbl.remove c.table k;
+      c.evictions <- c.evictions + 1
+    | None -> ()
+
+  (* Look up the plan for (src, dst), calling [compute] on a miss.  Hit,
+     miss and eviction totals go to the cache itself and, when given, to
+     the [machine] — counter bumps plus a [Plan_lookup] trace event (the
+     cache outlives machine resets, so per-run reports use the machine's
+     view). *)
   let find c ?machine ~src ~dst compute =
     let k = key ~src ~dst in
     let note hit =
@@ -440,15 +485,26 @@ module Plan_cache = struct
         machine
     in
     match Hashtbl.find_opt c.table k with
-    | Some p ->
+    | Some e ->
       c.hits <- c.hits + 1;
+      touch c e;
       note true;
-      p
+      e.e_plan
     | None ->
       c.misses <- c.misses + 1;
       note false;
       let p = compute () in
-      Hashtbl.add c.table k p;
+      if Hashtbl.length c.table >= c.capacity then begin
+        evict_lru c;
+        Option.iter
+          (fun (m : Machine.t) ->
+            m.Machine.counters.Machine.plan_evictions <-
+              m.Machine.counters.Machine.plan_evictions + 1)
+          machine
+      end;
+      let e = { e_plan = p; e_tick = 0 } in
+      touch c e;
+      Hashtbl.add c.table k e;
       p
 end
 

@@ -131,23 +131,33 @@ val equal : plan -> plan -> bool
 module Plan_cache : sig
   type t
 
-  val create : unit -> t
+  (** 512 — generous next to the handful of layout pairs a kernel cycles
+      through, small next to an unbounded multi-kernel run. *)
+  val default_capacity : int
+
+  (** The cache holds at most [capacity] plans (>= 1, clamped); beyond
+      that the least recently used plan is evicted. *)
+  val create : ?capacity:int -> unit -> t
 
   (** Cached plans currently held. *)
   val size : t -> int
 
-  (** Lifetime hit/miss totals of this cache (machine counters are bumped
-      per find when given, and reset independently). *)
+  val capacity : t -> int
+
+  (** Lifetime hit/miss/eviction totals of this cache (machine counters
+      are bumped per find when given, and reset independently). *)
   val hits : t -> int
 
   val misses : t -> int
+  val evictions : t -> int
 
   (** Drop all cached plans and zero the lifetime totals. *)
   val clear : t -> unit
 
   (** [find c ?machine ~src ~dst compute] returns the cached plan for the
-      canonicalized layout pair, or computes, stores and returns it.
-      Bumps [plan_hits]/[plan_misses] and records a
+      canonicalized layout pair, or computes, stores and returns it,
+      evicting the least recently used plan when the capacity is reached.
+      Bumps [plan_hits]/[plan_misses]/[plan_evictions] and records a
       {!Machine.event.Plan_lookup} trace event on [machine] when given. *)
   val find :
     t ->

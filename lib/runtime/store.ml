@@ -139,10 +139,14 @@ type t = {
   plans : Redist.Plan_cache.t;
   use_interval_engine : bool;
   backend : backend;
+  (* how remapping plans are run against the payloads: the sequential
+     reference Comm.execute by default, or a parallel backend's executor
+     (Hpfc_par.Par.executor); shared down the call tree like [plans] *)
+  executor : Comm.executor;
 }
 
-let create ?(use_interval_engine = true) ?(backend = Canonical) ?plans machine
-    =
+let create ?(use_interval_engine = true) ?(backend = Canonical)
+    ?(executor = Comm.execute) ?plans machine =
   {
     machine;
     descriptors = [];
@@ -150,6 +154,7 @@ let create ?(use_interval_engine = true) ?(backend = Canonical) ?plans machine
       (match plans with Some c -> c | None -> Redist.Plan_cache.create ());
     use_interval_engine;
     backend;
+    executor;
   }
 
 let descriptor t name =
@@ -307,7 +312,7 @@ let copy_version t d ~src ~dst ~with_data =
     let plan = plan_for t d ~src ~dst in
     let t0 = c.Machine.time in
     let sc = get_copy d src and dc = get_copy d dst in
-    Comm.execute t.machine ~src:(endpoint_of_copy sc) ~dst:(endpoint_of_copy dc)
+    t.executor t.machine ~src:(endpoint_of_copy sc) ~dst:(endpoint_of_copy dc)
       plan;
     c.Machine.remaps_performed <- c.Machine.remaps_performed + 1;
     Machine.record t.machine

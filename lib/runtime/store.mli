@@ -68,13 +68,20 @@ type t = {
           call tree *)
   use_interval_engine : bool;
   backend : backend;
+  executor : Comm.executor;
+      (** how remapping plans are run against the payloads; the
+          sequential {!Comm.execute} unless a parallel backend is
+          installed *)
 }
 
 (** [plans] installs a shared plan cache (callee frames reuse the
-    caller's); a fresh one is created otherwise. *)
+    caller's); a fresh one is created otherwise.  [executor] installs an
+    alternative communication executor (e.g. the domain-parallel
+    backend); {!Comm.execute} otherwise. *)
 val create :
   ?use_interval_engine:bool ->
   ?backend:backend ->
+  ?executor:Comm.executor ->
   ?plans:Redist.Plan_cache.t ->
   Machine.t ->
   t

@@ -1,0 +1,33 @@
+(* Reproducible QCheck randomness for every property suite.
+
+   The differential fuzzers shrink poorly across processes: a failure is
+   only actionable if the run can be replayed bit-identically.  All
+   suites therefore draw their generator states from one root seed,
+   taken from the QCHECK_SEED environment variable when set (CI pins
+   it) and self-initialized otherwise.  The seed is printed up front on
+   stderr, so any failing run names the value that replays it. *)
+
+let seed =
+  lazy
+    (let s =
+       match Sys.getenv_opt "QCHECK_SEED" with
+       | Some v when String.trim v <> "" -> (
+         match int_of_string_opt (String.trim v) with
+         | Some n -> n
+         | None ->
+           Printf.eprintf "qcheck: QCHECK_SEED must be an integer, got %S\n%!" v;
+           exit 2)
+       | Some _ | None ->
+         Random.self_init ();
+         Random.int 0x3FFFFFFF
+     in
+     Printf.eprintf
+       "qcheck: root seed %d (re-run with QCHECK_SEED=%d to replay)\n%!" s s;
+     s)
+
+(* A fresh state per test, all derived from the root seed, so replay does
+   not depend on suite order or on how many tests ran before. *)
+let rand () = Random.State.make [| Lazy.force seed |]
+
+let to_alcotest ?verbose ?long t =
+  QCheck_alcotest.to_alcotest ?verbose ?long ~rand:(rand ()) t

@@ -11,11 +11,13 @@ open Hpfc_mapping
 open Hpfc_runtime
 
 (* Run one data-carrying remap src -> dst on a fresh traced machine and
-   return the machine, the store and the descriptor for inspection. *)
-let remap ?(backend = Store.Canonical) ?(sched = Machine.Burst) ~src ~dst fill
-    =
+   return the machine, the store and the descriptor for inspection.
+   [executor] swaps in an alternative communication executor (the
+   domain-parallel backend in test_par.ml). *)
+let remap ?(backend = Store.Canonical) ?(sched = Machine.Burst) ?executor ~src
+    ~dst fill =
   let m = Machine.create ~nprocs:4 ~sched ~record_trace:true () in
-  let s = Store.create ~backend m in
+  let s = Store.create ~backend ?executor m in
   let d =
     Store.add_descriptor s ~name:"a" ~extents:src.Layout.extents ~nb_versions:2
       ()
@@ -160,8 +162,8 @@ let test_trace_shape () =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_trace_matches_plan;
-    QCheck_alcotest.to_alcotest prop_trace_replays_schedule;
-    QCheck_alcotest.to_alcotest prop_backends_agree_irregular;
+    Qcheck_env.to_alcotest prop_trace_matches_plan;
+    Qcheck_env.to_alcotest prop_trace_replays_schedule;
+    Qcheck_env.to_alcotest prop_backends_agree_irregular;
     Alcotest.test_case "remap trace shape" `Quick test_trace_shape;
   ]

@@ -11,6 +11,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("redist-props", Test_redist_props.suite);
       ("comm", Test_comm.suite);
+      ("par", Test_par.suite);
       ("codegen", Test_codegen.suite);
       ("more", Test_more.suite);
       ("interp", Test_interp.suite);

@@ -246,10 +246,10 @@ let suite =
     Alcotest.test_case "mapping equality" `Quick test_mapping_equality;
     Alcotest.test_case "layout equivalence across templates" `Quick test_layout_equiv_across_templates;
     Alcotest.test_case "procs linearize roundtrip" `Quick test_procs_linearize_roundtrip;
-    QCheck_alcotest.to_alcotest prop_partition;
-    QCheck_alcotest.to_alcotest prop_intervals_match_owner;
-    QCheck_alcotest.to_alcotest prop_local_index_bijective;
-    QCheck_alcotest.to_alcotest prop_local_sizes_sum;
+    Qcheck_env.to_alcotest prop_partition;
+    Qcheck_env.to_alcotest prop_intervals_match_owner;
+    Qcheck_env.to_alcotest prop_local_index_bijective;
+    Qcheck_env.to_alcotest prop_local_sizes_sum;
   ]
 
 (* --- periodic interval sets (Ivset) ------------------------------------- *)
@@ -322,6 +322,6 @@ let ivset_suite =
   [
     Alcotest.test_case "ivset cardinal/expand" `Quick test_ivset_cardinal;
     Alcotest.test_case "ivset periodic intersection" `Quick test_ivset_inter_periodic;
-    QCheck_alcotest.to_alcotest prop_owned_set_matches_intervals;
-    QCheck_alcotest.to_alcotest prop_inter_cardinal_matches_bruteforce;
+    Qcheck_env.to_alcotest prop_owned_set_matches_intervals;
+    Qcheck_env.to_alcotest prop_inter_cardinal_matches_bruteforce;
   ]

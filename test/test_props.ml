@@ -163,14 +163,14 @@ let suite =
   [
     Alcotest.test_case "use-info join laws" `Quick test_use_join_laws;
     Alcotest.test_case "use-info join monotone" `Quick test_use_join_monotone;
-    QCheck_alcotest.to_alcotest prop_effect_join_comm;
-    QCheck_alcotest.to_alcotest prop_effect_join_idem;
-    QCheck_alcotest.to_alcotest prop_effect_join_assoc;
-    QCheck_alcotest.to_alcotest prop_state_join_comm;
-    QCheck_alcotest.to_alcotest prop_state_join_idem;
-    QCheck_alcotest.to_alcotest prop_state_join_upper_bound;
-    QCheck_alcotest.to_alcotest prop_ivset_cardinal;
-    QCheck_alcotest.to_alcotest prop_ivset_inter_comm;
-    QCheck_alcotest.to_alcotest prop_ivset_inter_self;
-    QCheck_alcotest.to_alcotest prop_ivset_count_below_monotone;
+    Qcheck_env.to_alcotest prop_effect_join_comm;
+    Qcheck_env.to_alcotest prop_effect_join_idem;
+    Qcheck_env.to_alcotest prop_effect_join_assoc;
+    Qcheck_env.to_alcotest prop_state_join_comm;
+    Qcheck_env.to_alcotest prop_state_join_idem;
+    Qcheck_env.to_alcotest prop_state_join_upper_bound;
+    Qcheck_env.to_alcotest prop_ivset_cardinal;
+    Qcheck_env.to_alcotest prop_ivset_inter_comm;
+    Qcheck_env.to_alcotest prop_ivset_inter_self;
+    Qcheck_env.to_alcotest prop_ivset_count_below_monotone;
   ]

@@ -188,12 +188,12 @@ let prop_cache_memoizes =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_engines_agree_mixed;
-    QCheck_alcotest.to_alcotest prop_boxes_match_counts;
-    QCheck_alcotest.to_alcotest prop_steps_partition;
-    QCheck_alcotest.to_alcotest prop_steps_contention_free;
-    QCheck_alcotest.to_alcotest prop_steps_volumes;
-    QCheck_alcotest.to_alcotest prop_stepped_dominates_burst;
-    QCheck_alcotest.to_alcotest prop_steps_bounded;
-    QCheck_alcotest.to_alcotest prop_cache_memoizes;
+    Qcheck_env.to_alcotest prop_engines_agree_mixed;
+    Qcheck_env.to_alcotest prop_boxes_match_counts;
+    Qcheck_env.to_alcotest prop_steps_partition;
+    Qcheck_env.to_alcotest prop_steps_contention_free;
+    Qcheck_env.to_alcotest prop_steps_volumes;
+    Qcheck_env.to_alcotest prop_stepped_dominates_burst;
+    Qcheck_env.to_alcotest prop_steps_bounded;
+    Qcheck_env.to_alcotest prop_cache_memoizes;
   ]

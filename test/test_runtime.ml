@@ -219,6 +219,67 @@ let test_plan_cache_adi () =
   Alcotest.(check bool) "fewer plans than remaps" true
     (c.Machine.plan_misses < c.Machine.remaps_performed)
 
+(* The cache is LRU-bounded: with capacity 2, touching A keeps it alive
+   while B — least recently used — is the victim of the third insert. *)
+let test_plan_cache_lru () =
+  let cache = Redist.Plan_cache.create ~capacity:2 () in
+  let pair d = (layout_1d d 4, layout_1d (Dist.cyclic_sized 3) 4) in
+  let find (src, dst) =
+    ignore
+      (Redist.Plan_cache.find cache ~src ~dst (fun () ->
+           Redist.plan_intervals ~src ~dst)
+        : Redist.plan)
+  in
+  let a = pair Dist.block
+  and b = pair Dist.cyclic
+  and c = pair (Dist.cyclic_sized 2) in
+  find a;
+  find b;
+  find a (* touch: b becomes least recently used *);
+  find c (* third plan: evicts b *);
+  Alcotest.(check int) "bounded at capacity" 2 (Redist.Plan_cache.size cache);
+  Alcotest.(check int) "one eviction" 1 (Redist.Plan_cache.evictions cache);
+  find a;
+  Alcotest.(check int) "a survived (2 hits)" 2 (Redist.Plan_cache.hits cache);
+  find b;
+  Alcotest.(check int) "b was the victim (4th miss)" 4
+    (Redist.Plan_cache.misses cache)
+
+(* The trace ring buffer keeps exactly the newest [capacity] events and
+   counts the overwritten ones. *)
+let test_trace_ring_buffer () =
+  let m = Machine.create ~nprocs:4 ~record_trace:true ~trace_capacity:8 () in
+  for i = 0 to 19 do
+    Machine.record m (Machine.Step_end { index = i; time = float_of_int i })
+  done;
+  Alcotest.(check int) "dropped = overflow" 12 (Machine.dropped_events m);
+  let events = Machine.events m in
+  Alcotest.(check int) "len = capacity" 8 (List.length events);
+  Alcotest.(check bool) "newest events, oldest first" true
+    (List.map
+       (function Machine.Step_end { index; _ } -> index | _ -> -1)
+       events
+    = [ 12; 13; 14; 15; 16; 17; 18; 19 ]);
+  let summary = Machine.trace_summary_json m in
+  let contains needle =
+    Astring.String.is_infix ~affix:needle summary
+  in
+  Alcotest.(check bool) "summary reports the drop" true
+    (contains {|"dropped":12|} && contains {|"capacity":8|}
+    && contains {|"complete":false|})
+
+(* Under capacity nothing is dropped and the summary says complete. *)
+let test_trace_ring_buffer_no_drop () =
+  let m = Machine.create ~nprocs:4 ~record_trace:true ~trace_capacity:8 () in
+  for i = 0 to 4 do
+    Machine.record m (Machine.Step_end { index = i; time = 0.0 })
+  done;
+  Alcotest.(check int) "nothing dropped" 0 (Machine.dropped_events m);
+  Alcotest.(check int) "all kept" 5 (List.length (Machine.events m));
+  Alcotest.(check bool) "summary complete" true
+    (Astring.String.is_infix ~affix:{|"complete":true|}
+       (Machine.trace_summary_json m))
+
 (* Machine.reset and fresh_counters must cover every counter — a stale
    field would leak state between the naive and optimized legs of
    compare_pipelines and void the differential soundness claims. *)
@@ -237,9 +298,11 @@ let test_counter_reset_coverage () =
   c.Machine.evictions <- 10;
   c.Machine.plan_hits <- 11;
   c.Machine.plan_misses <- 12;
-  c.Machine.steps <- 13;
-  c.Machine.peak_step_volume <- 14;
-  c.Machine.time <- 15.0;
+  c.Machine.plan_evictions <- 13;
+  c.Machine.steps <- 14;
+  c.Machine.peak_step_volume <- 15;
+  c.Machine.time <- 16.0;
+  c.Machine.wall_time <- 17.0;
   Machine.reset m;
   Alcotest.(check bool) "reset zeroes every field" true
     (c = Machine.fresh_counters ())
@@ -250,9 +313,9 @@ let suite =
     Alcotest.test_case "identity plan is free" `Quick test_identity_plan_is_free;
     Alcotest.test_case "2-D transpose plan" `Quick test_transpose_plan;
     Alcotest.test_case "alpha-beta cost" `Quick test_plan_cost_model;
-    QCheck_alcotest.to_alcotest prop_engines_agree;
-    QCheck_alcotest.to_alcotest prop_plan_covers_all;
-    QCheck_alcotest.to_alcotest prop_engines_agree_2d;
+    Qcheck_env.to_alcotest prop_engines_agree;
+    Qcheck_env.to_alcotest prop_plan_covers_all;
+    Qcheck_env.to_alcotest prop_engines_agree_2d;
     Alcotest.test_case "store alloc/copy" `Quick test_store_alloc_copy;
     Alcotest.test_case "store version check" `Quick test_store_version_check;
     Alcotest.test_case "store eviction" `Quick test_store_eviction;
@@ -262,6 +325,11 @@ let suite =
     Alcotest.test_case "plan cache misses on new extents" `Quick
       test_plan_cache_extents_miss;
     Alcotest.test_case "plan cache on ADI kernel" `Quick test_plan_cache_adi;
+    Alcotest.test_case "plan cache LRU eviction" `Quick test_plan_cache_lru;
+    Alcotest.test_case "trace ring buffer overflow" `Quick
+      test_trace_ring_buffer;
+    Alcotest.test_case "trace ring buffer under capacity" `Quick
+      test_trace_ring_buffer_no_drop;
     Alcotest.test_case "counter reset covers every field" `Quick
       test_counter_reset_coverage;
   ]
@@ -355,7 +423,7 @@ let suite =
   suite
   @ [
       Alcotest.test_case "boxes match plan" `Quick test_boxes_match_plan;
-      QCheck_alcotest.to_alcotest prop_box_sizes;
+      Qcheck_env.to_alcotest prop_box_sizes;
       Alcotest.test_case "box contents" `Quick test_box_contents;
     ]
 
@@ -410,5 +478,5 @@ let suite =
   suite
   @ [
       Alcotest.test_case "broadcast plan" `Quick test_broadcast_plan;
-      QCheck_alcotest.to_alcotest prop_strided_engines_agree;
+      Qcheck_env.to_alcotest prop_strided_engines_agree;
     ]
