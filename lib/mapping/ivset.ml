@@ -153,6 +153,12 @@ let inter t1 t2 =
       let w1 = expand_over big t1 and w2 = expand_over big t2 in
       Periodic { period = big; pattern = inter_intervals w1 w2 []; extent }
 
+(* Materialize as maximal (start, length) runs in ascending order — the
+   per-dimension building block of box-to-run compilation: within one run
+   every index is in the set, so dense local indices advance by exactly
+   one per element. *)
+let to_runs t = List.map (fun (lo, hi) -> (lo, hi - lo)) (to_intervals t)
+
 let equal_semantics t1 t2 = to_intervals t1 = to_intervals t2
 
 let pp ppf = function

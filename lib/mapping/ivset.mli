@@ -37,6 +37,12 @@ val inter_intervals :
 (** Materialize as a canonical (sorted, merged) interval list. *)
 val to_intervals : t -> (int * int) list
 
+(** Materialize as maximal [(start, length)] runs in ascending order.
+    Within one run every index belongs to the set, so a dense local
+    index advances by exactly one per element — the per-dimension
+    building block of box-to-run compilation. *)
+val to_runs : t -> (int * int) list
+
 (** Cardinal of the intersection of two sets (over the smaller extent).
     Cost is O(combined period), independent of the extent when the periods
     are compatible. *)

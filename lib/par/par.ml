@@ -13,11 +13,18 @@
 
      - every rank first performs its on-processor moves;
      - within a step, every rank packs the box of each message it sends
-       into a fresh staging buffer (row-major box order, exactly
-       [Comm.run_message]'s walk), posts it to the receiving rank's
-       mailbox, then takes the messages addressed to it and unpacks them
-       into the target payload;
+       into a staging buffer (row-major box order, exactly
+       [Comm.run_message]'s walk) drawn from its worker's buffer pool,
+       posts it to the receiving rank's mailbox, then takes the messages
+       addressed to it, unpacks them into the target payload, and
+       releases each packet buffer into its own pool (buffers migrate
+       between worker pools as packets do);
      - all ranks cross a barrier before the next step begins.
+
+   Data movement follows [Comm.force_scalar]: compiled-run blits by
+   default, the per-element scalar oracle when forced.  The run memo on
+   each message is precompiled by the coordinator before the job is
+   submitted, so worker domains only ever read it.
 
    Because a step is contention-free (no rank sends twice, none receives
    twice) and payload endpoints address per-rank buffers, the data
@@ -130,32 +137,57 @@ type t = {
   mutable p_shutdown : bool;
   p_barrier : barrier;
   mutable p_domains : unit Domain.t list;
+  p_pools : Comm.Pool.t array;
+      (* staging-buffer pool of each worker domain; only its owner touches
+         it mid-job, the coordinator reads the totals between jobs *)
 }
 
 let ndomains t = t.ndomains
 
-(* Pack one message's box into a staging buffer in row-major box order —
-   the identical walk as [Comm.run_message], performed on the sending
-   rank. *)
-let pack (ep : Comm.endpoint) (m : Redist.message) =
-  let buf = Array.make m.Redist.m_count 0.0 in
-  let k = ref 0 in
-  Redist.iter_box m.Redist.m_box (fun index ->
-      buf.(!k) <- ep.Comm.read ~rank:m.Redist.m_from index;
-      incr k);
+(* The message's precompiled runs (memoized on the message by the
+   coordinator before the job was submitted; workers only read). *)
+let runs_of ~(src : Comm.endpoint) ~(dst : Comm.endpoint) (m : Redist.message) =
+  Redist.message_runs ~src:src.Comm.addressing ~dst:dst.Comm.addressing m
+
+(* Pack one message's box into a pooled staging buffer in row-major box
+   order — the identical walk as [Comm.run_message], performed on the
+   sending rank.  The buffer's first [m_count] slots carry the payload. *)
+let pack pool ~(src : Comm.endpoint) ~(dst : Comm.endpoint)
+    (m : Redist.message) =
+  let _, buf = Comm.Pool.acquire pool m.Redist.m_count in
+  (if !Comm.force_scalar then begin
+     let k = ref 0 in
+     Redist.iter_box m.Redist.m_box (fun index ->
+         buf.(!k) <- src.Comm.read ~rank:m.Redist.m_from index;
+         incr k)
+   end
+   else
+     Comm.pack_runs (runs_of ~src ~dst m)
+       (src.Comm.buffer ~rank:m.Redist.m_from)
+       buf);
   { p_msg = m; p_buf = buf }
 
-let unpack (ep : Comm.endpoint) { p_msg = m; p_buf = buf } =
-  let k = ref 0 in
-  Redist.iter_box m.Redist.m_box (fun index ->
-      ep.Comm.write ~rank:m.Redist.m_to index buf.(!k);
-      incr k)
+(* Unpack on the receiving rank, then release the packet buffer into the
+   receiving worker's pool. *)
+let unpack pool ~(src : Comm.endpoint) ~(dst : Comm.endpoint)
+    { p_msg = m; p_buf = buf } =
+  (if !Comm.force_scalar then begin
+     let k = ref 0 in
+     Redist.iter_box m.Redist.m_box (fun index ->
+         dst.Comm.write ~rank:m.Redist.m_to index buf.(!k);
+         incr k)
+   end
+   else
+     Comm.unpack_runs (runs_of ~src ~dst m) buf
+       (dst.Comm.buffer ~rank:m.Redist.m_to));
+  Comm.Pool.release pool buf
 
 (* The SPMD body one worker runs for its ranks: local moves, then per
    step send / receive / barrier.  The last arriver at each barrier
    stamps the step's wall clock. *)
 let run_job pool w (job : job) =
   let nsteps = Array.length job.j_sends in
+  let my_pool = pool.p_pools.(w) in
   let each_rank f =
     let r = ref w in
     while !r < job.j_nranks do
@@ -173,11 +205,14 @@ let run_job pool w (job : job) =
     each_rank (fun r ->
         List.iter
           (fun (m : Redist.message) ->
-            mailbox_post job.j_mailboxes.(m.Redist.m_to) (pack job.j_src m))
+            mailbox_post
+              job.j_mailboxes.(m.Redist.m_to)
+              (pack my_pool ~src:job.j_src ~dst:job.j_dst m))
           job.j_sends.(i).(r));
     each_rank (fun r ->
         for _ = 1 to job.j_recvs.(i).(r) do
-          unpack job.j_dst (mailbox_take job.j_mailboxes.(r))
+          unpack my_pool ~src:job.j_src ~dst:job.j_dst
+            (mailbox_take job.j_mailboxes.(r))
         done);
     barrier_await pool.p_barrier ~on_last:(fun () ->
         let now = Unix.gettimeofday () in
@@ -223,6 +258,7 @@ let create ?ndomains () =
       p_shutdown = false;
       p_barrier = barrier_make n;
       p_domains = [];
+      p_pools = Array.init n (fun _ -> Comm.Pool.create ());
     }
   in
   pool.p_domains <- List.init n (fun w -> Domain.spawn (fun () -> worker pool w));
@@ -274,6 +310,16 @@ let execute pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
           recvs.(i).(m.Redist.m_to) <- recvs.(i).(m.Redist.m_to) + 1)
         step)
     prog;
+  (* Compile every message's runs here on the coordinator: the memo on
+     each message is plain mutable state, so it must be populated before
+     worker domains share the messages (they then only read it). *)
+  if not !Comm.force_scalar then begin
+    let precompile (m : Redist.message) =
+      ignore (runs_of ~src ~dst m : Redist.run array)
+    in
+    List.iter precompile plan.Redist.locals;
+    List.iter precompile plan.Redist.moves
+  end;
   let job =
     {
       j_nranks = nranks;
@@ -287,9 +333,16 @@ let execute pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
       j_tick = 0.0;
     }
   in
+  let pool_totals () =
+    Array.fold_left
+      (fun (h, m) p -> (h + Comm.Pool.hits p, m + Comm.Pool.misses p))
+      (0, 0) pool.p_pools
+  in
+  let hits0, misses0 = pool_totals () in
   let t0 = Unix.gettimeofday () in
   run_job_sync pool job;
   let wall = Unix.gettimeofday () -. t0 in
+  let hits1, misses1 = pool_totals () in
   (* All accounting happens here, on the coordinator, after the fact: the
      trace replays the schedule exactly as the sequential executor records
      it, with the measured wall clock of each step appended to its modeled
@@ -319,8 +372,11 @@ let execute pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
       Machine.record mach (Machine.Wall_step { index = i; wall = job.j_wall.(i) }))
     prog;
   Comm.charge mach plan prog;
-  mach.Machine.counters.Machine.wall_time <-
-    mach.Machine.counters.Machine.wall_time +. wall;
+  Comm.charge_blits mach ~src ~dst plan;
+  let c = mach.Machine.counters in
+  c.Machine.pool_hits <- c.Machine.pool_hits + (hits1 - hits0);
+  c.Machine.pool_misses <- c.Machine.pool_misses + (misses1 - misses0);
+  c.Machine.wall_time <- c.Machine.wall_time +. wall;
   Machine.record mach (Machine.Wall_remap { steps = nsteps; wall })
 
 let executor pool : Comm.executor =

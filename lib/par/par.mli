@@ -8,10 +8,16 @@
     runtime would: per step, every rank packs its outgoing boxes into
     staging buffers, posts them to the receiving ranks' mailboxes,
     unpacks what it received, and crosses a barrier — so the schedule's
-    contention-freedom is exercised by construction.  The caller's domain
-    owns all machine accounting: the usual counters and modeled clock
-    (shared with the sequential executor through [Comm.charge]) plus the
-    measured [Wall_step] / [Wall_remap] trace events and the [wall_time]
+    contention-freedom is exercised by construction.  Data movement
+    follows [Comm.force_scalar]: compiled-run blits by default (run
+    memos are precompiled on the coordinator before workers share the
+    messages), the per-element scalar oracle when forced; staging
+    buffers come from one [Comm.Pool] per worker domain and migrate
+    between pools as packets cross mailboxes.  The caller's domain owns
+    all machine accounting: the usual counters and modeled clock (shared
+    with the sequential executor through [Comm.charge] and
+    [Comm.charge_blits]) plus the pool hit/miss deltas, the measured
+    [Wall_step] / [Wall_remap] trace events and the [wall_time]
     counter. *)
 
 type t

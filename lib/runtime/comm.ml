@@ -11,6 +11,22 @@
    against per-rank local buffers — so their end-to-end equivalence
    validates the communication IR itself, not just final values.
 
+   Two data paths implement that walk:
+
+   - the *blit* path (default): the box is compiled once into flat
+     (src, dst, len) runs over both copies' address spaces
+     ([Redist.message_runs], memoized on the plan's messages) and
+     pack/unpack move whole segments with [Array.blit] / tight float
+     loops against the raw payload buffers;
+   - the *scalar* path ([force_scalar], --scalar / HPFC_FORCE_SCALAR):
+     the original per-element endpoint closures, kept as the
+     differential oracle the blit path is tested against.
+
+   Both paths draw their staging buffers from a size-classed pool, so
+   steady-state remaps allocate nothing per message; modeled counters
+   (messages, volume, steps, time) are identical by construction, only
+   [run_blits] and the pool totals distinguish the paths.
+
    The executor also owns the accounting: message/volume/local-move
    counters always, and clock charges according to the machine's
    scheduling mode (burst critical path, or serialized contention-free
@@ -21,30 +37,174 @@
 
 (* How the executor touches a copy's storage.  [rank] is the linear
    processor rank the access is performed on: backends with per-rank
-   buffers address [rank]'s buffer directly; global payloads ignore it. *)
+   buffers address [rank]'s buffer directly; global payloads ignore it.
+   [addressing] and [buffer] expose the same storage to the blit path:
+   flat offsets computed from [addressing] index directly into
+   [buffer ~rank]. *)
 type endpoint = {
   read : rank:int -> int array -> float;
   write : rank:int -> int array -> float -> unit;
+  addressing : Redist.addressing;
+  buffer : rank:int -> float array;
 }
 
-(* On-processor move: no staging buffer, no message. *)
-let run_local ~src ~dst (m : Redist.message) =
-  Redist.iter_box m.m_box (fun index ->
-      dst.write ~rank:m.m_to index (src.read ~rank:m.m_from index))
+(* Oracle switch: route every pack/unpack through the per-element scalar
+   closures instead of the compiled runs.  Initialized from
+   HPFC_FORCE_SCALAR (CI runs the whole suite once that way), settable
+   by the --scalar CLI flag.  Read by worker domains mid-job, but only
+   ever written between jobs on the coordinator. *)
+let force_scalar =
+  ref
+    (match Sys.getenv_opt "HPFC_FORCE_SCALAR" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
 
-(* Pack, deliver, unpack one cross-processor message. *)
-let run_message mach ~src ~dst (m : Redist.message) =
-  let buf = Array.make m.m_count 0.0 in
+(* --- staging-buffer pool ---------------------------------------------------- *)
+
+(* Size-classed free lists of staging buffers (classes are powers of
+   two), so steady-state remaps reuse a handful of buffers instead of
+   allocating one per message.  Not thread-safe by design: the
+   sequential executor owns one, and the parallel backend keeps one per
+   worker domain.  Lifetime hit/miss totals stay on the pool; executors
+   mirror them into machine counters as they see fit. *)
+module Pool = struct
+  type t = {
+    classes : float array list array;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  (* Buffers kept per class: enough for the deepest pack-before-unpack
+     window a step produces per owner, small enough to bound retention. *)
+  let max_per_class = 8
+
+  let create () = { classes = Array.make 63 []; hits = 0; misses = 0 }
+
+  (* Class c holds buffers of exactly 2^c elements. *)
+  let class_of n =
+    let rec go c cap = if cap >= n then c else go (c + 1) (cap * 2) in
+    go 0 1
+
+  (* A buffer with at least [n] slots (callers use the first [n]), plus
+     whether it came from the pool. *)
+  let acquire t n =
+    let c = class_of (max 1 n) in
+    match t.classes.(c) with
+    | buf :: rest ->
+      t.classes.(c) <- rest;
+      t.hits <- t.hits + 1;
+      (true, buf)
+    | [] ->
+      t.misses <- t.misses + 1;
+      (false, Array.make (1 lsl c) 0.0)
+
+  (* Return a buffer obtained from [acquire] (of this or any other pool:
+     buffers migrate between the parallel backend's per-worker pools as
+     packets cross mailboxes). *)
+  let release t buf =
+    let c = class_of (Array.length buf) in
+    if
+      Array.length buf = 1 lsl c
+      && List.length t.classes.(c) < max_per_class
+    then t.classes.(c) <- buf :: t.classes.(c)
+
+  let hits t = t.hits
+  let misses t = t.misses
+end
+
+(* --- segment copies --------------------------------------------------------- *)
+
+(* Copy [len] consecutive floats; [Array.blit] is memmove for float
+   arrays, the indexed loop avoids its call overhead on the short
+   segments cyclic redistributions produce. *)
+let copy_seg (src : float array) spos (dst : float array) dpos len =
+  if len < 32 then
+    for i = 0 to len - 1 do
+      dst.(dpos + i) <- src.(spos + i)
+    done
+  else Array.blit src spos dst dpos len
+
+(* Pack a message's runs from the source payload into the first
+   [m_count] slots of [staging], in run order (= row-major box order). *)
+let pack_runs (runs : Redist.run array) (sbuf : float array) staging =
   let k = ref 0 in
-  Redist.iter_box m.m_box (fun index ->
-      buf.(!k) <- src.read ~rank:m.m_from index;
-      incr k);
+  Array.iter
+    (fun (r : Redist.run) ->
+      let sp = ref r.Redist.r_src in
+      for _ = 1 to r.Redist.r_count do
+        copy_seg sbuf !sp staging !k r.Redist.r_len;
+        k := !k + r.Redist.r_len;
+        sp := !sp + r.Redist.r_src_stride
+      done)
+    runs
+
+let unpack_runs (runs : Redist.run array) staging (dbuf : float array) =
   let k = ref 0 in
-  Redist.iter_box m.m_box (fun index ->
-      dst.write ~rank:m.m_to index buf.(!k);
-      incr k);
+  Array.iter
+    (fun (r : Redist.run) ->
+      let dp = ref r.Redist.r_dst in
+      for _ = 1 to r.Redist.r_count do
+        copy_seg staging !k dbuf !dp r.Redist.r_len;
+        k := !k + r.Redist.r_len;
+        dp := !dp + r.Redist.r_dst_stride
+      done)
+    runs
+
+(* The message's runs for a (src, dst) endpoint pair (memoized on the
+   message). *)
+let runs_of ~src ~dst (m : Redist.message) =
+  Redist.message_runs ~src:src.addressing ~dst:dst.addressing m
+
+(* On-processor move: no staging buffer, no message.  The blit path
+   copies payload to payload directly, run by run. *)
+let run_local ~src ~dst (m : Redist.message) =
+  if !force_scalar then
+    Redist.iter_box m.Redist.m_box (fun index ->
+        dst.write ~rank:m.Redist.m_to index (src.read ~rank:m.Redist.m_from index))
+  else begin
+    let sbuf = src.buffer ~rank:m.Redist.m_from
+    and dbuf = dst.buffer ~rank:m.Redist.m_to in
+    Array.iter
+      (fun (r : Redist.run) ->
+        let sp = ref r.Redist.r_src and dp = ref r.Redist.r_dst in
+        for _ = 1 to r.Redist.r_count do
+          copy_seg sbuf !sp dbuf !dp r.Redist.r_len;
+          sp := !sp + r.Redist.r_src_stride;
+          dp := !dp + r.Redist.r_dst_stride
+        done)
+      (runs_of ~src ~dst m)
+  end
+
+(* The sequential executor's staging pool (the parallel backend keeps
+   its own, one per worker domain). *)
+let default_pool = Pool.create ()
+
+(* Pack, deliver, unpack one cross-processor message.  The staging
+   buffer comes from [pool]; its first [m_count] slots carry the
+   payload in row-major box order under either data path. *)
+let run_message ?(pool = default_pool) mach ~src ~dst (m : Redist.message) =
+  let c = (mach : Machine.t).Machine.counters in
+  let hit, staging = Pool.acquire pool m.Redist.m_count in
+  if hit then c.Machine.pool_hits <- c.Machine.pool_hits + 1
+  else c.Machine.pool_misses <- c.Machine.pool_misses + 1;
+  (if !force_scalar then begin
+     let k = ref 0 in
+     Redist.iter_box m.Redist.m_box (fun index ->
+         staging.(!k) <- src.read ~rank:m.Redist.m_from index;
+         incr k);
+     let k = ref 0 in
+     Redist.iter_box m.Redist.m_box (fun index ->
+         dst.write ~rank:m.Redist.m_to index staging.(!k);
+         incr k)
+   end
+   else begin
+     let runs = runs_of ~src ~dst m in
+     pack_runs runs (src.buffer ~rank:m.Redist.m_from) staging;
+     unpack_runs runs staging (dst.buffer ~rank:m.Redist.m_to)
+   end);
+  Pool.release pool staging;
   Machine.record mach
-    (Machine.Message { from_rank = m.m_from; to_rank = m.m_to; count = m.m_count })
+    (Machine.Message { from_rank = m.Redist.m_from; to_rank = m.Redist.m_to; count = m.Redist.m_count })
 
 (* How an executor runs a plan end to end; [execute] below is the
    sequential reference, the domain-parallel backend provides another. *)
@@ -68,6 +228,25 @@ let charge (mach : Machine.t) (plan : Redist.plan) (prog : Redist.step list) =
     c.Machine.time <-
       c.Machine.time +. Redist.modeled_time_of_steps mach.Machine.cost prog
 
+(* Blit-segment accounting for one executed plan: on-processor moves
+   copy once, cross-processor messages pack and unpack.  Derived from
+   the memoized runs rather than bumped inside the data movement, so
+   every executor — including the parallel backend, whose workers never
+   touch the machine — charges identically.  No-op under the scalar
+   oracle path. *)
+let charge_blits (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
+  if not !force_scalar then begin
+    let segments m = Redist.nb_run_segments (runs_of ~src ~dst m) in
+    let total =
+      List.fold_left (fun acc m -> acc + segments m) 0 plan.Redist.locals
+      + List.fold_left
+          (fun acc m -> acc + (2 * segments m))
+          0 plan.Redist.moves
+    in
+    let c = mach.Machine.counters in
+    c.Machine.run_blits <- c.Machine.run_blits + total
+  end
+
 (* Execute a plan: local moves first (they need no schedule), then the
    step program in schedule order. *)
 let execute (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
@@ -86,4 +265,5 @@ let execute (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
       Machine.record mach
         (Machine.Step_end { index = i; time = Redist.step_time mach.Machine.cost s }))
     prog;
-  charge mach plan prog
+  charge mach plan prog;
+  charge_blits mach ~src ~dst plan

@@ -8,23 +8,88 @@
     With [record_trace], step boundaries ([Step_begin]/[Step_end]) and
     individual [Message] events land in the machine trace; each
     [Step_end] carries the step's modeled cost, so in stepped mode the
-    traced step times sum to the time charged. *)
+    traced step times sum to the time charged.
+
+    Data movement runs on one of two paths: the default *blit* path
+    compiles each message's box into flat (src, dst, len) runs
+    ({!Redist.message_runs}) and copies whole segments with [Array.blit]
+    against the endpoints' raw buffers, drawing staging space from a
+    size-classed {!Pool}; the *scalar* path ({!force_scalar}) keeps the
+    original per-element closures as a differential oracle.  Modeled
+    counters (messages, volume, steps, time) are identical between the
+    paths by construction; only [run_blits] and the pool totals differ. *)
 
 (** How the executor touches a copy's storage.  [rank] is the linear
     processor rank the access is performed on: per-rank backends address
-    that rank's buffer directly; global payloads ignore it. *)
+    that rank's buffer directly; global payloads ignore it.
+    [addressing] and [buffer] expose the same storage to the blit path:
+    flat offsets computed from [addressing] index directly into
+    [buffer ~rank]. *)
 type endpoint = {
   read : rank:int -> int array -> float;
   write : rank:int -> int array -> float -> unit;
+  addressing : Redist.addressing;
+  buffer : rank:int -> float array;
 }
 
-(** On-processor move: no staging buffer, no [Message] event. *)
+(** Route every pack/unpack through the per-element scalar closures
+    instead of the compiled runs — the differential oracle.  Initialized
+    from HPFC_FORCE_SCALAR (unset, empty or "0" means blit), set by the
+    [--scalar] CLI flag.  Only write it between executed plans. *)
+val force_scalar : bool ref
+
+(** Size-classed free lists of staging buffers (power-of-two classes,
+    bounded retention per class), so steady-state remaps reuse a handful
+    of buffers instead of allocating one per message.  Not thread-safe:
+    one pool per owning thread of control (the sequential executor keeps
+    {!default_pool}; the parallel backend one pool per worker domain). *)
+module Pool : sig
+  type t
+
+  val create : unit -> t
+
+  (** [acquire t n] is [(hit, buf)] with [Array.length buf >= max 1 n];
+      callers use the first [n] slots.  [hit] says the buffer came from
+      the pool rather than a fresh allocation. *)
+  val acquire : t -> int -> bool * float array
+
+  (** Return a buffer obtained from [acquire] (of this or any other
+      pool); dropped silently once the buffer's class is full. *)
+  val release : t -> float array -> unit
+
+  (** Lifetime totals of this pool (executors mirror them into machine
+      counters as they see fit). *)
+  val hits : t -> int
+
+  val misses : t -> int
+end
+
+(** The sequential executor's staging pool. *)
+val default_pool : Pool.t
+
+(** [pack_runs runs payload staging] copies a message's runs from the
+    source payload into the first [m_count] slots of [staging], in run
+    order (= row-major box order, {!Redist.iter_box}'s packing walk). *)
+val pack_runs : Redist.run array -> float array -> float array -> unit
+
+(** [unpack_runs runs staging payload] is the inverse walk on the
+    receive side. *)
+val unpack_runs : Redist.run array -> float array -> float array -> unit
+
+(** On-processor move: no staging buffer, no [Message] event.  The blit
+    path copies payload to payload directly, run by run. *)
 val run_local : src:endpoint -> dst:endpoint -> Redist.message -> unit
 
-(** Pack, deliver, unpack one cross-processor message; records a
-    [Message] event. *)
+(** Pack, deliver, unpack one cross-processor message; bumps the
+    machine's [pool_hits]/[pool_misses] and records a [Message] event.
+    [pool] defaults to {!default_pool}. *)
 val run_message :
-  Machine.t -> src:endpoint -> dst:endpoint -> Redist.message -> unit
+  ?pool:Pool.t ->
+  Machine.t ->
+  src:endpoint ->
+  dst:endpoint ->
+  Redist.message ->
+  unit
 
 (** How an executor runs a plan end to end; {!execute} is the sequential
     reference implementation, [Hpfc_par.Par.executor] the domain-parallel
@@ -35,6 +100,13 @@ type executor = Machine.t -> src:endpoint -> dst:endpoint -> Redist.plan -> unit
     plan, per the machine's scheduling mode — shared by every executor so
     the accounting cannot drift between backends. *)
 val charge : Machine.t -> Redist.plan -> Redist.step list -> unit
+
+(** [run_blits] accounting for one executed plan, derived from the
+    memoized runs (on-processor moves copy once, cross-processor messages
+    pack and unpack) rather than bumped inside the data movement, so
+    every executor charges identically.  No-op under {!force_scalar}. *)
+val charge_blits :
+  Machine.t -> src:endpoint -> dst:endpoint -> Redist.plan -> unit
 
 (** Execute a plan end to end: local moves first, then the step program
     in schedule order. *)

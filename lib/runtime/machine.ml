@@ -43,6 +43,11 @@ type counters = {
   mutable plan_evictions : int;  (* plans dropped by the LRU-bounded cache *)
   mutable steps : int;  (* contention-free steps executed (Stepped only) *)
   mutable peak_step_volume : int;  (* max elements in flight in one step *)
+  mutable run_blits : int;
+      (* contiguous segments copied by the compiled-run pack/unpack path;
+         0 under the scalar oracle path *)
+  mutable pool_hits : int;  (* staging buffers served from a buffer pool *)
+  mutable pool_misses : int;  (* staging buffers freshly allocated *)
   mutable time : float;  (* modeled communication time *)
   mutable wall_time : float;
       (* measured wall-clock seconds spent moving data in a real parallel
@@ -66,6 +71,9 @@ let fresh_counters () =
     plan_evictions = 0;
     steps = 0;
     peak_step_volume = 0;
+    run_blits = 0;
+    pool_hits = 0;
+    pool_misses = 0;
     time = 0.0;
     wall_time = 0.0;
   }
@@ -264,8 +272,9 @@ let event_to_json = function
    events so a truncated trace is never mistaken for a complete one. *)
 let trace_summary_json t =
   Printf.sprintf
-    {|{"ev":"trace_summary","events":%d,"dropped":%d,"capacity":%d,"complete":%b}|}
+    {|{"ev":"trace_summary","events":%d,"dropped":%d,"capacity":%d,"complete":%b,"pool_hits":%d,"pool_misses":%d}|}
     t.trace.len t.trace.dropped (trace_capacity t) (t.trace.dropped = 0)
+    t.counters.pool_hits t.counters.pool_misses
 
 (* Copy every field of [src] into [dst].  [reset] and the cross-run
    isolation tests rely on this covering the whole record: when a counter
@@ -288,6 +297,9 @@ let copy_counters ~into:(dst : counters) (src : counters) =
   dst.plan_evictions <- src.plan_evictions;
   dst.steps <- src.steps;
   dst.peak_step_volume <- src.peak_step_volume;
+  dst.run_blits <- src.run_blits;
+  dst.pool_hits <- src.pool_hits;
+  dst.pool_misses <- src.pool_misses;
   dst.time <- src.time;
   dst.wall_time <- src.wall_time
 
@@ -297,8 +309,10 @@ let pp_counters ppf (c : counters) =
   Fmt.pf ppf
     "remaps performed=%d skipped=%d live-reuses=%d dead=%d | messages=%d \
      volume=%d local=%d | allocs=%d frees=%d evictions=%d | plans hit=%d \
-     miss=%d evict=%d | steps=%d peak-step-vol=%d | time=%.1f"
+     miss=%d evict=%d | steps=%d peak-step-vol=%d | blits=%d pool hit=%d \
+     miss=%d | time=%.1f"
     c.remaps_performed c.remaps_skipped c.live_reuses c.dead_copies c.messages
     c.volume c.local_moves c.allocs c.frees c.evictions c.plan_hits
-    c.plan_misses c.plan_evictions c.steps c.peak_step_volume c.time;
+    c.plan_misses c.plan_evictions c.steps c.peak_step_volume c.run_blits
+    c.pool_hits c.pool_misses c.time;
   if c.wall_time > 0.0 then Fmt.pf ppf " | wall=%.3fms" (c.wall_time *. 1e3)

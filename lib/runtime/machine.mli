@@ -43,6 +43,13 @@ type counters = {
   mutable peak_step_volume : int;
       (** max elements in flight within one step — a peak-memory proxy
           for communication staging buffers *)
+  mutable run_blits : int;
+      (** contiguous segments copied by the compiled-run pack/unpack path
+          (a strided run of [count] segments counts [count]); 0 under the
+          scalar oracle path *)
+  mutable pool_hits : int;
+      (** staging buffers served from a size-classed buffer pool *)
+  mutable pool_misses : int;  (** staging buffers freshly allocated *)
   mutable time : float;  (** modeled communication time *)
   mutable wall_time : float;
       (** measured wall-clock seconds spent moving data in a real
@@ -130,8 +137,9 @@ val dropped_events : t -> int
 val trace_capacity : t -> int
 
 (** One-line JSON summary of the trace ([events], [dropped], [capacity],
-    [complete]); dumped after the retained events so a truncated trace is
-    never mistaken for a complete one. *)
+    [complete]) plus the machine's staging-pool totals
+    ([pool_hits]/[pool_misses]); dumped after the retained events so a
+    truncated trace is never mistaken for a complete one. *)
 val trace_summary_json : t -> string
 
 val pp_event : Format.formatter -> event -> unit

@@ -36,11 +36,46 @@ type box = Ivset.t array
 let box_size (b : box) =
   Array.fold_left (fun acc s -> acc * Ivset.cardinal s) 1 b
 
+(* One compiled copy shape in the flat address spaces of the two copies:
+   [r_count] segments of [r_len] consecutive elements each, the i-th
+   reading at [r_src + i * r_src_stride] and writing at
+   [r_dst + i * r_dst_stride].  A plain contiguous run has [r_count] = 1
+   (strides are then irrelevant and set to 0). *)
+type run = {
+  r_src : int;
+  r_dst : int;
+  r_len : int;
+  r_count : int;
+  r_src_stride : int;
+  r_dst_stride : int;
+}
+
+(* How a copy's flat storage is addressed — what box-to-run compilation
+   needs to know about an endpoint, without capturing the payload:
+
+   - [Row_major extents]: one global row-major array (the canonical
+     backend); an index addresses [global_linear_index extents index].
+   - [Owner_local layout]: one buffer per rank, laid out row-major over
+     the rank's local extents (the distributed backend); an index
+     addresses [local_linear_index layout index].
+
+   Equal layouts address identically, so runs compiled against one store
+   are valid for any store that shares the plan (the plan cache key
+   includes everything [Layout.equal] compares). *)
+type addressing =
+  | Row_major of int array  (* global extents *)
+  | Owner_local of Layout.t
+
 type message = {
   m_from : int;  (* sender, linear rank in the source grid *)
   m_to : int;  (* receiver, linear rank in the target grid *)
   m_count : int;  (* elements = box_size m_box *)
   m_box : box;
+  mutable m_runs : (int * run array) list;
+      (* compiled runs memoized per (src, dst) addressing-kind key, next
+         to the plan's memoized [sprog]; at most four entries.  Parallel
+         executors must precompile on the coordinator before sharing the
+         message with workers. *)
 }
 
 type plan = {
@@ -272,6 +307,7 @@ let plan_intervals ~(src : Layout.t) ~(dst : Layout.t) : plan =
                 m_to = pd;
                 m_count = !count;
                 m_box = message_box ~src ~dst tables cs cd;
+                m_runs = [];
               }
             in
             (* processors are identified across layouts by linear rank *)
@@ -321,7 +357,7 @@ let plan_naive ~(src : Layout.t) ~(dst : Layout.t) : plan =
       and cd = Procs.delinearize dst.Layout.procs t in
       let b = message_box ~src ~dst tables cs cd in
       assert (box_size b = n);
-      let m = { m_from = f; m_to = t; m_count = n; m_box = b } in
+      let m = { m_from = f; m_to = t; m_count = n; m_box = b; m_runs = [] } in
       if f = t then locals := m :: !locals else moves := m :: !moves)
     tally;
   make_plan ~moves:!moves ~locals:!locals ~nprocs_src:np_src ~nprocs_dst:np_dst
@@ -348,6 +384,159 @@ let iter_box (b : box) f =
         ivs.(d)
   in
   if rank > 0 then loop 0
+
+(* --- box-to-run compilation ------------------------------------------------- *)
+
+(* Row-major strides of an extents vector (last dimension stride 1). *)
+let row_major_strides extents =
+  let rank = Array.length extents in
+  let str = Array.make (max rank 1) 1 in
+  for d = rank - 2 downto 0 do
+    str.(d) <- str.(d + 1) * extents.(d + 1)
+  done;
+  str
+
+(* One side of a message, compiled to per-dimension offset arithmetic:
+   the strides of the addressed flat allocation plus the offset of the
+   first index of an owned interval.  Within a box interval both address
+   spaces advance by exactly stride(d) per index — globals trivially,
+   locals because every index of the interval is in the rank's owned
+   set, so the dense local index rises by one per element.  That single
+   fact is what makes every innermost interval a contiguous run. *)
+let side_addresser addressing ~rank_lin =
+  match addressing with
+  | Row_major extents ->
+    let str = row_major_strides extents in
+    (str, fun d lo -> lo * str.(d))
+  | Owner_local (l : Layout.t) ->
+    let coords = Procs.delinearize l.Layout.procs rank_lin in
+    let str = row_major_strides (Layout.local_extents l ~proc:coords) in
+    let sets =
+      Array.mapi
+        (fun d role ->
+          match role with
+          | Layout.Local -> None
+          | Layout.Dist pdim ->
+            Some (Layout.owned_set l ~array_dim:d ~coord:coords.(pdim)))
+        l.Layout.roles
+    in
+    ( str,
+      fun d lo ->
+        (match sets.(d) with
+        | None -> lo
+        | Some s -> Ivset.count_below s lo)
+        * str.(d) )
+
+(* Lower a message's box into runs over the two flat address spaces.
+   The box's per-dimension interval runs are walked in row-major order
+   (exactly [iter_box]'s packing order); each innermost interval yields
+   one contiguous (src, dst, len) segment.  Segments are then compressed
+   at the offset level, with no stride-constancy assumption on the
+   layouts: exactly adjacent segments concatenate, and equal-length
+   segments whose src and dst deltas are both constant collapse into one
+   strided run — a cyclic(k) innermost dimension becomes a single run of
+   k-element segments. *)
+let compile_runs ~src ~dst (m : message) : run array =
+  let rank = Array.length m.m_box in
+  if rank = 0 then [||]
+  else begin
+    let ivs = Array.map Ivset.to_runs m.m_box in
+    let sstr, sbase = side_addresser src ~rank_lin:m.m_from
+    and dstr, dbase = side_addresser dst ~rank_lin:m.m_to in
+    let segs = ref [] in
+    let inner = rank - 1 in
+    let rec walk d s0 d0 =
+      if d = inner then
+        List.iter
+          (fun (lo, len) -> segs := (s0 + sbase d lo, d0 + dbase d lo, len) :: !segs)
+          ivs.(d)
+      else
+        List.iter
+          (fun (lo, len) ->
+            let s1 = s0 + sbase d lo and d1 = d0 + dbase d lo in
+            for i = 0 to len - 1 do
+              walk (d + 1) (s1 + (i * sstr.(d))) (d1 + (i * dstr.(d)))
+            done)
+          ivs.(d)
+    in
+    walk 0 0 0;
+    let segs =
+      List.rev
+        (List.fold_left
+           (fun acc (s, t, len) ->
+             match acc with
+             | (ps, pt, plen) :: rest when ps + plen = s && pt + plen = t ->
+               (ps, pt, plen + len) :: rest
+             | _ -> (s, t, len) :: acc)
+           [] (List.rev !segs))
+    in
+    let runs = ref [] in
+    let flush s t len count ss ds =
+      runs :=
+        {
+          r_src = s;
+          r_dst = t;
+          r_len = len;
+          r_count = count;
+          r_src_stride = ss;
+          r_dst_stride = ds;
+        }
+        :: !runs
+    in
+    let rec group = function
+      | [] -> ()
+      | (s, t, len) :: rest -> (
+        match rest with
+        | (s2, t2, len2) :: tl when len2 = len && s2 <> s ->
+          let ss = s2 - s and ds = t2 - t in
+          let rec extend count = function
+            | (s', t', len') :: tl'
+              when len' = len
+                   && s' = s + (count * ss)
+                   && t' = t + (count * ds) ->
+              extend (count + 1) tl'
+            | tl' -> (count, tl')
+          in
+          let count, rest' = extend 2 tl in
+          flush s t len count ss ds;
+          group rest'
+        | _ ->
+          flush s t len 1 0 0;
+          group rest)
+    in
+    group segs;
+    let arr = Array.of_list (List.rev !runs) in
+    assert (
+      Array.fold_left (fun acc r -> acc + (r.r_len * r.r_count)) 0 arr
+      = m.m_count);
+    arr
+  end
+
+let addressing_kind = function Row_major _ -> 0 | Owner_local _ -> 1
+
+(* The message's compiled runs for one (src, dst) addressing pair,
+   memoized on the message (plans — and their messages — are cached and
+   recur on every loop iteration, so compilation is paid once per
+   distinct layout pair and addressing combination). *)
+let message_runs ~src ~dst (m : message) =
+  let key = addressing_kind src lor (addressing_kind dst lsl 1) in
+  match List.assoc_opt key m.m_runs with
+  | Some runs -> runs
+  | None ->
+    let runs = compile_runs ~src ~dst m in
+    m.m_runs <- (key, runs) :: m.m_runs;
+    runs
+
+(* Total number of contiguous segments a run array copies. *)
+let nb_run_segments runs =
+  Array.fold_left (fun acc r -> acc + r.r_count) 0 runs
+
+let pp_run ppf r =
+  if r.r_count = 1 then
+    Fmt.pf ppf "src+%d -> dst+%d : %d" r.r_src r.r_dst r.r_len
+  else
+    Fmt.pf ppf "src+%d/%+d -> dst+%d/%+d : %d x %d" r.r_src r.r_src_stride
+      r.r_dst r.r_dst_stride r.r_count r.r_len
 
 let pp_box ppf (b : box) =
   Fmt.pf ppf "%a"

@@ -23,11 +23,40 @@ type box = Hpfc_mapping.Ivset.t array
 (** Number of elements in the box (product of per-dimension cardinals). *)
 val box_size : box -> int
 
+(** One compiled copy shape in the flat address spaces of the source and
+    destination copies: [r_count] segments of [r_len] consecutive
+    elements each, the i-th reading at [r_src + i * r_src_stride] and
+    writing at [r_dst + i * r_dst_stride].  A plain contiguous run has
+    [r_count = 1] (strides 0). *)
+type run = {
+  r_src : int;
+  r_dst : int;
+  r_len : int;
+  r_count : int;
+  r_src_stride : int;
+  r_dst_stride : int;
+}
+
+(** How a copy's flat storage is addressed — what box-to-run compilation
+    needs to know about an endpoint: [Row_major extents] is one global
+    row-major array (canonical backend, addressed by
+    [global_linear_index]); [Owner_local layout] is one buffer per rank,
+    row-major over the rank's local extents (distributed backend,
+    addressed by [local_linear_index]). *)
+type addressing =
+  | Row_major of int array  (** global extents *)
+  | Owner_local of Hpfc_mapping.Layout.t
+
 type message = {
   m_from : int;  (** sender, linear rank in the source grid *)
   m_to : int;  (** receiver, linear rank in the target grid *)
   m_count : int;  (** elements, [= box_size m_box] *)
   m_box : box;
+  mutable m_runs : (int * run array) list;
+      (** compiled runs memoized per (src, dst) addressing-kind key, next
+          to the plan's memoized step program.  Parallel executors must
+          precompile on the coordinator (see {!message_runs}) before
+          sharing the message with worker domains. *)
 }
 
 type plan = {
@@ -108,6 +137,27 @@ val plan_intervals :
     sets, so cost is proportional to the elements moved. *)
 val iter_box : box -> (int array -> unit) -> unit
 
+(** Lower a message's box into runs over the two flat address spaces, in
+    row-major box order (exactly {!iter_box}'s packing order).  Every
+    innermost interval is contiguous in both spaces — all its indices are
+    owned, so dense local addresses advance by one per element just like
+    global ones — and segments are then compressed at the offset level:
+    exactly adjacent segments concatenate, and equal-length segments with
+    constant src and dst deltas collapse into one strided run (a
+    cyclic(k) innermost dimension becomes a single run of k-element
+    segments).  The run total always equals [m_count].  Memoized on the
+    message per addressing-kind pair; call once on the coordinator before
+    handing the message to concurrent workers. *)
+val message_runs : src:addressing -> dst:addressing -> message -> run array
+
+(** Total number of contiguous segments a run array copies
+    (sum of [r_count]). *)
+val nb_run_segments : run array -> int
+
+(** Row-major strides of an extents vector (last dimension stride 1). *)
+val row_major_strides : int array -> int array
+
+val pp_run : Format.formatter -> run -> unit
 val pp_box : Format.formatter -> box -> unit
 val pp_message : Format.formatter -> message -> unit
 

@@ -71,6 +71,8 @@ let endpoint_of_copy (c : copy) : Comm.endpoint =
       write =
         (fun ~rank:_ index v ->
           g.(Layout.global_linear_index extents index) <- v);
+      addressing = Redist.Row_major extents;
+      buffer = (fun ~rank:_ -> g);
     }
   | Locals ls ->
     {
@@ -79,6 +81,8 @@ let endpoint_of_copy (c : copy) : Comm.endpoint =
       write =
         (fun ~rank index v ->
           ls.(rank).(Layout.local_linear_index c.layout index) <- v);
+      addressing = Redist.Owner_local c.layout;
+      buffer = (fun ~rank -> ls.(rank));
     }
 
 let iter_global_indices extents f =

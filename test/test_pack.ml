@@ -1,0 +1,264 @@
+(* Properties of box-to-run compilation and the blit pack/unpack path:
+   the compiled runs of every message must enumerate exactly the
+   (source address, destination address) pairs the per-element walk
+   produces, in the same row-major box order, under all four addressing
+   combinations (global row-major / owner-local on either side); and an
+   end-to-end remap must move bit-identical data whether the executor
+   blits compiled runs or routes every element through the scalar
+   closures, on both store backends and under both the sequential and
+   the domain-parallel executor.  Modeled counters never distinguish the
+   paths; only [run_blits] and the staging-pool totals do. *)
+
+open Hpfc_mapping
+open Hpfc_runtime
+
+let procs n = Procs.linear "P" n
+
+let layout_nd ~extents dists p =
+  Layout.of_mapping ~extents
+    (Mapping.direct ~array_name:"a" ~extents ~dist:dists ~procs:(procs p))
+
+(* Run [f] with the data path forced to [scalar], restoring the ambient
+   switch afterwards (the suite must pass under HPFC_FORCE_SCALAR too). *)
+let with_path ~scalar f =
+  let saved = !Comm.force_scalar in
+  Comm.force_scalar := scalar;
+  Fun.protect ~finally:(fun () -> Comm.force_scalar := saved) f
+
+(* --- (a) run decomposition is exact ------------------------------------------- *)
+
+(* The flat address of [index] on the side described by [addressing],
+   for the rank the message touches on that side.  Owner-local
+   addressing is rank-independent here: replicated grid dimensions do
+   not change local extents, so every replica stores the element at the
+   canonical owner's local linear index. *)
+let oracle_address addressing extents index =
+  match addressing with
+  | Redist.Row_major _ -> Layout.global_linear_index extents index
+  | Redist.Owner_local l -> Layout.local_linear_index l index
+
+(* Expand a run array into the (src, dst) address pairs it copies, in
+   copy order. *)
+let expand_runs runs =
+  List.concat_map
+    (fun (r : Redist.run) ->
+      List.concat_map
+        (fun i ->
+          List.map
+            (fun j ->
+              ( r.Redist.r_src + (i * r.Redist.r_src_stride) + j,
+                r.Redist.r_dst + (i * r.Redist.r_dst_stride) + j ))
+            (List.init r.Redist.r_len Fun.id))
+        (List.init r.Redist.r_count Fun.id))
+    runs
+
+(* Every message of the plan, under every (src, dst) addressing
+   combination: compiled runs = per-element walk, pairwise and in
+   order. *)
+let runs_exact ~(src : Layout.t) ~(dst : Layout.t) =
+  let plan = Redist.plan_intervals ~src ~dst in
+  let extents = src.Layout.extents in
+  let combos =
+    [
+      (Redist.Row_major extents, Redist.Row_major extents);
+      (Redist.Row_major extents, Redist.Owner_local dst);
+      (Redist.Owner_local src, Redist.Row_major extents);
+      (Redist.Owner_local src, Redist.Owner_local dst);
+    ]
+  in
+  List.for_all
+    (fun (m : Redist.message) ->
+      List.for_all
+        (fun (sa, da) ->
+          let expected = ref [] in
+          Redist.iter_box m.Redist.m_box (fun index ->
+              expected :=
+                (oracle_address sa extents index, oracle_address da extents index)
+                :: !expected);
+          let runs = Redist.message_runs ~src:sa ~dst:da m in
+          expand_runs (Array.to_list runs) = List.rev !expected
+          && Redist.nb_run_segments runs <= m.Redist.m_count
+          && Array.fold_left
+               (fun acc (r : Redist.run) ->
+                 acc + (r.Redist.r_len * r.Redist.r_count))
+               0 runs
+             = m.Redist.m_count)
+        combos)
+    (plan.Redist.moves @ plan.Redist.locals)
+
+let prop_runs_exact =
+  QCheck2.Test.make
+    ~name:"compiled runs = per-element walk under all four addressings"
+    ~print:Test_redist_props.print_pair ~count:250 Test_redist_props.gen_pair
+    (fun (src, dst) -> runs_exact ~src ~dst)
+
+(* Deterministic corners the 1-D generators cannot reach: extent-1 and
+   collapsed dimensions, multi-dimensional boxes, cyclic(1) against
+   block-cyclic, a transposed 2-D grid. *)
+let test_runs_exact_corners () =
+  let check name ~src ~dst =
+    Alcotest.(check bool) name true (runs_exact ~src ~dst)
+  in
+  let grid_2d ~extents dists =
+    Layout.of_mapping ~extents
+      (Mapping.direct ~array_name:"a" ~extents ~dist:dists
+         ~procs:(Procs.make "G" [| 2; 2 |]))
+  in
+  let e2 = [| 8; 6 |] in
+  check "2-D corner turn"
+    ~src:(layout_nd ~extents:e2 [| Dist.block; Dist.star |] 4)
+    ~dst:(layout_nd ~extents:e2 [| Dist.star; Dist.block |] 4);
+  check "2-D block -> cyclic both dims"
+    ~src:(grid_2d ~extents:e2 [| Dist.block; Dist.cyclic |])
+    ~dst:(grid_2d ~extents:e2 [| Dist.cyclic; Dist.block_sized 3 |]);
+  let e1 = [| 1; 7 |] in
+  check "extent-1 leading dimension"
+    ~src:(grid_2d ~extents:e1 [| Dist.block; Dist.cyclic |])
+    ~dst:(grid_2d ~extents:e1 [| Dist.cyclic; Dist.block |]);
+  check "cyclic(1) -> cyclic(3)"
+    ~src:(layout_nd ~extents:[| 17 |] [| Dist.cyclic |] 4)
+    ~dst:(layout_nd ~extents:[| 17 |] [| Dist.cyclic_sized 3 |] 4);
+  (* replicated target: every replica rank unpacks at the canonical
+     owner's local addresses *)
+  let t = Template.make "T" [| 12; 2 |] in
+  let repl =
+    Layout.of_mapping ~extents:[| 12 |]
+      (Mapping.v ~template:t
+         ~align:
+           [| Align.Axis { array_dim = 0; stride = 1; offset = 0 };
+              Align.Replicated
+           |]
+         ~dist:[| Dist.block; Dist.block |]
+         ~procs:(Procs.make "G" [| 2; 2 |]))
+  in
+  check "block -> replicated"
+    ~src:(layout_nd ~extents:[| 12 |] [| Dist.cyclic |] 4)
+    ~dst:repl
+
+(* --- (b) blit path == scalar oracle, end to end -------------------------------- *)
+
+(* Final values and modeled counters of one remap, on a given backend
+   and executor, with the data path forced. *)
+let observe ~scalar ~backend ?executor (src, dst) =
+  with_path ~scalar (fun () ->
+      let m, _, d = Test_comm.remap ~backend ?executor ~src ~dst float_of_int in
+      let c =
+        {
+          m.Machine.counters with
+          (* the only counters allowed to differ between the paths *)
+          Machine.run_blits = 0;
+          Machine.pool_hits = 0;
+          Machine.pool_misses = 0;
+          Machine.wall_time = 0.0;
+        }
+      in
+      (Store.to_global (Store.get_copy d 1), c))
+
+let prop_blit_equals_scalar =
+  QCheck2.Test.make
+    ~name:"blit pack/unpack = scalar oracle (values and modeled counters)"
+    ~print:Test_redist_props.print_pair ~count:120 Test_redist_props.gen_pair
+    (fun (src, dst) ->
+      List.for_all
+        (fun backend ->
+          observe ~scalar:false ~backend (src, dst)
+          = observe ~scalar:true ~backend (src, dst))
+        [ Store.Canonical; Store.Distributed ])
+
+let prop_blit_equals_scalar_par =
+  QCheck2.Test.make
+    ~name:"parallel blit pack/unpack = parallel scalar oracle"
+    ~print:Test_redist_props.print_pair ~count:60 Test_comm.gen_irregular_pair
+    (fun (src, dst) ->
+      let run ~scalar =
+        observe ~scalar ~backend:Store.Distributed
+          ~executor:(Test_par.par_executor ()) (src, dst)
+      in
+      run ~scalar:false = run ~scalar:true)
+
+(* The blit path charges run_blits from the memoized runs: local moves
+   copy once, cross-processor messages pack and unpack. *)
+let prop_run_blits_charged =
+  QCheck2.Test.make ~name:"run_blits = local segments + 2 * move segments"
+    ~print:Test_redist_props.print_pair ~count:100 Test_redist_props.gen_pair
+    (fun (src, dst) ->
+      with_path ~scalar:false (fun () ->
+          let m, s, d = Test_comm.remap ~src ~dst float_of_int in
+          let plan = Store.plan_for s d ~src:0 ~dst:1 in
+          let extents = src.Layout.extents in
+          let segs (msg : Redist.message) =
+            Redist.nb_run_segments
+              (Redist.message_runs ~src:(Redist.Row_major extents)
+                 ~dst:(Redist.Row_major extents) msg)
+          in
+          let expected =
+            List.fold_left (fun a msg -> a + segs msg) 0 plan.Redist.locals
+            + List.fold_left
+                (fun a msg -> a + (2 * segs msg))
+                0 plan.Redist.moves
+          in
+          m.Machine.counters.Machine.run_blits = expected))
+
+(* --- (c) the staging-buffer pool ------------------------------------------------ *)
+
+let test_pool_unit () =
+  let p = Comm.Pool.create () in
+  let hit, b1 = Comm.Pool.acquire p 100 in
+  Alcotest.(check bool) "fresh pool misses" false hit;
+  Alcotest.(check bool) "power-of-two class" true (Array.length b1 = 128);
+  Comm.Pool.release p b1;
+  let hit, b2 = Comm.Pool.acquire p 65 in
+  Alcotest.(check bool) "same class hits" true hit;
+  Alcotest.(check bool) "the very same buffer" true (b1 == b2);
+  let hit, b3 = Comm.Pool.acquire p 100 in
+  Alcotest.(check bool) "class emptied" false hit;
+  Comm.Pool.release p b2;
+  Comm.Pool.release p b3;
+  let hit, _ = Comm.Pool.acquire p 1 in
+  Alcotest.(check bool) "distinct class misses" false hit;
+  Alcotest.(check int) "hits counted" 1 (Comm.Pool.hits p);
+  Alcotest.(check int) "misses counted" 3 (Comm.Pool.misses p)
+
+(* Steady state: the sequential executor releases each staging buffer
+   before acquiring the next, so a warmed-up pool serves every message
+   of a repeated remap without allocating. *)
+let test_pool_steady_state () =
+  let src = layout_nd ~extents:[| 64 |] [| Dist.block |] 4
+  and dst = layout_nd ~extents:[| 64 |] [| Dist.cyclic |] 4 in
+  let (_ : Machine.t * Store.t * Store.descriptor) =
+    Test_comm.remap ~src ~dst float_of_int
+  in
+  let m, _, _ = Test_comm.remap ~src ~dst float_of_int in
+  let c = m.Machine.counters in
+  Alcotest.(check bool) "plan has messages" true (c.Machine.messages > 0);
+  Alcotest.(check int) "warm pool never allocates" 0 c.Machine.pool_misses;
+  Alcotest.(check int) "every message a pool hit" c.Machine.messages
+    c.Machine.pool_hits
+
+(* --- (d) Ivset.to_runs ----------------------------------------------------------- *)
+
+let test_ivset_to_runs () =
+  let p =
+    Ivset.Periodic { period = 8; pattern = [ (1, 3); (6, 7) ]; extent = 20 }
+  in
+  Alcotest.(check (list (pair int int)))
+    "periodic runs"
+    [ (1, 2); (6, 1); (9, 2); (14, 1); (17, 2) ]
+    (Ivset.to_runs p);
+  Alcotest.(check (list (pair int int)))
+    "finite runs" [ (0, 4) ]
+    (Ivset.to_runs (Ivset.Finite [ (0, 2); (2, 4) ]));
+  Alcotest.(check (list (pair int int))) "empty" [] (Ivset.to_runs (Ivset.Finite []))
+
+let suite =
+  [
+    Qcheck_env.to_alcotest prop_runs_exact;
+    Alcotest.test_case "run decomposition corners" `Quick
+      test_runs_exact_corners;
+    Qcheck_env.to_alcotest prop_blit_equals_scalar;
+    Qcheck_env.to_alcotest prop_blit_equals_scalar_par;
+    Qcheck_env.to_alcotest prop_run_blits_charged;
+    Alcotest.test_case "pool acquire/release" `Quick test_pool_unit;
+    Alcotest.test_case "pool steady state" `Quick test_pool_steady_state;
+    Alcotest.test_case "Ivset.to_runs" `Quick test_ivset_to_runs;
+  ]

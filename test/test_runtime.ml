@@ -301,8 +301,11 @@ let test_counter_reset_coverage () =
   c.Machine.plan_evictions <- 13;
   c.Machine.steps <- 14;
   c.Machine.peak_step_volume <- 15;
-  c.Machine.time <- 16.0;
-  c.Machine.wall_time <- 17.0;
+  c.Machine.run_blits <- 16;
+  c.Machine.pool_hits <- 17;
+  c.Machine.pool_misses <- 18;
+  c.Machine.time <- 19.0;
+  c.Machine.wall_time <- 20.0;
   Machine.reset m;
   Alcotest.(check bool) "reset zeroes every field" true
     (c = Machine.fresh_counters ())
