@@ -1,0 +1,78 @@
+(* Corpus of minimized repro files.
+
+   When a property fails, the shrunk counterexample is written as a
+   concrete-syntax .hpf file into test/corpus/ in the source tree, and
+   the test suite replays every corpus file through the full oracle
+   before generating anything new — so once a bug is caught, its minimal
+   trigger keeps guarding against regressions.
+
+   Dune runs tests sandboxed in _build with the corpus attached as a
+   dependency, so replay reads the local ./corpus directory; writing a
+   new repro resolves the source tree by walking up from the current
+   directory to the project root (skipping _build shadows), or uses
+   HPFC_FUZZ_CORPUS when set. *)
+
+let corpus_env = "HPFC_FUZZ_CORPUS"
+
+(* The source-tree corpus directory, for writing new repro files. *)
+let source_dir () =
+  match Sys.getenv_opt corpus_env with
+  | Some d when d <> "" -> Some d
+  | _ ->
+    let rec up dir =
+      let in_build =
+        Astring.String.is_infix ~affix:"_build" dir
+        (* a dune sandbox has its own dune-project shadow; keep climbing
+           out of _build to reach the real source tree *)
+      in
+      if (not in_build) && Sys.file_exists (Filename.concat dir "dune-project")
+      then Some (Filename.concat (Filename.concat dir "test") "corpus")
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else up parent
+    in
+    up (Sys.getcwd ())
+
+(* The corpus directory to replay from: the sandbox-local copy when the
+   suite runs under dune, else the source tree. *)
+let replay_dir () =
+  if Sys.file_exists "corpus" && Sys.is_directory "corpus" then Some "corpus"
+  else
+    match source_dir () with
+    | Some d when Sys.file_exists d && Sys.is_directory d -> Some d
+    | _ -> None
+
+let replay_files () =
+  match replay_dir () with
+  | None -> []
+  | Some dir ->
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".hpf")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Save a failing program; the name is content-derived so re-saving the
+   same repro (e.g. every shrink candidate along one failure) is
+   idempotent and the final write is the minimal one. *)
+let save ?(tag = "fuzz") src =
+  match source_dir () with
+  | None -> None
+  | Some dir ->
+    (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+     with Unix.Unix_error _ -> ());
+    if Sys.file_exists dir && Sys.is_directory dir then begin
+      let digest = String.sub (Digest.to_hex (Digest.string src)) 0 12 in
+      let path = Filename.concat dir (Printf.sprintf "%s-%s.hpf" tag digest) in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc src);
+      Some path
+    end
+    else None

@@ -1,0 +1,15 @@
+(** Replayable .hpf repro files under [test/corpus/].
+
+    Failing fuzz cases are written here in concrete syntax; the suite
+    replays every file through the full oracle before generating new
+    programs.  [HPFC_FUZZ_CORPUS] overrides the directory. *)
+
+(** Corpus files to replay, in deterministic (sorted) order. *)
+val replay_files : unit -> string list
+
+val read_file : string -> string
+
+(** Write one program (concrete syntax) into the source-tree corpus;
+    returns the path, or [None] when the source tree is not writable /
+    locatable.  Content-addressed name: idempotent per program. *)
+val save : ?tag:string -> string -> string option

@@ -1,0 +1,571 @@
+(* Random well-typed mini-HPF programs for the whole-pipeline differential
+   fuzzer.
+
+   A generated case is a complete multi-routine program: array
+   declarations with random shapes, block / block(k) / cyclic(k) /
+   collapsed / replicated / constant-aligned mappings, loops and
+   branches, remapping directives at random program points, elementwise
+   arithmetic over the mapped arrays, and (optionally) calls into a
+   fixed two-level callee chain that prescribes its own dummy mappings.
+
+   Well-typedness is by construction: every reference names a declared
+   array with in-bounds constant or loop-index subscripts, scalars are
+   assigned before use, and conditions and subscripts only ever depend
+   on untainted integer scalars — so a divergence reported by the oracle
+   is a compiler bug, never a racy or undefined program.  The generator
+   threads the current mapping state through nested blocks and restores
+   it on every exit path, so control-flow joins are mapping-consistent
+   and the front end accepts the vast majority of programs (a small
+   weighted fraction deliberately leaves a branch unbalanced to keep the
+   ambiguity-rejection path exercised).
+
+   Everything is built from QCheck2 combinators with the simplest
+   constructor first, so integrated shrinking reduces a failing program
+   toward a minimal one; [print_case] emits concrete syntax that parses
+   back ([Test_fuzz]'s round-trip property), which is also the format of
+   the corpus repro files. *)
+
+open Hpfc_lang
+module B = Build
+module D = Hpfc_mapping.Dist
+module G = QCheck2.Gen
+
+let ( let* ) = G.( let* )
+
+type case = { program : Ast.program; entry : string }
+
+let print_case c = Pp_ast.program_to_string c.program
+
+(* --- generation environment and mapping state --------------------------- *)
+
+(* Static shape of one case, fixed before the body is generated. *)
+type env = {
+  np : int;  (* processors q(np) *)
+  e : int;  (* shared extent of the 1-D arrays *)
+  em : int;  (* the 2-D array m is m(em, em) *)
+  names1 : string list;  (* 1-D array names *)
+  with2d : bool;  (* m(em,em) aligned to template t *)
+  with_repl : bool;  (* template t2(e, np) for replication *)
+  with_call : bool;  (* the stage/stage2 callee chain *)
+  idxs : string list;  (* loop indices in scope, innermost first *)
+}
+
+(* Current mapping of one 1-D array. *)
+type amap =
+  | Fmt of D.format  (* directly distributed, onto q *)
+  | Repl  (* aligned a(i) with t2(i, star): replicated *)
+  | Col of int  (* aligned a(i) with t2(i, c): one column's owners *)
+
+(* Mapping state threaded through the body so nested blocks can restore
+   their entry state and keep control-flow joins unambiguous. *)
+type mapst = {
+  amaps : (string * amap) list;
+  m_tr : bool;  (* m currently transposed onto t *)
+  t_fmts : D.format list;  (* t's current distribution *)
+}
+
+(* --- remapping statements ------------------------------------------------ *)
+
+let repl_align =
+  {
+    Ast.al_rank = 1;
+    al_target = "t2";
+    al_subs = [ Ast.Svar { dummy = 0; stride = 1; offset = 0 }; Ast.Sstar ];
+  }
+
+let col_align c =
+  {
+    Ast.al_rank = 1;
+    al_target = "t2";
+    al_subs = [ Ast.Svar { dummy = 0; stride = 1; offset = 0 }; Ast.Sconst c ];
+  }
+
+let remap_to arr = function
+  | Fmt f -> B.redistribute arr (B.dist [ f ] ~onto:"q")
+  | Repl -> B.realign arr repl_align
+  | Col c -> B.realign arr (col_align c)
+
+let m_align transposed =
+  if transposed then B.align_transpose ~target:"t"
+  else B.align_id ~rank:2 ~target:"t"
+
+(* Statements restoring mapping state [entry] from state [cur]. *)
+let restore entry cur =
+  List.filter_map
+    (fun (a, m0) ->
+      if List.assoc a cur.amaps = m0 then None else Some (remap_to a m0))
+    entry.amaps
+  @ (if entry.m_tr <> cur.m_tr then [ B.realign "m" (m_align entry.m_tr) ]
+     else [])
+  @
+  if entry.t_fmts <> cur.t_fmts then
+    [ B.redistribute "t" (B.dist entry.t_fmts ~onto:"q") ]
+  else []
+
+(* --- mapping generators -------------------------------------------------- *)
+
+(* a 1-D array on the 1-D grid q needs exactly one distributed dim, so
+   no standalone star here; collapsed dims are exercised through the
+   2-D template t and the replication template t2 *)
+let gen_fmt1 env =
+  G.frequency
+    [
+      (3, G.return D.block);
+      (2, G.return D.cyclic);
+      (2, G.map D.cyclic_sized (G.int_range 2 5));
+      (1, G.map D.block_sized (G.int_range 2 (max 2 (env.e / 2))));
+    ]
+
+(* Valid remap targets depend on the current mapping: a directly
+   distributed array can redistribute or (at top level) realign onto t2;
+   once aligned to t2 there is no concrete syntax to return to the
+   array's own implicit template (REDISTRIBUTE then targets rank-2 t2,
+   a rank mismatch), so the t2 family is closed under remapping.  Family
+   switches stay out of nested blocks so the exit restore can always be
+   expressed. *)
+let gen_amap env ~top cur =
+  let to_fmt = G.map (fun f -> Fmt f) (gen_fmt1 env) in
+  let in_t2 =
+    G.frequency
+      [
+        (2, G.return Repl);
+        (2, G.map (fun c -> Col c) (G.int_range 0 (env.np - 1)));
+      ]
+  in
+  match cur with
+  | Fmt _ ->
+    if env.with_repl && top then
+      G.frequency [ (5, to_fmt); (3, in_t2) ]
+    else to_fmt
+  | Repl | Col _ -> in_t2
+
+(* t is over the 1-D grid q, so at most one dimension distributes onto
+   it; the last entry (two distributed dimensions, default grid) is
+   usually rejected by the front end and kept as ambiguity-path fuel. *)
+let gen_t_spec =
+  G.frequency
+    [
+      (3, G.return (B.dist [ D.block; D.star ] ~onto:"q"));
+      (3, G.return (B.dist [ D.star; D.block ] ~onto:"q"));
+      (2, G.return (B.dist [ D.cyclic; D.star ] ~onto:"q"));
+      (2, G.return (B.dist [ D.star; D.cyclic_sized 2 ] ~onto:"q"));
+      (1, G.return (B.dist [ D.block; D.block ]));
+    ]
+
+(* --- expressions ---------------------------------------------------------- *)
+
+let gen_const_float = G.map (fun n -> B.flt (float_of_int n)) (G.int_range 0 9)
+
+(* In-bounds subscript for the shared 1-D extent: a constant, or a loop
+   index in scope (loop bounds never exceed e - 1). *)
+let gen_index1 env =
+  let consts = (4, G.map B.int (G.int_range 0 (env.e - 1))) in
+  match env.idxs with
+  | [] -> G.frequency [ consts ]
+  | idx :: _ ->
+    let top = env.e - 1 in
+    G.frequency
+      [
+        consts;
+        (3, G.return (B.var idx));
+        (1, G.return B.(int top - var idx));
+      ]
+
+let gen_index_m env = G.map B.int (G.int_range 0 (env.em - 1))
+
+(* Elementwise right-hand sides for A = ... over a 1-D array: constants,
+   whole-array references to same-shape arrays, fixed-element reads, and
+   the real scalar s. *)
+let gen_rhs1 env arr =
+  let others = List.filter (fun a -> a <> arr) env.names1 in
+  let base =
+    [
+      (2, gen_const_float);
+      (3, G.return B.(whole arr + flt 1.0));
+      (2, G.return B.(whole arr * flt 0.5));
+      (1, G.map (fun i -> B.(ref_ arr [ i ] * flt 0.5)) (gen_index1 env));
+      (1, G.return (B.var "s"));
+    ]
+  in
+  let cross =
+    match others with
+    | [] -> []
+    | o :: _ ->
+      [ (2, G.return (B.whole o)); (2, G.return B.(whole arr - whole o)) ]
+  in
+  G.frequency (base @ cross)
+
+(* Single-element right-hand sides (whole-array references are only
+   legal inside array assignments). *)
+let gen_elt_rhs1 env arr =
+  G.frequency
+    [
+      (2, gen_const_float);
+      (2, G.map (fun i -> B.(ref_ arr [ i ] + flt 1.0)) (gen_index1 env));
+      ( 2,
+        let* o = G.oneofl env.names1 in
+        G.map (fun i -> B.ref_ o [ i ]) (gen_index1 env) );
+      (1, G.return (B.var "s"));
+    ]
+
+let gen_rhs_m env =
+  G.frequency
+    [
+      (2, gen_const_float);
+      (3, G.return B.(whole "m" * flt 0.5 + flt 1.0));
+      ( 1,
+        G.map
+          (fun (i, j) -> B.ref_ "m" [ i; j ])
+          (G.pair (gen_index_m env) (gen_index_m env)) );
+    ]
+
+let gen_elt_rhs_m env =
+  G.frequency
+    [
+      (2, gen_const_float);
+      ( 2,
+        G.map
+          (fun (i, j) -> B.(ref_ "m" [ i; j ] + flt 1.0))
+          (G.pair (gen_index_m env) (gen_index_m env)) );
+    ]
+
+let gen_scalar_rhs env =
+  let base =
+    [
+      (2, gen_const_float);
+      ( 3,
+        let* arr = G.oneofl env.names1 in
+        G.map (fun i -> B.ref_ arr [ i ]) (gen_index1 env) );
+      (1, G.return B.(var "s" + flt 1.0));
+    ]
+  in
+  let m2d =
+    if env.with2d then
+      [
+        ( 1,
+          G.map
+            (fun (i, j) -> B.ref_ "m" [ i; j ])
+            (G.pair (gen_index_m env) (gen_index_m env)) );
+      ]
+    else []
+  in
+  G.frequency (base @ m2d)
+
+(* Conditions depend only on untainted integers (the constant-assigned c
+   and loop indices), so control flow never branches on undefined data. *)
+let gen_cond env =
+  let base =
+    [
+      (3, G.return B.(var "c" > int 0));
+      (2, G.return B.(var "c" == int 1));
+      (1, G.return B.(var "c" <= int 1));
+      (1, G.return (Ast.Unop (Ast.Not, B.(var "c" > int 0))));
+    ]
+  in
+  let idx =
+    match env.idxs with
+    | [] -> []
+    | i :: _ -> [ (2, G.return B.(var i > int 1)) ]
+  in
+  G.frequency (base @ idx)
+
+(* --- statements ----------------------------------------------------------- *)
+
+let rec gen_stmt env st depth : (Ast.stmt list * mapst) G.t =
+  let pure g = G.map (fun s -> ([ s ], st)) g in
+  let compute =
+    [
+      ( 5,
+        pure
+          (let* arr = G.oneofl env.names1 in
+           G.map (fun rhs -> B.full_assign arr rhs) (gen_rhs1 env arr)) );
+      ( 3,
+        pure
+          (let* arr = G.oneofl env.names1 in
+           let* i = gen_index1 env in
+           G.map (fun rhs -> B.assign arr [ i ] rhs) (gen_elt_rhs1 env arr)) );
+      (2, pure (G.map (fun rhs -> B.scalar_assign "s" rhs) (gen_scalar_rhs env)));
+      (1, pure (G.map (fun k -> B.scalar_assign "c" (B.int k)) (G.int_range 0 2)));
+      ( 1,
+        pure
+          (let* arr = G.oneofl env.names1 in
+           G.return (B.kill arr)) );
+    ]
+    @
+    if env.with2d then
+      [
+        (2, pure (G.map (fun rhs -> B.full_assign "m" rhs) (gen_rhs_m env)));
+        ( 1,
+          pure
+            (let* i = gen_index_m env in
+             let* j = gen_index_m env in
+             G.map (fun rhs -> B.assign "m" [ i; j ] rhs) (gen_elt_rhs_m env)) );
+      ]
+    else []
+  in
+  let remaps =
+    [
+      ( 3,
+        let* arr = G.oneofl env.names1 in
+        let* dst = gen_amap env ~top:(depth >= 2) (List.assoc arr st.amaps) in
+        let amaps = List.map (fun (a, m) -> if a = arr then (a, dst) else (a, m)) st.amaps in
+        G.return ([ remap_to arr dst ], { st with amaps }) );
+    ]
+    @ (if env.with2d then
+         [
+           ( 1,
+             G.return
+               ( [ B.realign "m" (m_align (not st.m_tr)) ],
+                 { st with m_tr = not st.m_tr } ) );
+           ( 1,
+             let* spec = gen_t_spec in
+             G.return
+               ( [ B.redistribute "t" spec ],
+                 { st with t_fmts = spec.Ast.di_formats } ) );
+         ]
+       else [])
+    @
+    if env.with_call then
+      [
+        ( 1,
+          let* arr = G.oneofl env.names1 in
+          G.return ([ B.call "stage" [ arr ] ], st) );
+      ]
+    else []
+  in
+  let nested =
+    if depth <= 0 then []
+    else
+      [
+        ( 2,
+          let* cond = gen_cond env in
+          let* then_, st_t = gen_sub_block env st (depth - 1) in
+          let* else_, st_e = gen_sub_block env st (depth - 1) in
+          (* restoring both branches to the entry state keeps the join
+             unambiguous; a small fraction stays unbalanced to exercise
+             the front end's ambiguity rejection *)
+          let* balanced = G.frequency [ (11, G.return true); (1, G.return false) ] in
+          if balanced then
+            G.return
+              ( [ B.if_ cond (then_ @ restore st st_t) (else_ @ restore st st_e) ],
+                st )
+          else G.return ([ B.if_ cond then_ else_ ], st) );
+        ( 2,
+          let idx = match env.idxs with [] -> "i" | _ -> "j" in
+          let* lo = G.int_range 0 2 in
+          let* hi =
+            G.frequency
+              [
+                (4, G.map B.int (G.int_range lo (min (env.e - 1) (lo + 7))));
+                (1, G.return (B.var "c"));
+              ]
+          in
+          let env' = { env with idxs = idx :: env.idxs } in
+          let* body, st_b = gen_sub_block env' st (depth - 1) in
+          (* the body restores its entry mapping, so the loop-head join
+             (entry vs latch) is always consistent *)
+          G.return ([ B.do_ idx (B.int lo) hi (body @ restore st st_b) ], st) );
+      ]
+  in
+  G.frequency (compute @ remaps @ nested)
+
+and gen_sub_block env st depth : (Ast.block * mapst) G.t =
+  let* len = G.int_range 1 3 in
+  gen_block env st depth len
+
+and gen_block env st depth len : (Ast.block * mapst) G.t =
+  if len <= 0 then G.return ([], st)
+  else
+    let* stmts, st' = gen_stmt env st depth in
+    let* rest, st'' = gen_block env st' depth (len - 1) in
+    G.return (stmts @ rest, st'')
+
+(* --- the callee chain ------------------------------------------------------ *)
+
+(* Fixed two-level callee: stage prescribes cyclic(3) for its dummy,
+   remaps it internally, and calls stage2 which prescribes block — every
+   fuzzed call exercises nested frames, internal remapping of a dummy
+   and the exit restore.  The dummy extent is the case's shared 1-D
+   extent (dummy shapes are static in mini-HPF). *)
+let stage_src ~e =
+  Printf.sprintf
+    {|subroutine stage(x)
+  real x(%d)
+  intent(inout) x
+!hpf$ processors r(4)
+!hpf$ dynamic x
+!hpf$ distribute x(cyclic(3)) onto r
+  interface
+    subroutine stage2(z)
+      real z(%d)
+      intent(inout) z
+!hpf$ distribute z(block)
+    end subroutine
+  end interface
+  x(0) = x(0) + 1.0
+!hpf$ redistribute x(cyclic)
+  x(1) = x(1) + 1.0
+  call stage2(x)
+end subroutine
+
+subroutine stage2(z)
+  real z(%d)
+  intent(inout) z
+!hpf$ processors r2(4)
+!hpf$ distribute z(block) onto r2
+  z = z * 1.5
+end subroutine|}
+    e e e
+
+let stage_routines ~e =
+  (Hpfc_parser.Parser.parse_program (stage_src ~e)).Ast.routines
+
+let stage_iface ~e =
+  B.iface "stage" [ "x" ]
+    ~arrays:[ B.array ~intent:Ast.Inout "x" [ e ] ]
+    ~distributes:[ ("x", B.dist [ D.cyclic_sized 3 ]) ]
+
+(* --- usage scan -------------------------------------------------------------- *)
+
+(* Which entities the finished body actually touches.  Declarations,
+   initial mappings, the prologue and the callee chain are emitted only
+   for what is used, so when QCheck2 shrinks the body the surrounding
+   boilerplate shrinks with it and a minimal repro stays minimal. *)
+type usage = {
+  mentioned : (string, unit) Hashtbl.t;
+  mutable has_call : bool;
+  mutable aligns_to_t2 : bool;
+}
+
+let rec scan_expr u = function
+  | Ast.Int _ | Ast.Float _ -> ()
+  | Ast.Var v -> Hashtbl.replace u.mentioned v ()
+  | Ast.Ref (v, es) ->
+    Hashtbl.replace u.mentioned v ();
+    List.iter (scan_expr u) es
+  | Ast.Unop (_, e) -> scan_expr u e
+  | Ast.Binop (_, a, b) ->
+    scan_expr u a;
+    scan_expr u b
+
+let rec scan_block u b = List.iter (scan_stmt u) b
+
+and scan_stmt u st =
+  match st.Ast.skind with
+  | Ast.Assign { array; indices; rhs } ->
+    Hashtbl.replace u.mentioned array ();
+    List.iter (scan_expr u) indices;
+    scan_expr u rhs
+  | Ast.Full_assign { array; rhs } ->
+    Hashtbl.replace u.mentioned array ();
+    scan_expr u rhs
+  | Ast.Scalar_assign (v, e) ->
+    Hashtbl.replace u.mentioned v ();
+    scan_expr u e
+  | Ast.If (c, t, e) ->
+    scan_expr u c;
+    scan_block u t;
+    scan_block u e
+  | Ast.Do { index; lo; hi; body } ->
+    Hashtbl.replace u.mentioned index ();
+    scan_expr u lo;
+    scan_expr u hi;
+    scan_block u body
+  | Ast.Call { args; _ } ->
+    u.has_call <- true;
+    List.iter (fun a -> Hashtbl.replace u.mentioned a ()) args
+  | Ast.Realign { array; spec } ->
+    Hashtbl.replace u.mentioned array ();
+    if spec.Ast.al_target = "t2" then u.aligns_to_t2 <- true
+  | Ast.Redistribute { target; _ } -> Hashtbl.replace u.mentioned target ()
+  | Ast.Kill v -> Hashtbl.replace u.mentioned v ()
+
+let scan body =
+  let u =
+    { mentioned = Hashtbl.create 16; has_call = false; aligns_to_t2 = false }
+  in
+  scan_block u body;
+  u
+
+(* --- whole cases ------------------------------------------------------------ *)
+
+let gen_case : case G.t =
+  let* with_call = G.frequency [ (3, G.return false); (1, G.return true) ] in
+  (* the callee chain pins its grids to 4 processors, so calls only
+     appear on a matching caller grid *)
+  let* np = if with_call then G.return 4 else G.int_range 2 4 in
+  let* e = G.int_range 6 24 in
+  let* em = G.int_range 4 8 in
+  let* n1 = G.int_range 1 3 in
+  let names1 =
+    List.filteri (fun i _ -> i < n1) [ "a"; "b"; "d" ]
+  in
+  let* with2d = G.frequency [ (2, G.return false); (3, G.return true) ] in
+  let* with_repl = G.frequency [ (1, G.return false); (1, G.return true) ] in
+  let env = { np; e; em; names1; with2d; with_repl; with_call; idxs = [] } in
+  let* inits = G.list_repeat n1 (gen_fmt1 env) in
+  let st0 =
+    {
+      amaps = List.combine names1 (List.map (fun f -> Fmt f) inits);
+      m_tr = false;
+      t_fmts = [ D.block; D.star ];
+    }
+  in
+  let* c0 = G.int_range 0 2 in
+  let* with_prologue = G.bool in
+  let* len = G.int_range 2 5 in
+  let* body, _ = gen_block env st0 2 len in
+  (* prune declarations, mappings, prologue and callees down to what the
+     (possibly shrunk) body touches *)
+  let u = scan body in
+  let used v = Hashtbl.mem u.mentioned v in
+  let kept1 =
+    List.filter (fun (n, _) -> used n) (List.combine names1 inits)
+  in
+  let use_m = used "m" in
+  let use_t = use_m || used "t" in
+  let use_t2 = u.aligns_to_t2 in
+  let prologue =
+    (if used "c" then [ B.scalar_assign "c" (B.int c0) ] else [])
+    @ (if used "s" then [ B.scalar_assign "s" (B.flt 0.0) ] else [])
+    @
+    if with_prologue then
+      List.map (fun (n, _) -> B.full_assign n (B.flt 2.0)) kept1
+      @ if use_m then [ B.full_assign "m" (B.flt 5.0) ] else []
+    else []
+  in
+  let main =
+    B.routine "main"
+      ~args:(List.map fst kept1 @ if use_m then [ "m" ] else [])
+      ~arrays:
+        (List.map
+           (fun (n, _) -> B.array ~dynamic:true ~intent:Ast.Inout n [ e ])
+           kept1
+        @
+        if use_m then [ B.array ~dynamic:true ~intent:Ast.Inout "m" [ em; em ] ]
+        else [])
+      ~scalars:
+        (List.filter_map
+           (fun (v, d) -> if used v then Some d else None)
+           [
+             ("c", B.scalar_int "c");
+             ("i", B.scalar_int "i");
+             ("j", B.scalar_int "j");
+             ("s", B.scalar_real "s");
+           ])
+      ~processors:
+        (if kept1 <> [] || use_t || use_t2 then [ ("q", [ np ]) ] else [])
+      ~templates:
+        ((if use_t then [ ("t", [ em; em ]) ] else [])
+        @ if use_t2 then [ ("t2", [ e; np ]) ] else [])
+      ~aligns:(if use_m then [ ("m", B.align_id ~rank:2 ~target:"t") ] else [])
+      ~distributes:
+        (List.map (fun (n, f) -> (n, B.dist [ f ] ~onto:"q")) kept1
+        @ (if use_t then [ ("t", B.dist [ D.block; D.star ] ~onto:"q") ] else [])
+        @
+        if use_t2 then [ ("t2", B.dist [ D.star; D.block ] ~onto:"q") ] else [])
+      ~interfaces:(if u.has_call then [ stage_iface ~e ] else [])
+      (prologue @ body)
+  in
+  let routines = main :: (if u.has_call then stage_routines ~e else []) in
+  G.return { program = { Ast.routines }; entry = "main" }

@@ -1,0 +1,21 @@
+(** QCheck2 generator for well-typed mini-HPF programs.
+
+    Generated programs are complete and self-contained: dynamic arrays
+    with random shapes and initial mappings, remapping directives
+    (redistribute and realign, including replication and collapse) at
+    random program points, loops, branches, elementwise arithmetic, and
+    optionally calls into a fixed two-level callee chain.  Conditions
+    and subscripts depend only on deterministically-assigned integers,
+    so two correct executions of the same program can never diverge —
+    any mismatch the oracle finds is a compiler bug.
+
+    The generator shrinks toward smaller and simpler programs, and
+    {!print_case} emits concrete syntax accepted by [Hpfc_parser], which
+    doubles as the corpus repro-file format. *)
+
+type case = { program : Hpfc_lang.Ast.program; entry : string }
+
+val gen_case : case QCheck2.Gen.t
+
+(** Concrete mini-HPF syntax for the whole program (all routines). *)
+val print_case : case -> string

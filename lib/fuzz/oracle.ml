@@ -1,0 +1,427 @@
+(* Differential oracle: run one generated program through the full
+   pipeline matrix and cross-check every observable.
+
+   Matrix: {optimized, unoptimized} x {canonical, distributed} x
+   {sequential, parallel} x {scalar, blit} x {burst, stepped}.  The
+   parallel executor requires the distributed payload (replicated writes
+   into the shared canonical payload would race), so 12 of the 16
+   backend combinations are valid — 24 runs per accepted program.
+
+   Checks, in decreasing order of strength:
+   - final arrays (program-defined elements) and untainted scalars are
+     identical across every run, and across the two pipelines;
+   - counters that model the communication pattern (messages, volume,
+     local moves, remaps, allocation traffic, plan-cache behaviour) are
+     identical across every configuration of one pipeline;
+   - schedule-derived counters (modeled time, steps, peak step volume)
+     are identical across configurations sharing a schedule mode;
+   - blit accounting: scalar runs perform zero run blits, all blit runs
+     of a pipeline agree on the count;
+   - the event trace agrees with the counters (Message events reproduce
+     the message/volume totals, every message sits inside a
+     contention-free step, stepped step costs sum to the clock) and the
+     Message multiset is identical across every run of a pipeline;
+   - the optimized pipeline never sends more messages, volume, or
+     remaps than the unoptimized one (hoisting is zero-trip safe, so
+     motion cannot add traffic).
+
+   Programs the front end refuses (mapping ambiguities the generator
+   deliberately leaves in at low weight) are reported as [Reject] and
+   discarded by the properties. *)
+
+module I = Hpfc_interp.Interp
+module M = Hpfc_runtime.Machine
+module Comm = Hpfc_runtime.Comm
+module Store = Hpfc_runtime.Store
+module Par = Hpfc_par.Par
+
+type config = {
+  backend : Store.backend;
+  par : bool;
+  scalar : bool;
+  sched : M.sched_mode;
+}
+
+let config_name c =
+  Printf.sprintf "%s/%s/%s/%s"
+    (match c.backend with
+    | Store.Canonical -> "canonical"
+    | Store.Distributed -> "distributed")
+    (if c.par then "par" else "seq")
+    (if c.scalar then "scalar" else "blit")
+    (match c.sched with M.Burst -> "burst" | M.Stepped -> "stepped")
+
+(* The head config (canonical / seq / blit / burst) is the reference the
+   others are compared against. *)
+let configs =
+  List.concat_map
+    (fun backend ->
+      List.concat_map
+        (fun par ->
+          if par && backend = Store.Canonical then []
+          else
+            List.concat_map
+              (fun scalar ->
+                List.map
+                  (fun sched -> { backend; par; scalar; sched })
+                  [ M.Burst; M.Stepped ])
+              [ false; true ])
+        [ false; true ])
+    [ Store.Canonical; Store.Distributed ]
+
+type outcome = Pass | Reject | Fail of string
+
+(* --- cumulative stats (for the >= 300 floor and the bench summary) ------ *)
+
+let n_executed = ref 0
+let n_rejected = ref 0
+let n_runs = ref 0
+let programs_executed () = !n_executed
+let programs_rejected () = !n_rejected
+let pipeline_runs () = !n_runs
+
+(* --- plumbing ------------------------------------------------------------- *)
+
+exception Divergence of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Divergence s)) fmt
+
+(* One shared domain team for every parallel run of the session (the
+   same shape as the HPFC_FORCE_PAR hook); never destroyed. *)
+let pool = lazy (Par.create ~ndomains:3 ())
+
+let compile pipeline (c : Gen.case) =
+  match I.compile ~pipeline c.Gen.program with
+  | p -> Some p
+  | exception
+      Hpfc_base.Error.Hpf_error
+        ( ( Hpfc_base.Error.Ambiguous_mapping | Hpfc_base.Error.Invalid_directive
+          | Hpfc_base.Error.Multiple_leaving_mappings
+          | Hpfc_base.Error.Rank_mismatch (* deliberate generator fuel, e.g.
+                two distributed dims on the 1-D grid *) ),
+          _ ) ->
+    None
+
+type run = { cfg : config; res : I.result; events : M.event list; dropped : int }
+
+let run_one prog entry cfg =
+  incr n_runs;
+  let executor =
+    if cfg.par then Par.executor (Lazy.force pool) else Comm.execute
+  in
+  let saved = !Comm.force_scalar in
+  Comm.force_scalar := cfg.scalar;
+  let res =
+    Fun.protect
+      ~finally:(fun () -> Comm.force_scalar := saved)
+      (fun () ->
+        I.run ~sched:cfg.sched ~record_trace:true ~backend:cfg.backend
+          ~executor prog ~entry ())
+  in
+  {
+    cfg;
+    res;
+    events = M.events res.I.machine;
+    dropped = M.dropped_events res.I.machine;
+  }
+
+(* --- value agreement ------------------------------------------------------- *)
+
+(* bit-identical up to NaN (a NaN never equals itself under [=]) *)
+let float_eq x y = x = y || (Float.is_nan x && Float.is_nan y)
+
+let value_eq a b =
+  match (a, b) with
+  | I.VInt a, I.VInt b -> a = b
+  | I.VFloat a, I.VFloat b -> float_eq a b
+  | _ -> false
+
+let sorted_scalars (r : I.result) =
+  List.sort (fun (a, _) (b, _) -> compare a b) r.I.final_scalars
+
+(* Same compiled program, different machinery: everything observable
+   must match the reference run exactly, including taint masks. *)
+let same_result ~what (ref_run : run) (r : run) =
+  let ctx = Printf.sprintf "%s %s vs %s" what (config_name r.cfg) (config_name ref_run.cfg) in
+  List.iter
+    (fun (n, a) ->
+      match List.assoc_opt n r.res.I.final_arrays with
+      | None -> failf "%s: array %s missing" ctx n
+      | Some b ->
+        if Array.length a <> Array.length b then
+          failf "%s: array %s length %d vs %d" ctx n (Array.length b)
+            (Array.length a);
+        let mask =
+          match List.assoc_opt n ref_run.res.I.final_defined with
+          | Some m -> m
+          | None -> Array.make (Array.length a) true
+        in
+        (match List.assoc_opt n r.res.I.final_defined with
+        | Some m when m <> mask -> failf "%s: array %s defined-mask differs" ctx n
+        | _ -> ());
+        Array.iteri
+          (fun i def ->
+            if def && not (float_eq a.(i) b.(i)) then
+              failf "%s: %s(%d) = %h vs %h" ctx n i b.(i) a.(i))
+          mask)
+    ref_run.res.I.final_arrays;
+  if
+    List.length r.res.I.final_arrays
+    <> List.length ref_run.res.I.final_arrays
+  then failf "%s: extra arrays materialized" ctx;
+  let s1 = sorted_scalars ref_run.res and s2 = sorted_scalars r.res in
+  if List.map fst s1 <> List.map fst s2 then
+    failf "%s: scalar sets differ" ctx;
+  List.iter2
+    (fun (n, v1) (_, v2) ->
+      if not (value_eq v1 v2) then failf "%s: scalar %s differs" ctx n)
+    s1 s2
+
+(* Different pipelines compile different copy code, so only
+   program-defined data is comparable (undefined copies legitimately
+   differ); arrays never referenced may not even materialize. *)
+let pipelines_agree ~(naive : run) ~(optimized : run) =
+  List.iter
+    (fun (n, a) ->
+      match List.assoc_opt n optimized.res.I.final_arrays with
+      | None -> ()
+      | Some b ->
+        let mask =
+          match List.assoc_opt n naive.res.I.final_defined with
+          | Some m -> m
+          | None -> Array.make (Array.length a) true
+        in
+        Array.iteri
+          (fun i def ->
+            if def && not (float_eq a.(i) b.(i)) then
+              failf "pipelines: %s(%d) = %h naive vs %h optimized" n i a.(i)
+                b.(i))
+          mask)
+    naive.res.I.final_arrays;
+  let opt_scalars = sorted_scalars optimized.res in
+  List.iter
+    (fun (n, v1) ->
+      match List.assoc_opt n opt_scalars with
+      | Some v2 when not (value_eq v1 v2) ->
+        failf "pipelines: scalar %s differs" n
+      | _ -> ())
+    (sorted_scalars naive.res)
+
+(* --- counter agreement ------------------------------------------------------ *)
+
+(* identical across every configuration of one pipeline: they model the
+   communication pattern, which no backend/executor/datapath/schedule
+   choice may change *)
+let core_fields =
+  [
+    ("messages", fun (c : M.counters) -> c.M.messages);
+    ("volume", fun c -> c.M.volume);
+    ("local_moves", fun c -> c.M.local_moves);
+    ("remaps_performed", fun c -> c.M.remaps_performed);
+    ("remaps_skipped", fun c -> c.M.remaps_skipped);
+    ("live_reuses", fun c -> c.M.live_reuses);
+    ("dead_copies", fun c -> c.M.dead_copies);
+    ("allocs", fun c -> c.M.allocs);
+    ("frees", fun c -> c.M.frees);
+    ("evictions", fun c -> c.M.evictions);
+    ("plan_hits", fun c -> c.M.plan_hits);
+    ("plan_misses", fun c -> c.M.plan_misses);
+    ("plan_evictions", fun c -> c.M.plan_evictions);
+  ]
+
+(* identical across configurations sharing a schedule mode *)
+let sched_fields =
+  [
+    ("steps", fun (c : M.counters) -> c.M.steps);
+    ("peak_step_volume", fun c -> c.M.peak_step_volume);
+  ]
+
+let counters_of (r : run) = r.res.I.machine.M.counters
+
+let same_counters ~what ref_run r =
+  let c0 = counters_of ref_run and c = counters_of r in
+  List.iter
+    (fun (name, f) ->
+      if f c <> f c0 then
+        failf "%s: %s = %d under %s but %d under %s" what name (f c)
+          (config_name r.cfg) (f c0) (config_name ref_run.cfg))
+    core_fields
+
+let same_sched_counters ~what ref_run r =
+  let c0 = counters_of ref_run and c = counters_of r in
+  List.iter
+    (fun (name, f) ->
+      if f c <> f c0 then
+        failf "%s: %s = %d under %s but %d under %s" what name (f c)
+          (config_name r.cfg) (f c0) (config_name ref_run.cfg))
+    sched_fields;
+  if not (float_eq c.M.time c0.M.time) then
+    failf "%s: modeled time %g under %s but %g under %s" what c.M.time
+      (config_name r.cfg) c0.M.time (config_name ref_run.cfg)
+
+(* --- trace agreement --------------------------------------------------------- *)
+
+let messages_of (r : run) =
+  List.filter_map
+    (function
+      | M.Message { from_rank; to_rank; count } -> Some (from_rank, to_rank, count)
+      | _ -> None)
+    r.events
+  |> List.sort compare
+
+(* The trace must reproduce the counters: every message inside a
+   contention-free step, totals matching, stepped step costs summing to
+   the modeled clock. *)
+let trace_self_check ~what (r : run) =
+  if r.dropped > 0 then () (* ring buffer overflow: totals unavailable *)
+  else begin
+    let ctx = Printf.sprintf "%s %s" what (config_name r.cfg) in
+    let c = counters_of r in
+    let n_msgs = ref 0 and vol = ref 0 in
+    let in_step = ref false in
+    let senders = Hashtbl.create 8 and receivers = Hashtbl.create 8 in
+    let step_time = ref 0.0 in
+    List.iter
+      (fun ev ->
+        match ev with
+        | M.Step_begin _ ->
+          if !in_step then failf "%s: nested Step_begin" ctx;
+          in_step := true;
+          Hashtbl.reset senders;
+          Hashtbl.reset receivers
+        | M.Step_end { time; _ } ->
+          if not !in_step then failf "%s: Step_end outside step" ctx;
+          in_step := false;
+          step_time := !step_time +. time
+        | M.Message { from_rank; to_rank; count } ->
+          if not !in_step then failf "%s: message outside step" ctx;
+          if Hashtbl.mem senders from_rank then
+            failf "%s: processor %d sends twice in one step" ctx from_rank;
+          if Hashtbl.mem receivers to_rank then
+            failf "%s: processor %d receives twice in one step" ctx to_rank;
+          Hashtbl.add senders from_rank ();
+          Hashtbl.add receivers to_rank ();
+          incr n_msgs;
+          vol := !vol + count
+        | _ -> ())
+      r.events;
+    if !in_step then failf "%s: unterminated step" ctx;
+    if !n_msgs <> c.M.messages then
+      failf "%s: %d Message events but messages = %d" ctx !n_msgs c.M.messages;
+    if !vol <> c.M.volume then
+      failf "%s: traced volume %d but volume = %d" ctx !vol c.M.volume;
+    if
+      r.cfg.sched = M.Stepped
+      && abs_float (!step_time -. c.M.time) > 1e-6 *. (1.0 +. abs_float c.M.time)
+    then
+      failf "%s: step costs sum to %g but time = %g" ctx !step_time c.M.time
+  end
+
+(* --- whole-matrix check -------------------------------------------------------- *)
+
+let check_pipeline ~what (runs : run list) =
+  let ref_run = List.hd runs in
+  let ref_msgs = messages_of ref_run in
+  (* blit segmentation follows the payload layout, so the count is only
+     comparable between runs sharing a store backend *)
+  let ref_blits backend =
+    List.find_opt (fun r -> (not r.cfg.scalar) && r.cfg.backend = backend) runs
+    |> Option.map (fun r -> (counters_of r).M.run_blits)
+  in
+  List.iter
+    (fun r ->
+      trace_self_check ~what r;
+      same_result ~what ref_run r;
+      same_counters ~what ref_run r;
+      (* schedule-derived counters: compare to the first run sharing the mode *)
+      let sched_ref = List.find (fun r' -> r'.cfg.sched = r.cfg.sched) runs in
+      same_sched_counters ~what sched_ref r;
+      (if r.cfg.scalar then begin
+         if (counters_of r).M.run_blits <> 0 then
+           failf "%s %s: scalar path performed %d blits" what
+             (config_name r.cfg) (counters_of r).M.run_blits
+       end
+       else
+         match ref_blits r.cfg.backend with
+         | Some b when (counters_of r).M.run_blits <> b ->
+           failf "%s %s: run_blits = %d but %d on the same backend" what
+             (config_name r.cfg) (counters_of r).M.run_blits b
+         | _ -> ());
+      if (not (r.dropped > 0 || ref_run.dropped > 0)) && messages_of r <> ref_msgs
+      then failf "%s %s: Message multiset differs from reference" what (config_name r.cfg))
+    runs
+
+let leq ~what name a b =
+  if a > b then failf "%s: optimized %s %d > unoptimized %d" what name a b
+
+let check_case (c : Gen.case) : outcome =
+  match (compile I.naive_pipeline c, compile I.full_pipeline c) with
+  | None, _ | _, None ->
+    incr n_rejected;
+    Reject
+  | Some naive_prog, Some full_prog -> (
+    try
+      let entry = c.Gen.entry in
+      let naive_runs = List.map (run_one naive_prog entry) configs in
+      let full_runs = List.map (run_one full_prog entry) configs in
+      check_pipeline ~what:"naive" naive_runs;
+      check_pipeline ~what:"optimized" full_runs;
+      let n0 = List.hd naive_runs and f0 = List.hd full_runs in
+      pipelines_agree ~naive:n0 ~optimized:f0;
+      let cn = counters_of n0 and cf = counters_of f0 in
+      leq ~what:"pipelines" "messages" cf.M.messages cn.M.messages;
+      leq ~what:"pipelines" "volume" cf.M.volume cn.M.volume;
+      leq ~what:"pipelines" "remaps" cf.M.remaps_performed cn.M.remaps_performed;
+      incr n_executed;
+      Pass
+    with
+    | Divergence msg -> Fail msg
+    | Hpfc_base.Error.Hpf_error _ as e ->
+      Fail (Printf.sprintf "runtime fault: %s" (Printexc.to_string e)))
+
+(* --- single-pass invariants ----------------------------------------------------- *)
+
+(* Each optimization individually: semantics preserved, modeled traffic
+   never increased, against the same all-off baseline. *)
+let passes =
+  [
+    ("hoist", { I.naive_pipeline with I.hoist = true });
+    ("remove_useless", { I.naive_pipeline with I.remove_useless = true });
+    ( "live_copies",
+      {
+        I.naive_pipeline with
+        I.codegen = { I.naive_pipeline.I.codegen with Hpfc_codegen.Gen.use_live_copies = true };
+      } );
+    ( "use_info",
+      {
+        I.naive_pipeline with
+        I.codegen = { I.naive_pipeline.I.codegen with Hpfc_codegen.Gen.use_use_info = true };
+      } );
+  ]
+
+let pass_names = List.map fst passes
+
+let check_pass name (c : Gen.case) : outcome =
+  let pipeline = List.assoc name passes in
+  match (compile I.naive_pipeline c, compile pipeline c) with
+  | None, _ | _, None ->
+    incr n_rejected;
+    Reject
+  | Some base_prog, Some pass_prog -> (
+    try
+      let cfg = List.hd configs in
+      let base = run_one base_prog c.Gen.entry cfg in
+      let passed = run_one pass_prog c.Gen.entry cfg in
+      trace_self_check ~what:("base/" ^ name) base;
+      trace_self_check ~what:name passed;
+      pipelines_agree ~naive:base ~optimized:passed;
+      let cb = counters_of base and cp = counters_of passed in
+      leq ~what:name "messages" cp.M.messages cb.M.messages;
+      leq ~what:name "volume" cp.M.volume cb.M.volume;
+      leq ~what:name "remaps" cp.M.remaps_performed cb.M.remaps_performed;
+      incr n_executed;
+      Pass
+    with
+    | Divergence msg -> Fail msg
+    | Hpfc_base.Error.Hpf_error _ as e ->
+      Fail (Printf.sprintf "runtime fault: %s" (Printexc.to_string e)))

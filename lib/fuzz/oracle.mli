@@ -1,0 +1,42 @@
+(** Differential oracle for generated programs.
+
+    Runs a program through both pipelines under every valid combination
+    of store backend, executor, datapath, and schedule mode (24 runs),
+    and cross-checks final values, modeled counters, and event traces.
+    See the implementation header for the exact invariant list. *)
+
+type config = {
+  backend : Hpfc_runtime.Store.backend;
+  par : bool;  (** domain-parallel executor (implies distributed) *)
+  scalar : bool;  (** force the scalar element-at-a-time datapath *)
+  sched : Hpfc_runtime.Machine.sched_mode;
+}
+
+(** The 12 valid configurations; the head is the reference. *)
+val configs : config list
+
+val config_name : config -> string
+
+type outcome =
+  | Pass
+  | Reject  (** front end refused the program (mapping ambiguity): discard *)
+  | Fail of string  (** a divergence — the message names run and observable *)
+
+(** Full differential matrix: both pipelines under every configuration. *)
+val check_case : Gen.case -> outcome
+
+(** Optimizer passes checked individually by {!check_pass}. *)
+val pass_names : string list
+
+(** One pass against the all-off baseline: semantics preserved and
+    modeled traffic (messages, volume, remaps) never increased. *)
+val check_pass : string -> Gen.case -> outcome
+
+(** Accepted programs run through an oracle so far (cumulative). *)
+val programs_executed : unit -> int
+
+(** Programs the front end refused so far. *)
+val programs_rejected : unit -> int
+
+(** Individual pipeline executions so far. *)
+val pipeline_runs : unit -> int

@@ -5,7 +5,8 @@
    suites therefore draw their generator states from one root seed,
    taken from the QCHECK_SEED environment variable when set (CI pins
    it) and self-initialized otherwise.  The seed is printed up front on
-   stderr, so any failing run names the value that replays it. *)
+   stderr, and every failing property prints the seed that replays it
+   next to the shrunk counterexample. *)
 
 let seed =
   lazy
@@ -29,5 +30,31 @@ let seed =
    not depend on suite order or on how many tests ran before. *)
 let rand () = Random.State.make [| Lazy.force seed |]
 
-let to_alcotest ?verbose ?long t =
-  QCheck_alcotest.to_alcotest ?verbose ?long ~rand:(rand ()) t
+(* Run one property under the root seed; on failure, print the seed and
+   the shrunk counterexample on stderr (Alcotest swallows long failure
+   messages into its report file, stderr survives everywhere).
+   [on_fail] runs first — the fuzz suite uses it to persist the shrunk
+   repro into the corpus. *)
+let to_alcotest ?(on_fail = fun () -> ()) ?verbose:_ ?long:_
+    (QCheck2.Test.Test cell) =
+  let name = QCheck2.Test.get_name cell in
+  Alcotest.test_case name `Quick (fun () ->
+      match QCheck2.Test.check_cell_exn ~rand:(rand ()) cell with
+      | () -> ()
+      | exception QCheck2.Test.Test_fail (n, counterexamples) ->
+        on_fail ();
+        let s = Lazy.force seed in
+        Printf.eprintf "qcheck: %S failed (replay with QCHECK_SEED=%d)\n%!" n s;
+        List.iter
+          (Printf.eprintf "qcheck: shrunk counterexample:\n%s\n%!")
+          counterexamples;
+        Alcotest.failf "%s: falsified (QCHECK_SEED=%d, counterexample on stderr)"
+          n s
+      | exception QCheck2.Test.Test_error (n, arg, e, backtrace) ->
+        on_fail ();
+        let s = Lazy.force seed in
+        Printf.eprintf
+          "qcheck: %S raised %s (replay with QCHECK_SEED=%d)\non: %s\n%s%!" n
+          (Printexc.to_string e) s arg backtrace;
+        Alcotest.failf "%s: raised %s (QCHECK_SEED=%d, details on stderr)" n
+          (Printexc.to_string e) s)

@@ -187,6 +187,63 @@ let test_naive_codegen_has_no_live_tests () =
   Alcotest.(check bool) "still status-guarded" true
     (Astring.String.is_infix ~affix:"if status(a) /= 1 then" all)
 
+(* --- fuzzed well-formedness ----------------------------------------------------- *)
+
+(* Structural invariants of generated copy code over random whole
+   programs (seeded via QCHECK_SEED like every property suite): naive
+   options never emit liveness tests, and [Rt_ir.simplify] is a
+   fixpoint — re-simplifying any emitted code changes nothing. *)
+let all_code (r : Gen.routine) =
+  let tbl acc t = Hashtbl.fold (fun _ c l -> c :: l) t acc in
+  let codes =
+    tbl (tbl (tbl [ r.Gen.entry_code; r.Gen.cleanup_code ] r.Gen.remap_codes) r.Gen.pre_call) r.Gen.post_call
+  in
+  codes
+
+let prop_codegen_wellformed =
+  QCheck2.Test.make
+    ~name:"codegen on fuzzed programs: simplify fixpoint, naive has no live tests"
+    ~count:150 ~print:Hpfc_fuzz.Gen.print_case Hpfc_fuzz.Gen.gen_case (fun c ->
+      let r0 = List.hd c.Hpfc_fuzz.Gen.program.Hpfc_lang.Ast.routines in
+      match build (Hpfc_lang.Pp_ast.routine_to_string r0) with
+      | exception
+          Hpfc_base.Error.Hpf_error
+            ( ( Hpfc_base.Error.Ambiguous_mapping
+              | Hpfc_base.Error.Invalid_directive
+              | Hpfc_base.Error.Multiple_leaving_mappings
+              | Hpfc_base.Error.Rank_mismatch ),
+              _ ) ->
+        true (* deliberate generator fuel: front-end rejection *)
+      | g ->
+        let naive =
+          Gen.generate
+            ~options:{ Gen.use_use_info = false; use_live_copies = false }
+            g
+        in
+        let optimized =
+          (* fresh graph: Remove_useless mutates in place *)
+          let g' = build (Hpfc_lang.Pp_ast.routine_to_string r0) in
+          ignore (Hpfc_opt.Remove_useless.run g' : Hpfc_opt.Remove_useless.stats);
+          Gen.generate g'
+        in
+        let fixpoint r =
+          List.for_all
+            (fun code ->
+              let once = Rt_ir.simplify code in
+              Rt_ir.simplify once = once)
+            (all_code r)
+        in
+        if not (fixpoint naive && fixpoint optimized) then
+          QCheck2.Test.fail_report "simplify is not a fixpoint on emitted code"
+        else begin
+          let printed =
+            List.fold_left (fun acc c -> acc ^ Rt_ir.to_string c) "" (all_code naive)
+          in
+          if Astring.String.is_infix ~affix:".not. live" printed then
+            QCheck2.Test.fail_report "naive codegen emitted a liveness test"
+          else true
+        end)
+
 let suite =
   [
     Alcotest.test_case "rt_ir simplify" `Quick test_simplify;
@@ -197,4 +254,5 @@ let suite =
     Alcotest.test_case "fig18 save/restore" `Quick test_fig18_save_restore;
     Alcotest.test_case "entry/exit code" `Quick test_entry_exit_structure;
     Alcotest.test_case "naive codegen" `Quick test_naive_codegen_has_no_live_tests;
+    Qcheck_env.to_alcotest prop_codegen_wellformed;
   ]

@@ -18,4 +18,5 @@ let () =
       ("interp", Test_interp.suite);
       ("distributed", Test_distributed.suite);
       ("props", Test_props.suite);
-      ("differential", Test_differential.suite) ]
+      ("differential", Test_differential.suite);
+      ("fuzz", Test_fuzz.suite) ]
