@@ -552,7 +552,8 @@ module Par = Hpfc_par.Par
 (* One corner-turn store: version 0 block, version 1 cyclic, n elements on
    P ranks.  [remap ()] re-runs the redistribution (the plan is cached
    after the first call, so reps time execution, not planning). *)
-let corner_turn ?executor ?(record_trace = false) ~n ~p () =
+let corner_turn ?executor ?(record_trace = false)
+    ?(backend = Store.Distributed) ?(dst_dist = Dist.cyclic) ~n ~p () =
   let mk dist =
     Layout.of_mapping ~extents:[| n |]
       (Mapping.direct ~array_name:"a" ~extents:[| n |] ~dist:[| dist |]
@@ -561,13 +562,13 @@ let corner_turn ?executor ?(record_trace = false) ~n ~p () =
   let m =
     Machine.create ~nprocs:p ~sched:Machine.Stepped ~record_trace ()
   in
-  let s = Store.create ~backend:Store.Distributed ?executor m in
+  let s = Store.create ~backend ?executor m in
   let d = Store.add_descriptor s ~name:"a" ~extents:[| n |] ~nb_versions:2 () in
   Store.alloc s d 0 (mk Dist.block);
   d.Store.status <- Some 0;
   Store.set_live s d 0 true;
   Store.fill_copy (Store.get_copy d 0) float_of_int;
-  Store.alloc s d 1 (mk Dist.cyclic);
+  Store.alloc s d 1 (mk dst_dist);
   let remap () = Store.copy_version s d ~src:0 ~dst:1 ~with_data:true in
   (m, d, remap)
 
@@ -670,10 +671,19 @@ let time_pack () =
      oracle, elements/sec";
   let n = 100_000 and p = 4 and reps = 20 in
   let cores = Domain.recommended_domain_count () in
+  (* the "blit" configuration is the forced-staged path: pack/unpack of
+     compiled runs through pooled staging buffers, zero-copy disabled,
+     so the comparison isolates run compilation vs the scalar oracle *)
   let with_path ~scalar f =
-    let saved = !Comm.force_scalar in
+    let saved_scalar = !Comm.force_scalar
+    and saved_staged = !Comm.force_staged in
     Comm.force_scalar := scalar;
-    Fun.protect ~finally:(fun () -> Comm.force_scalar := saved) f
+    Comm.force_staged := not scalar;
+    Fun.protect
+      ~finally:(fun () ->
+        Comm.force_scalar := saved_scalar;
+        Comm.force_staged := saved_staged)
+      f
   in
   (* One timed configuration: the machine and the mean wall seconds per
      remap.  The warm-up remap pays plan computation, run compilation
@@ -718,6 +728,8 @@ let time_pack () =
     {
       m.Machine.counters with
       Machine.run_blits = 0;
+      Machine.zero_copy_runs = 0;
+      Machine.staged_bytes = 0;
       Machine.pool_hits = 0;
       Machine.pool_misses = 0;
       Machine.wall_time = 0.0;
@@ -746,6 +758,85 @@ let time_pack () =
      message (P-element period), so the blit path replaces ~n/P closure \
      calls per message with segment copies at fixed offsets — expect \
      several-fold higher elements/sec, identical modeled counters.@."
+
+(* --- TIME_ZERO: zero-copy direct blits vs forced staging --------------------------- *)
+
+let time_zero () =
+  section "time_zero"
+    "zero-copy direct path vs forced staging: elements/sec and staged \
+     bytes per datapath";
+  let n = 100_000 and p = 4 and reps = 20 in
+  let with_staged staged f =
+    let saved = !Comm.force_staged in
+    Comm.force_staged := staged;
+    Fun.protect ~finally:(fun () -> Comm.force_staged := saved) f
+  in
+  (* warm-up remap pays planning, run compilation and first staging
+     allocations; reps time steady-state data movement *)
+  let run ?backend ?dst_dist ~staged () =
+    with_staged staged (fun () ->
+        let m, _, remap = corner_turn ?backend ?dst_dist ~n ~p () in
+        remap ();
+        let (), t = time_of (fun () -> for _ = 1 to reps do remap () done) in
+        (m, t /. float_of_int reps))
+  in
+  let eps t = float_of_int n /. Float.max 1e-9 t in
+  row "n=%d, P=%d, %d reps per config@." n p reps;
+  row "%-22s | %12s %14s %12s %10s@." "config" "wall(ms)" "elements/s"
+    "staged B" "zero runs";
+  let show name (m, t) =
+    let c = (m : Machine.t).Machine.counters in
+    row "%-22s | %12.3f %14.3e %12d %10d@." name (t *. 1e3) (eps t)
+      c.Machine.staged_bytes c.Machine.zero_copy_runs;
+    (m, t)
+  in
+  (* canonical corner turn: both endpoints globally addressed, so every
+     message is Direct — the configuration where zero-copy replaces the
+     pack/stage/unpack double copy with one blit *)
+  let _, t_canon_staged =
+    show "canonical staged" (run ~backend:Store.Canonical ~staged:true ())
+  in
+  let m_canon_zero, t_canon_zero =
+    show "canonical zero-copy" (run ~backend:Store.Canonical ~staged:false ())
+  in
+  (* distributed corner turn: cross-rank messages stage on both paths
+     (per-rank buffers), locals blit directly on both — expect parity *)
+  let _, t_dist_staged = show "distributed staged" (run ~staged:true ()) in
+  let _, t_dist_zero = show "distributed zero-copy" (run ~staged:false ()) in
+  (* identity remap: all locals, the zero-copy path never touches the
+     staging pool at all *)
+  let m_ident, t_ident =
+    show "identity zero-copy" (run ~dst_dist:Dist.block ~staged:false ())
+  in
+  let speedup = t_canon_staged /. Float.max 1e-9 t_canon_zero in
+  row "zero-copy speedup over staged (canonical): %.1fx@." speedup;
+  let cz = m_canon_zero.Machine.counters and ci = m_ident.Machine.counters in
+  assert (cz.Machine.staged_bytes = 0 && cz.Machine.run_blits = 0);
+  assert (cz.Machine.zero_copy_runs > 0);
+  assert (ci.Machine.pool_hits = 0 && ci.Machine.pool_misses = 0);
+  assert (ci.Machine.staged_bytes = 0 && ci.Machine.zero_copy_runs > 0);
+  ignore t_dist_staged;
+  ignore t_dist_zero;
+  ignore t_ident;
+  (match Sys.getenv_opt "HPFC_BENCH_JSON" with
+  | Some path when path <> "" ->
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    Printf.fprintf oc
+      {|{"bench":"time_zero","n":%d,"p":%d,"reps":%d,"canon_staged_eps":%.1f,"canon_zero_eps":%.1f,"zero_speedup":%.2f,"dist_staged_eps":%.1f,"dist_zero_eps":%.1f,"identity_zero_eps":%.1f,"canon_zero_staged_bytes":%d,"canon_zero_runs":%d}|}
+      n p reps (eps t_canon_staged) (eps t_canon_zero) speedup
+      (eps t_dist_staged) (eps t_dist_zero) (eps t_ident)
+      cz.Machine.staged_bytes cz.Machine.zero_copy_runs;
+    output_char oc '\n';
+    close_out oc;
+    row "json summary written to %s@." path
+  | Some _ | None -> ());
+  row
+    "shape: on the canonical backend the staged path copies every moved \
+     element twice (pack into a pooled buffer, unpack out of it) where \
+     the zero-copy path blits once payload to payload — expect roughly \
+     2x elements/sec and staged bytes dropping to zero; the distributed \
+     corner turn stages its cross-rank messages on both paths, so the \
+     two columns should track each other there.@."
 
 (* --- TIMELINE: per-step trace of a stepped run ------------------------------------ *)
 
@@ -804,7 +895,7 @@ let timeline () =
    per second and any divergences; the JSON summary joins the bench
    artifact next to the timing sections. *)
 let fuzz () =
-  section "fuzz" "differential fuzzer throughput (24-run matrix per program)";
+  section "fuzz" "differential fuzzer throughput (36-run matrix per program)";
   let count =
     match Sys.getenv_opt "HPFC_FUZZ_COUNT" with
     | Some v -> ( match int_of_string_opt (String.trim v) with Some n -> n | None -> 300)
@@ -874,6 +965,7 @@ let sections () =
       ("time_sched", time_sched);
       ("time_par", time_par);
       ("time_pack", time_pack);
+      ("time_zero", time_zero);
       ("timeline", timeline);
       ("fuzz", fuzz);
     ]

@@ -100,10 +100,12 @@ let run_cmd =
   let compare = Arg.(value & flag & info [ "compare" ] ~doc:"Run the naive and the optimized compilations and compare.") in
   let sched = Arg.(value & flag & info [ "sched" ] ~doc:"Charge communication as contention-free steps (serialized, one send and one receive per processor per step) instead of one unordered burst.") in
   let scalar = Arg.(value & flag & info [ "scalar" ] ~doc:"Move data element by element through the per-element closures (the differential oracle) instead of blitting compiled runs; same as HPFC_FORCE_SCALAR=1.") in
+  let staged = Arg.(value & flag & info [ "staged" ] ~doc:"Stage every message through a pooled pack/unpack buffer even when a zero-copy direct blit is eligible; same as HPFC_FORCE_STAGED=1.") in
   let compare_lex (a, _) (b, _) = Stdlib.compare a b in
-  let run file naive entry scalars compare distributed par trace sched scalar =
+  let run file naive entry scalars compare distributed par trace sched scalar staged =
     handle (fun () ->
         if scalar then Hpfc_runtime.Comm.force_scalar := true;
+        if staged then Hpfc_runtime.Comm.force_staged := true;
         let sched_mode =
           if sched then Machine.Stepped else Machine.Burst
         in
@@ -182,7 +184,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated machine.")
-    Term.(const run $ file_arg $ naive_flag $ entry $ scalars $ compare $ distributed $ par $ trace $ sched $ scalar)
+    Term.(const run $ file_arg $ naive_flag $ entry $ scalars $ compare $ distributed $ par $ trace $ sched $ scalar $ staged)
 
 (* --- schedule ------------------------------------------------------------------ *)
 

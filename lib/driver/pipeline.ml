@@ -140,16 +140,17 @@ let pp_comparison ppf (c : comparison) =
   Fmt.pf ppf
     "          %12s %12s@.remaps    %12d %12d@.skipped   %12d %12d@.reuses   \
      %12d %12d@.messages  %12d %12d@.volume    %12d %12d@.plan h/m  %7d/%-4d \
-     %7d/%-4d@.blits     %12d %12d@.pool h/m  %7d/%-4d %7d/%-4d@.time      \
-     %12.1f %12.1f@."
+     %7d/%-4d@.blits     %12d %12d@.zerocopy  %12d %12d@.staged B  %12d \
+     %12d@.pool h/m  %7d/%-4d %7d/%-4d@.time      %12.1f %12.1f@."
     "naive" "optimized" n.Machine.remaps_performed o.Machine.remaps_performed
     n.Machine.remaps_skipped o.Machine.remaps_skipped n.Machine.live_reuses
     o.Machine.live_reuses n.Machine.messages o.Machine.messages
     n.Machine.volume o.Machine.volume n.Machine.plan_hits
     n.Machine.plan_misses o.Machine.plan_hits o.Machine.plan_misses
-    n.Machine.run_blits o.Machine.run_blits n.Machine.pool_hits
-    n.Machine.pool_misses o.Machine.pool_hits o.Machine.pool_misses
-    n.Machine.time o.Machine.time;
+    n.Machine.run_blits o.Machine.run_blits n.Machine.zero_copy_runs
+    o.Machine.zero_copy_runs n.Machine.staged_bytes o.Machine.staged_bytes
+    n.Machine.pool_hits n.Machine.pool_misses o.Machine.pool_hits
+    o.Machine.pool_misses n.Machine.time o.Machine.time;
   if c.naive.I.machine.Machine.sched = Machine.Stepped then
     Fmt.pf ppf "steps     %12d %12d@.peak/step %12d %12d@." n.Machine.steps
       o.Machine.steps n.Machine.peak_step_volume o.Machine.peak_step_volume;

@@ -2,10 +2,11 @@
    pipeline matrix and cross-check every observable.
 
    Matrix: {optimized, unoptimized} x {canonical, distributed} x
-   {sequential, parallel} x {scalar, blit} x {burst, stepped}.  The
-   parallel executor requires the distributed payload (replicated writes
-   into the shared canonical payload would race), so 12 of the 16
-   backend combinations are valid — 24 runs per accepted program.
+   {sequential, parallel} x {zerocopy, staged, scalar} x
+   {burst, stepped}.  The parallel executor requires the distributed
+   payload (replicated writes into the shared canonical payload would
+   race), so 18 of the 24 backend combinations are valid — 36 runs per
+   accepted program.
 
    Checks, in decreasing order of strength:
    - final arrays (program-defined elements) and untainted scalars are
@@ -15,8 +16,13 @@
      identical across every configuration of one pipeline;
    - schedule-derived counters (modeled time, steps, peak step volume)
      are identical across configurations sharing a schedule mode;
-   - blit accounting: scalar runs perform zero run blits, all blit runs
-     of a pipeline agree on the count;
+   - datapath accounting: the scalar oracle blits and zero-copies
+     nothing, the staged path zero-copies nothing and stages every moved
+     byte, the zero-copy path stages nothing on the canonical backend
+     and exactly the cross-rank volume on the distributed one; runs
+     sharing (backend, datapath) agree on all three counters, and per
+     backend the staged path always blits at least as many segments as
+     the zero-copy path blits plus zero-copies;
    - the event trace agrees with the counters (Message events reproduce
      the message/volume totals, every message sits inside a
      contention-free step, stepped step costs sum to the clock) and the
@@ -35,12 +41,21 @@ module Comm = Hpfc_runtime.Comm
 module Store = Hpfc_runtime.Store
 module Par = Hpfc_par.Par
 
+(* The three datapaths of {!Hpfc_runtime.Comm}: the zero-copy default,
+   the forced-staged PR 4 behaviour, and the per-element scalar oracle. *)
+type path = Zero | Staged | Scalar
+
 type config = {
   backend : Store.backend;
   par : bool;
-  scalar : bool;
+  path : path;
   sched : M.sched_mode;
 }
+
+let path_name = function
+  | Zero -> "zerocopy"
+  | Staged -> "staged"
+  | Scalar -> "scalar"
 
 let config_name c =
   Printf.sprintf "%s/%s/%s/%s"
@@ -48,11 +63,11 @@ let config_name c =
     | Store.Canonical -> "canonical"
     | Store.Distributed -> "distributed")
     (if c.par then "par" else "seq")
-    (if c.scalar then "scalar" else "blit")
+    (path_name c.path)
     (match c.sched with M.Burst -> "burst" | M.Stepped -> "stepped")
 
-(* The head config (canonical / seq / blit / burst) is the reference the
-   others are compared against. *)
+(* The head config (canonical / seq / zerocopy / burst) is the reference
+   the others are compared against. *)
 let configs =
   List.concat_map
     (fun backend ->
@@ -61,11 +76,11 @@ let configs =
           if par && backend = Store.Canonical then []
           else
             List.concat_map
-              (fun scalar ->
+              (fun path ->
                 List.map
-                  (fun sched -> { backend; par; scalar; sched })
+                  (fun sched -> { backend; par; path; sched })
                   [ M.Burst; M.Stepped ])
-              [ false; true ])
+              [ Zero; Staged; Scalar ])
         [ false; true ])
     [ Store.Canonical; Store.Distributed ]
 
@@ -109,11 +124,14 @@ let run_one prog entry cfg =
   let executor =
     if cfg.par then Par.executor (Lazy.force pool) else Comm.execute
   in
-  let saved = !Comm.force_scalar in
-  Comm.force_scalar := cfg.scalar;
+  let saved_scalar = !Comm.force_scalar and saved_staged = !Comm.force_staged in
+  Comm.force_scalar := cfg.path = Scalar;
+  Comm.force_staged := cfg.path = Staged;
   let res =
     Fun.protect
-      ~finally:(fun () -> Comm.force_scalar := saved)
+      ~finally:(fun () ->
+        Comm.force_scalar := saved_scalar;
+        Comm.force_staged := saved_staged)
       (fun () ->
         I.run ~sched:cfg.sched ~record_trace:true ~backend:cfg.backend
           ~executor prog ~entry ())
@@ -319,15 +337,73 @@ let trace_self_check ~what (r : run) =
 
 (* --- whole-matrix check -------------------------------------------------------- *)
 
+(* Datapath accounting per run: exact per-path invariants, agreement
+   within each (backend, datapath) group (run segmentation follows the
+   payload layout, so counts are only comparable on one backend), and
+   the staged-vs-zero-copy conservation law per backend. *)
+let check_datapath ~what (runs : run list) (r : run) =
+  let ctx = Printf.sprintf "%s %s" what (config_name r.cfg) in
+  let c = counters_of r in
+  (match r.cfg.path with
+  | Scalar ->
+    if c.M.run_blits <> 0 then
+      failf "%s: scalar path performed %d blits" ctx c.M.run_blits;
+    if c.M.zero_copy_runs <> 0 then
+      failf "%s: scalar path zero-copied %d runs" ctx c.M.zero_copy_runs;
+    if c.M.staged_bytes <> 8 * c.M.volume then
+      failf "%s: scalar staged_bytes = %d, volume = %d" ctx c.M.staged_bytes
+        c.M.volume
+  | Staged ->
+    if c.M.zero_copy_runs <> 0 then
+      failf "%s: staged path zero-copied %d runs" ctx c.M.zero_copy_runs;
+    if c.M.staged_bytes <> 8 * c.M.volume then
+      failf "%s: staged staged_bytes = %d, volume = %d" ctx c.M.staged_bytes
+        c.M.volume
+  | Zero -> (
+    match r.cfg.backend with
+    | Store.Canonical ->
+      (* globally addressed endpoints: every message is Direct *)
+      if c.M.run_blits <> 0 || c.M.staged_bytes <> 0 then
+        failf "%s: canonical zero-copy staged (%d blits, %d bytes)" ctx
+          c.M.run_blits c.M.staged_bytes
+    | Store.Distributed ->
+      (* per-rank buffers: exactly the cross-rank messages stage *)
+      if c.M.staged_bytes <> 8 * c.M.volume then
+        failf "%s: distributed zero-copy staged_bytes = %d, volume = %d" ctx
+          c.M.staged_bytes c.M.volume));
+  (* agreement with the first run sharing (backend, datapath) *)
+  let group_ref =
+    List.find
+      (fun r' -> r'.cfg.backend = r.cfg.backend && r'.cfg.path = r.cfg.path)
+      runs
+  in
+  let c0 = counters_of group_ref in
+  if
+    (c.M.run_blits, c.M.zero_copy_runs, c.M.staged_bytes)
+    <> (c0.M.run_blits, c0.M.zero_copy_runs, c0.M.staged_bytes)
+  then
+    failf "%s: datapath counters (%d, %d, %d) but (%d, %d, %d) under %s" ctx
+      c.M.run_blits c.M.zero_copy_runs c.M.staged_bytes c0.M.run_blits
+      c0.M.zero_copy_runs c0.M.staged_bytes
+      (config_name group_ref.cfg);
+  (* conservation: staged blits locals once and every move twice; zero
+     shifts locals and Direct moves to zero_copy_runs, so per backend
+     staged.run_blits >= zero.run_blits + zero.zero_copy_runs *)
+  if r.cfg.path = Zero then
+    List.iter
+      (fun r' ->
+        if r'.cfg.backend = r.cfg.backend && r'.cfg.path = Staged then begin
+          let cs = counters_of r' in
+          if cs.M.run_blits < c.M.run_blits + c.M.zero_copy_runs then
+            failf
+              "%s: staged run_blits %d < zero-copy blits %d + zero-copies %d"
+              ctx cs.M.run_blits c.M.run_blits c.M.zero_copy_runs
+        end)
+      runs
+
 let check_pipeline ~what (runs : run list) =
   let ref_run = List.hd runs in
   let ref_msgs = messages_of ref_run in
-  (* blit segmentation follows the payload layout, so the count is only
-     comparable between runs sharing a store backend *)
-  let ref_blits backend =
-    List.find_opt (fun r -> (not r.cfg.scalar) && r.cfg.backend = backend) runs
-    |> Option.map (fun r -> (counters_of r).M.run_blits)
-  in
   List.iter
     (fun r ->
       trace_self_check ~what r;
@@ -336,17 +412,7 @@ let check_pipeline ~what (runs : run list) =
       (* schedule-derived counters: compare to the first run sharing the mode *)
       let sched_ref = List.find (fun r' -> r'.cfg.sched = r.cfg.sched) runs in
       same_sched_counters ~what sched_ref r;
-      (if r.cfg.scalar then begin
-         if (counters_of r).M.run_blits <> 0 then
-           failf "%s %s: scalar path performed %d blits" what
-             (config_name r.cfg) (counters_of r).M.run_blits
-       end
-       else
-         match ref_blits r.cfg.backend with
-         | Some b when (counters_of r).M.run_blits <> b ->
-           failf "%s %s: run_blits = %d but %d on the same backend" what
-             (config_name r.cfg) (counters_of r).M.run_blits b
-         | _ -> ());
+      check_datapath ~what runs r;
       if (not (r.dropped > 0 || ref_run.dropped > 0)) && messages_of r <> ref_msgs
       then failf "%s %s: Message multiset differs from reference" what (config_name r.cfg))
     runs

@@ -1,18 +1,22 @@
 (** Differential oracle for generated programs.
 
     Runs a program through both pipelines under every valid combination
-    of store backend, executor, datapath, and schedule mode (24 runs),
+    of store backend, executor, datapath, and schedule mode (36 runs),
     and cross-checks final values, modeled counters, and event traces.
     See the implementation header for the exact invariant list. *)
+
+(** The three {!Hpfc_runtime.Comm} datapaths: zero-copy default, forced
+    staged, per-element scalar oracle. *)
+type path = Zero | Staged | Scalar
 
 type config = {
   backend : Hpfc_runtime.Store.backend;
   par : bool;  (** domain-parallel executor (implies distributed) *)
-  scalar : bool;  (** force the scalar element-at-a-time datapath *)
+  path : path;
   sched : Hpfc_runtime.Machine.sched_mode;
 }
 
-(** The 12 valid configurations; the head is the reference. *)
+(** The 18 valid configurations; the head is the reference. *)
 val configs : config list
 
 val config_name : config -> string

@@ -21,10 +21,13 @@
        between worker pools as packets do);
      - all ranks cross a barrier before the next step begins.
 
-   Data movement follows [Comm.force_scalar]: compiled-run blits by
-   default, the per-element scalar oracle when forced.  The run memo on
-   each message is precompiled by the coordinator before the job is
-   submitted, so worker domains only ever read it.
+   Data movement follows [Comm.force_scalar] / [Comm.force_staged]:
+   compiled-run blits by default — with [Redist.Direct]-eligible
+   messages copied payload to payload by the sending rank, never posted
+   to a mailbox — the per-element scalar oracle or the unconditional
+   staging path when forced.  The run memo and datapath decision on each
+   message are precompiled by the coordinator before the job is
+   submitted, so worker domains only ever read them.
 
    Because a step is contention-free (no rank sends twice, none receives
    twice) and payload endpoints address per-rank buffers, the data
@@ -43,6 +46,7 @@
 module Machine = Hpfc_runtime.Machine
 module Redist = Hpfc_runtime.Redist
 module Comm = Hpfc_runtime.Comm
+module Buf = Hpfc_runtime.Buf
 
 (* --- sense-reversing barrier --------------------------------------------- *)
 
@@ -83,7 +87,7 @@ let barrier_await b ~on_last =
 
 (* --- per-rank mailboxes ---------------------------------------------------- *)
 
-type packet = { p_msg : Redist.message; p_buf : float array }
+type packet = { p_msg : Redist.message; p_buf : Buf.t }
 
 type mailbox = {
   mb_mutex : Mutex.t;
@@ -117,8 +121,13 @@ let mailbox_take mb =
 type job = {
   j_nranks : int;
   j_locals : Redist.message list array;  (* rank -> on-processor moves *)
-  j_sends : Redist.message list array array;  (* step -> rank -> sends *)
-  j_recvs : int array array;  (* step -> rank -> expected messages *)
+  j_sends : Redist.message list array array;  (* step -> rank -> staged sends *)
+  j_directs : Redist.message list array array;
+      (* step -> sending rank -> direct-eligible messages: copied payload
+         to payload by the sender, never posted to a mailbox.  The step
+         is contention-free, so the receiver's buffer sees no other
+         writer this step, and the step barrier publishes the values. *)
+  j_recvs : int array array;  (* step -> rank -> expected staged messages *)
   j_src : Comm.endpoint;
   j_dst : Comm.endpoint;
   j_mailboxes : mailbox array;  (* indexed by receiving rank *)
@@ -158,7 +167,7 @@ let pack pool ~(src : Comm.endpoint) ~(dst : Comm.endpoint)
   (if !Comm.force_scalar then begin
      let k = ref 0 in
      Redist.iter_box m.Redist.m_box (fun index ->
-         buf.(!k) <- src.Comm.read ~rank:m.Redist.m_from index;
+         Buf.set buf !k (src.Comm.read ~rank:m.Redist.m_from index);
          incr k)
    end
    else
@@ -174,7 +183,7 @@ let unpack pool ~(src : Comm.endpoint) ~(dst : Comm.endpoint)
   (if !Comm.force_scalar then begin
      let k = ref 0 in
      Redist.iter_box m.Redist.m_box (fun index ->
-         dst.Comm.write ~rank:m.Redist.m_to index buf.(!k);
+         dst.Comm.write ~rank:m.Redist.m_to index (Buf.get buf !k);
          incr k)
    end
    else
@@ -203,6 +212,9 @@ let run_job pool w (job : job) =
       job.j_tick <- Unix.gettimeofday ());
   for i = 0 to nsteps - 1 do
     each_rank (fun r ->
+        List.iter
+          (fun m -> Comm.run_direct ~src:job.j_src ~dst:job.j_dst m)
+          job.j_directs.(i).(r);
         List.iter
           (fun (m : Redist.message) ->
             mailbox_post
@@ -300,19 +312,10 @@ let execute pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
     (fun (m : Redist.message) ->
       locals.(m.Redist.m_from) <- m :: locals.(m.Redist.m_from))
     plan.Redist.locals;
-  let sends = Array.init nsteps (fun _ -> Array.make nranks []) in
-  let recvs = Array.init nsteps (fun _ -> Array.make nranks 0) in
-  List.iteri
-    (fun i step ->
-      List.iter
-        (fun (m : Redist.message) ->
-          sends.(i).(m.Redist.m_from) <- m :: sends.(i).(m.Redist.m_from);
-          recvs.(i).(m.Redist.m_to) <- recvs.(i).(m.Redist.m_to) + 1)
-        step)
-    prog;
-  (* Compile every message's runs here on the coordinator: the memo on
-     each message is plain mutable state, so it must be populated before
-     worker domains share the messages (they then only read it). *)
+  (* Compile every message's runs and datapath decision here on the
+     coordinator: the memo on each message is plain mutable state, so it
+     must be populated before worker domains share the messages (they
+     then only read it). *)
   if not !Comm.force_scalar then begin
     let precompile (m : Redist.message) =
       ignore (runs_of ~src ~dst m : Redist.run array)
@@ -320,11 +323,28 @@ let execute pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
     List.iter precompile plan.Redist.locals;
     List.iter precompile plan.Redist.moves
   end;
+  let direct_ok = Comm.direct_enabled () in
+  let sends = Array.init nsteps (fun _ -> Array.make nranks []) in
+  let directs = Array.init nsteps (fun _ -> Array.make nranks []) in
+  let recvs = Array.init nsteps (fun _ -> Array.make nranks 0) in
+  List.iteri
+    (fun i step ->
+      List.iter
+        (fun (m : Redist.message) ->
+          if direct_ok && Comm.message_direct ~src ~dst m then
+            directs.(i).(m.Redist.m_from) <- m :: directs.(i).(m.Redist.m_from)
+          else begin
+            sends.(i).(m.Redist.m_from) <- m :: sends.(i).(m.Redist.m_from);
+            recvs.(i).(m.Redist.m_to) <- recvs.(i).(m.Redist.m_to) + 1
+          end)
+        step)
+    prog;
   let job =
     {
       j_nranks = nranks;
       j_locals = locals;
       j_sends = sends;
+      j_directs = directs;
       j_recvs = recvs;
       j_src = src;
       j_dst = dst;
@@ -372,7 +392,7 @@ let execute pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
       Machine.record mach (Machine.Wall_step { index = i; wall = job.j_wall.(i) }))
     prog;
   Comm.charge mach plan prog;
-  Comm.charge_blits mach ~src ~dst plan;
+  Comm.charge_datapath mach ~src ~dst plan;
   let c = mach.Machine.counters in
   c.Machine.pool_hits <- c.Machine.pool_hits + (hits1 - hits0);
   c.Machine.pool_misses <- c.Machine.pool_misses + (misses1 - misses0);

@@ -1,0 +1,48 @@
+(* Payload buffers: one C-layout float64 Bigarray.Array1 type shared by
+   store payloads, communication endpoints, staging pools, parallel
+   packets and the scalar oracle.  Flat and unboxed, so segment copies
+   are memcpy/memmove and sub-views alias without copying — the
+   representation zero-copy interop (mmap, C, devices) needs. *)
+
+module A1 = Bigarray.Array1
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+
+(* Bigarrays start uninitialized; payloads must read as zeros. *)
+let create n : t =
+  let b = A1.create Bigarray.float64 Bigarray.c_layout (max 0 n) in
+  A1.fill b 0.0;
+  b
+
+let length (t : t) = A1.dim t
+let get (t : t) i = A1.get t i
+let set (t : t) i v = A1.set t i v
+let fill (t : t) v = A1.fill t v
+let sub (t : t) pos len : t = A1.sub t pos len
+
+(* [A1.blit] is memmove on same-kind bigarrays, so copying between two
+   views of one block is correct in either overlap direction. *)
+let blit (src : t) spos (dst : t) dpos len =
+  if len > 0 then A1.blit (A1.sub src spos len) (A1.sub dst dpos len)
+
+(* Staging copies never overlap (one side is a private staging buffer),
+   so short segments — the common case for cyclic redistributions — take
+   a tight loop instead of two sub allocations and a blit call.  The
+   only aliasing this function can detect is the same-wrapper case; it
+   falls back to the memmove path there so a misuse stays correct. *)
+let unsafe_blit (src : t) spos (dst : t) dpos len =
+  if len < 32 then
+    if src == dst && spos < dpos && dpos < spos + len then
+      for i = len - 1 downto 0 do
+        A1.set dst (dpos + i) (A1.get src (spos + i))
+      done
+    else
+      for i = 0 to len - 1 do
+        A1.set dst (dpos + i) (A1.get src (spos + i))
+      done
+  else blit src spos dst dpos len
+
+let of_array (a : float array) : t =
+  A1.of_array Bigarray.float64 Bigarray.c_layout a
+
+let to_array (t : t) = Array.init (length t) (A1.get t)

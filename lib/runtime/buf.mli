@@ -1,0 +1,44 @@
+(** Payload buffers: the one storage type every layer moves floats
+    through — store payloads, communication endpoints, staging buffers,
+    parallel-backend packets and the scalar oracle all carry [Buf.t].
+
+    Backed by a C-layout float64 {!Bigarray.Array1}, so a buffer is a
+    flat, unboxed, GC-pinned block: segment copies compile to
+    [memcpy]/[memmove], sub-views alias without copying, and the same
+    representation is shareable with C, mmap'd files or device runtimes
+    later.  The type is exposed (not abstract) so interop code can hand
+    a raw bigarray straight to the runtime. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** A zero-filled buffer of [max 0 n] elements (bigarrays start
+    uninitialized; payload semantics require zeros). *)
+val create : int -> t
+
+val length : t -> int
+val get : t -> int -> float
+val set : t -> int -> float -> unit
+val fill : t -> float -> unit
+
+(** [sub t pos len] is an aliasing view of [t.(pos .. pos+len-1)] — no
+    copy; writes through the view are visible in [t].  Aliasing cannot
+    be detected afterwards (two views of one block are distinct
+    wrappers), which is why {!blit} below is unconditionally
+    overlap-safe. *)
+val sub : t -> int -> int -> t
+
+(** [blit src spos dst dpos len] copies with [memmove] semantics: always
+    correct even when [src] and [dst] alias the same storage and the
+    ranges overlap in either direction.  The direct zero-copy datapath
+    must use this one. *)
+val blit : t -> int -> t -> int -> int -> unit
+
+(** Same copy, tuned for staging pack/unpack where one side is a private
+    staging buffer and overlap is impossible: short segments take a
+    tight loop instead of the bigarray blit's call overhead.  Falls back
+    to {!blit} when [src == dst] and the ranges overlap (same-wrapper
+    aliasing is the only kind it can see). *)
+val unsafe_blit : t -> int -> t -> int -> int -> unit
+
+val of_array : float array -> t
+val to_array : t -> float array

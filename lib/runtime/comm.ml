@@ -11,21 +11,28 @@
    against per-rank local buffers — so their end-to-end equivalence
    validates the communication IR itself, not just final values.
 
-   Two data paths implement that walk:
+   Payloads, staging buffers and packets all carry one buffer type,
+   [Buf.t] (C-layout float64 bigarrays), and three data paths implement
+   the walk:
 
-   - the *blit* path (default): the box is compiled once into flat
-     (src, dst, len) runs over both copies' address spaces
-     ([Redist.message_runs], memoized on the plan's messages) and
-     pack/unpack move whole segments with [Array.blit] / tight float
-     loops against the raw payload buffers;
+   - the *zero-copy* path (default): messages whose memoized datapath is
+     [Redist.Direct] — self-messages, and messages between globally
+     addressed endpoints — copy their runs payload to payload with
+     overlap-safe [Buf.blit]s and touch no staging buffer at all
+     (charged to [zero_copy_runs]); everything else stages as below;
+   - the *staged* path ([force_staged], --staged / HPFC_FORCE_STAGED):
+     every cross-processor message packs its compiled runs into a pooled
+     staging buffer with [Buf.unsafe_blit] and unpacks on the receive
+     side — PR 4's behaviour, kept continuously differential-tested;
    - the *scalar* path ([force_scalar], --scalar / HPFC_FORCE_SCALAR):
-     the original per-element endpoint closures, kept as the
-     differential oracle the blit path is tested against.
+     the original per-element endpoint closures, the oracle both blit
+     paths are tested against; it stages every message.
 
-   Both paths draw their staging buffers from a size-classed pool, so
-   steady-state remaps allocate nothing per message; modeled counters
-   (messages, volume, steps, time) are identical by construction, only
-   [run_blits] and the pool totals distinguish the paths.
+   Staging buffers come from a size-classed pool, so steady-state remaps
+   allocate nothing per message (and nothing at all on the zero-copy
+   path); modeled counters (messages, volume, steps, time) are identical
+   by construction, only [run_blits]/[zero_copy_runs]/[staged_bytes] and
+   the pool totals distinguish the paths.
 
    The executor also owns the accounting: message/volume/local-move
    counters always, and clock charges according to the machine's
@@ -45,7 +52,7 @@ type endpoint = {
   read : rank:int -> int array -> float;
   write : rank:int -> int array -> float -> unit;
   addressing : Redist.addressing;
-  buffer : rank:int -> float array;
+  buffer : rank:int -> Buf.t;
 }
 
 (* Oracle switch: route every pack/unpack through the per-element scalar
@@ -59,6 +66,21 @@ let force_scalar =
     | None | Some "" | Some "0" -> false
     | Some _ -> true)
 
+(* Datapath switch: route every [Redist.Direct]-eligible message through
+   the staged pack/unpack path anyway, as PR 4 did unconditionally.
+   Initialized from HPFC_FORCE_STAGED (CI runs the whole suite once that
+   way), settable by the --staged CLI flag.  Same write discipline as
+   [force_scalar]. *)
+let force_staged =
+  ref
+    (match Sys.getenv_opt "HPFC_FORCE_STAGED" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+(* Zero-copy is a blit-path refinement: the scalar oracle stages every
+   message, and forcing staged disables the direct fast path. *)
+let direct_enabled () = (not !force_scalar) && not !force_staged
+
 (* --- staging-buffer pool ---------------------------------------------------- *)
 
 (* Size-classed free lists of staging buffers (classes are powers of
@@ -69,7 +91,7 @@ let force_scalar =
    mirror them into machine counters as they see fit. *)
 module Pool = struct
   type t = {
-    classes : float array list array;
+    classes : Buf.t list array;
     mutable hits : int;
     mutable misses : int;
   }
@@ -96,16 +118,14 @@ module Pool = struct
       (true, buf)
     | [] ->
       t.misses <- t.misses + 1;
-      (false, Array.make (1 lsl c) 0.0)
+      (false, Buf.create (1 lsl c))
 
   (* Return a buffer obtained from [acquire] (of this or any other pool:
      buffers migrate between the parallel backend's per-worker pools as
      packets cross mailboxes). *)
   let release t buf =
-    let c = class_of (Array.length buf) in
-    if
-      Array.length buf = 1 lsl c
-      && List.length t.classes.(c) < max_per_class
+    let c = class_of (Buf.length buf) in
+    if Buf.length buf = 1 lsl c && List.length t.classes.(c) < max_per_class
     then t.classes.(c) <- buf :: t.classes.(c)
 
   let hits t = t.hits
@@ -114,37 +134,29 @@ end
 
 (* --- segment copies --------------------------------------------------------- *)
 
-(* Copy [len] consecutive floats; [Array.blit] is memmove for float
-   arrays, the indexed loop avoids its call overhead on the short
-   segments cyclic redistributions produce. *)
-let copy_seg (src : float array) spos (dst : float array) dpos len =
-  if len < 32 then
-    for i = 0 to len - 1 do
-      dst.(dpos + i) <- src.(spos + i)
-    done
-  else Array.blit src spos dst dpos len
-
 (* Pack a message's runs from the source payload into the first
-   [m_count] slots of [staging], in run order (= row-major box order). *)
-let pack_runs (runs : Redist.run array) (sbuf : float array) staging =
+   [m_count] slots of [staging], in run order (= row-major box order).
+   Staging buffers are private, so the unsafe (no-overlap) blit is
+   fine. *)
+let pack_runs (runs : Redist.run array) (sbuf : Buf.t) staging =
   let k = ref 0 in
   Array.iter
     (fun (r : Redist.run) ->
       let sp = ref r.Redist.r_src in
       for _ = 1 to r.Redist.r_count do
-        copy_seg sbuf !sp staging !k r.Redist.r_len;
+        Buf.unsafe_blit sbuf !sp staging !k r.Redist.r_len;
         k := !k + r.Redist.r_len;
         sp := !sp + r.Redist.r_src_stride
       done)
     runs
 
-let unpack_runs (runs : Redist.run array) staging (dbuf : float array) =
+let unpack_runs (runs : Redist.run array) staging (dbuf : Buf.t) =
   let k = ref 0 in
   Array.iter
     (fun (r : Redist.run) ->
       let dp = ref r.Redist.r_dst in
       for _ = 1 to r.Redist.r_count do
-        copy_seg staging !k dbuf !dp r.Redist.r_len;
+        Buf.unsafe_blit staging !k dbuf !dp r.Redist.r_len;
         k := !k + r.Redist.r_len;
         dp := !dp + r.Redist.r_dst_stride
       done)
@@ -155,25 +167,67 @@ let unpack_runs (runs : Redist.run array) staging (dbuf : float array) =
 let runs_of ~src ~dst (m : Redist.message) =
   Redist.message_runs ~src:src.addressing ~dst:dst.addressing m
 
+(* Is this message's memoized datapath [Direct] under these endpoints?
+   (Independent of the runtime switches; callers combine it with
+   [direct_enabled].) *)
+let message_direct ~src ~dst (m : Redist.message) =
+  match
+    Redist.message_datapath ~src:src.addressing ~dst:dst.addressing m
+  with
+  | Redist.Direct _ -> true
+  | Redist.Staged _ -> false
+
+(* Copy a message's runs payload to payload, no staging buffer.  The two
+   endpoint buffers must be disjoint unless they are physically the same
+   wrapper (store payloads never alias across copies; an in-place copy
+   exposes one buffer to both endpoints).  A same-wrapper copy is
+   overlap-safe run by run — memmove semantics: segments iterate away
+   from the direction the destination overtakes the source, and each
+   segment copies through the overlap-safe [Buf.blit]. *)
+let run_direct ~src ~dst (m : Redist.message) =
+  let sbuf = src.buffer ~rank:m.Redist.m_from
+  and dbuf = dst.buffer ~rank:m.Redist.m_to in
+  let runs = runs_of ~src ~dst m in
+  if sbuf == dbuf then
+    Array.iter
+      (fun (r : Redist.run) ->
+        if r.Redist.r_dst <= r.Redist.r_src then begin
+          let sp = ref r.Redist.r_src and dp = ref r.Redist.r_dst in
+          for _ = 1 to r.Redist.r_count do
+            Buf.blit sbuf !sp dbuf !dp r.Redist.r_len;
+            sp := !sp + r.Redist.r_src_stride;
+            dp := !dp + r.Redist.r_dst_stride
+          done
+        end
+        else begin
+          let last = r.Redist.r_count - 1 in
+          let sp = ref (r.Redist.r_src + (last * r.Redist.r_src_stride))
+          and dp = ref (r.Redist.r_dst + (last * r.Redist.r_dst_stride)) in
+          for _ = 1 to r.Redist.r_count do
+            Buf.blit sbuf !sp dbuf !dp r.Redist.r_len;
+            sp := !sp - r.Redist.r_src_stride;
+            dp := !dp - r.Redist.r_dst_stride
+          done
+        end)
+      runs
+  else
+    Array.iter
+      (fun (r : Redist.run) ->
+        let sp = ref r.Redist.r_src and dp = ref r.Redist.r_dst in
+        for _ = 1 to r.Redist.r_count do
+          Buf.unsafe_blit sbuf !sp dbuf !dp r.Redist.r_len;
+          sp := !sp + r.Redist.r_src_stride;
+          dp := !dp + r.Redist.r_dst_stride
+        done)
+      runs
+
 (* On-processor move: no staging buffer, no message.  The blit path
    copies payload to payload directly, run by run. *)
 let run_local ~src ~dst (m : Redist.message) =
   if !force_scalar then
     Redist.iter_box m.Redist.m_box (fun index ->
         dst.write ~rank:m.Redist.m_to index (src.read ~rank:m.Redist.m_from index))
-  else begin
-    let sbuf = src.buffer ~rank:m.Redist.m_from
-    and dbuf = dst.buffer ~rank:m.Redist.m_to in
-    Array.iter
-      (fun (r : Redist.run) ->
-        let sp = ref r.Redist.r_src and dp = ref r.Redist.r_dst in
-        for _ = 1 to r.Redist.r_count do
-          copy_seg sbuf !sp dbuf !dp r.Redist.r_len;
-          sp := !sp + r.Redist.r_src_stride;
-          dp := !dp + r.Redist.r_dst_stride
-        done)
-      (runs_of ~src ~dst m)
-  end
+  else run_direct ~src ~dst m
 
 (* The sequential executor's staging pool (the parallel backend keeps
    its own, one per worker domain). *)
@@ -190,11 +244,11 @@ let run_message ?(pool = default_pool) mach ~src ~dst (m : Redist.message) =
   (if !force_scalar then begin
      let k = ref 0 in
      Redist.iter_box m.Redist.m_box (fun index ->
-         staging.(!k) <- src.read ~rank:m.Redist.m_from index;
+         Buf.set staging !k (src.read ~rank:m.Redist.m_from index);
          incr k);
      let k = ref 0 in
      Redist.iter_box m.Redist.m_box (fun index ->
-         dst.write ~rank:m.Redist.m_to index staging.(!k);
+         dst.write ~rank:m.Redist.m_to index (Buf.get staging !k);
          incr k)
    end
    else begin
@@ -228,30 +282,66 @@ let charge (mach : Machine.t) (plan : Redist.plan) (prog : Redist.step list) =
     c.Machine.time <-
       c.Machine.time +. Redist.modeled_time_of_steps mach.Machine.cost prog
 
-(* Blit-segment accounting for one executed plan: on-processor moves
-   copy once, cross-processor messages pack and unpack.  Derived from
-   the memoized runs rather than bumped inside the data movement, so
-   every executor — including the parallel backend, whose workers never
-   touch the machine — charges identically.  No-op under the scalar
-   oracle path. *)
-let charge_blits (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
-  if not !force_scalar then begin
+(* Datapath accounting for one executed plan — [run_blits],
+   [zero_copy_runs] and [staged_bytes].  Derived from the memoized runs
+   and datapath decisions rather than bumped inside the data movement,
+   so every executor — including the parallel backend, whose workers
+   never touch the machine — charges byte-identically:
+
+   - scalar oracle: no blits, no zero-copy; every moved element stages
+     ([staged_bytes = 8 * volume]);
+   - forced staged: PR 4's accounting — locals copy once, messages pack
+     and unpack ([run_blits = L + 2 * M] segments), every moved element
+     stages;
+   - zero-copy (default): locals and [Direct] messages charge their
+     segments to [zero_copy_runs], only [Staged] messages blit twice and
+     stage their bytes. *)
+let charge_datapath (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
+  let c = mach.Machine.counters in
+  let stage_all () =
+    c.Machine.staged_bytes <-
+      c.Machine.staged_bytes + (8 * Redist.total_moved plan)
+  in
+  if !force_scalar then stage_all ()
+  else begin
     let segments m = Redist.nb_run_segments (runs_of ~src ~dst m) in
-    let total =
-      List.fold_left (fun acc m -> acc + segments m) 0 plan.Redist.locals
-      + List.fold_left
-          (fun acc m -> acc + (2 * segments m))
-          0 plan.Redist.moves
-    in
-    let c = mach.Machine.counters in
-    c.Machine.run_blits <- c.Machine.run_blits + total
+    if !force_staged then begin
+      let total =
+        List.fold_left (fun acc m -> acc + segments m) 0 plan.Redist.locals
+        + List.fold_left
+            (fun acc m -> acc + (2 * segments m))
+            0 plan.Redist.moves
+      in
+      c.Machine.run_blits <- c.Machine.run_blits + total;
+      stage_all ()
+    end
+    else begin
+      List.iter
+        (fun m ->
+          c.Machine.zero_copy_runs <- c.Machine.zero_copy_runs + segments m)
+        plan.Redist.locals;
+      List.iter
+        (fun (m : Redist.message) ->
+          if message_direct ~src ~dst m then
+            c.Machine.zero_copy_runs <- c.Machine.zero_copy_runs + segments m
+          else begin
+            c.Machine.run_blits <- c.Machine.run_blits + (2 * segments m);
+            c.Machine.staged_bytes <-
+              c.Machine.staged_bytes + (8 * m.Redist.m_count)
+          end)
+        plan.Redist.moves
+    end
   end
 
 (* Execute a plan: local moves first (they need no schedule), then the
-   step program in schedule order. *)
+   step program in schedule order.  Direct-eligible messages skip the
+   staging pool entirely (their datapath was decided when the message
+   was memoized); they still record a [Message] event, since the modeled
+   exchange is the same. *)
 let execute (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
   List.iter (run_local ~src ~dst) plan.Redist.locals;
   let prog = Redist.step_program plan in
+  let direct_ok = direct_enabled () in
   List.iteri
     (fun i s ->
       Machine.record mach
@@ -261,9 +351,22 @@ let execute (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
              nb_messages = List.length s;
              volume = Redist.step_volume s;
            });
-      List.iter (run_message mach ~src ~dst) s;
+      List.iter
+        (fun (m : Redist.message) ->
+          if direct_ok && message_direct ~src ~dst m then begin
+            run_direct ~src ~dst m;
+            Machine.record mach
+              (Machine.Message
+                 {
+                   from_rank = m.Redist.m_from;
+                   to_rank = m.Redist.m_to;
+                   count = m.Redist.m_count;
+                 })
+          end
+          else run_message mach ~src ~dst m)
+        s;
       Machine.record mach
         (Machine.Step_end { index = i; time = Redist.step_time mach.Machine.cost s }))
     prog;
   charge mach plan prog;
-  charge_blits mach ~src ~dst plan
+  charge_datapath mach ~src ~dst plan

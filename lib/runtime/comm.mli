@@ -10,14 +10,18 @@
     [Step_end] carries the step's modeled cost, so in stepped mode the
     traced step times sum to the time charged.
 
-    Data movement runs on one of two paths: the default *blit* path
-    compiles each message's box into flat (src, dst, len) runs
-    ({!Redist.message_runs}) and copies whole segments with [Array.blit]
-    against the endpoints' raw buffers, drawing staging space from a
-    size-classed {!Pool}; the *scalar* path ({!force_scalar}) keeps the
-    original per-element closures as a differential oracle.  Modeled
-    counters (messages, volume, steps, time) are identical between the
-    paths by construction; only [run_blits] and the pool totals differ. *)
+    Every payload, staging buffer and packet carries one buffer type,
+    {!Buf.t}, and data movement runs on one of three paths: the default
+    *zero-copy* path copies [Redist.Direct]-eligible messages
+    (self-messages, globally addressed endpoints) payload to payload
+    with overlap-safe {!Buf.blit}s and no staging buffer; the *staged*
+    path ({!force_staged}) packs every message's compiled runs into a
+    pooled staging buffer and unpacks on the receive side; the *scalar*
+    path ({!force_scalar}) keeps the original per-element closures as a
+    differential oracle.  Modeled counters (messages, volume, steps,
+    time) are identical between the paths by construction; only
+    [run_blits]/[zero_copy_runs]/[staged_bytes] and the pool totals
+    differ. *)
 
 (** How the executor touches a copy's storage.  [rank] is the linear
     processor rank the access is performed on: per-rank backends address
@@ -29,7 +33,7 @@ type endpoint = {
   read : rank:int -> int array -> float;
   write : rank:int -> int array -> float -> unit;
   addressing : Redist.addressing;
-  buffer : rank:int -> float array;
+  buffer : rank:int -> Buf.t;
 }
 
 (** Route every pack/unpack through the per-element scalar closures
@@ -37,6 +41,17 @@ type endpoint = {
     from HPFC_FORCE_SCALAR (unset, empty or "0" means blit), set by the
     [--scalar] CLI flag.  Only write it between executed plans. *)
 val force_scalar : bool ref
+
+(** Route every [Redist.Direct]-eligible message through the staged
+    pack/unpack path anyway (PR 4's unconditional behaviour), keeping
+    the staged path continuously differential-tested.  Initialized from
+    HPFC_FORCE_STAGED, set by the [--staged] CLI flag.  Only write it
+    between executed plans. *)
+val force_staged : bool ref
+
+(** Is the zero-copy direct datapath enabled under the current switches
+    (neither scalar nor staged forced)? *)
+val direct_enabled : unit -> bool
 
 (** Size-classed free lists of staging buffers (power-of-two classes,
     bounded retention per class), so steady-state remaps reuse a handful
@@ -48,14 +63,14 @@ module Pool : sig
 
   val create : unit -> t
 
-  (** [acquire t n] is [(hit, buf)] with [Array.length buf >= max 1 n];
+  (** [acquire t n] is [(hit, buf)] with [Buf.length buf >= max 1 n];
       callers use the first [n] slots.  [hit] says the buffer came from
       the pool rather than a fresh allocation. *)
-  val acquire : t -> int -> bool * float array
+  val acquire : t -> int -> bool * Buf.t
 
   (** Return a buffer obtained from [acquire] (of this or any other
       pool); dropped silently once the buffer's class is full. *)
-  val release : t -> float array -> unit
+  val release : t -> Buf.t -> unit
 
   (** Lifetime totals of this pool (executors mirror them into machine
       counters as they see fit). *)
@@ -70,11 +85,24 @@ val default_pool : Pool.t
 (** [pack_runs runs payload staging] copies a message's runs from the
     source payload into the first [m_count] slots of [staging], in run
     order (= row-major box order, {!Redist.iter_box}'s packing walk). *)
-val pack_runs : Redist.run array -> float array -> float array -> unit
+val pack_runs : Redist.run array -> Buf.t -> Buf.t -> unit
 
 (** [unpack_runs runs staging payload] is the inverse walk on the
     receive side. *)
-val unpack_runs : Redist.run array -> float array -> float array -> unit
+val unpack_runs : Redist.run array -> Buf.t -> Buf.t -> unit
+
+(** Is the message's memoized datapath ({!Redist.message_datapath})
+    [Direct] under these endpoints?  Independent of the runtime
+    switches; callers combine it with {!direct_enabled}. *)
+val message_direct : src:endpoint -> dst:endpoint -> Redist.message -> bool
+
+(** Copy a message's runs payload to payload with no staging buffer.
+    The endpoint buffers must be disjoint unless they are physically the
+    same wrapper; a same-wrapper (in-place) copy gets memmove semantics
+    run by run — segments iterate away from the overtaking direction and
+    each copies through the overlap-safe {!Buf.blit}.  Records nothing;
+    callers record the [Message] event for cross-processor messages. *)
+val run_direct : src:endpoint -> dst:endpoint -> Redist.message -> unit
 
 (** On-processor move: no staging buffer, no [Message] event.  The blit
     path copies payload to payload directly, run by run. *)
@@ -101,11 +129,16 @@ type executor = Machine.t -> src:endpoint -> dst:endpoint -> Redist.plan -> unit
     the accounting cannot drift between backends. *)
 val charge : Machine.t -> Redist.plan -> Redist.step list -> unit
 
-(** [run_blits] accounting for one executed plan, derived from the
-    memoized runs (on-processor moves copy once, cross-processor messages
-    pack and unpack) rather than bumped inside the data movement, so
-    every executor charges identically.  No-op under {!force_scalar}. *)
-val charge_blits :
+(** Datapath accounting for one executed plan —
+    [run_blits]/[zero_copy_runs]/[staged_bytes] — derived from the
+    memoized runs and datapath decisions rather than bumped inside the
+    data movement, so every executor charges byte-identically.  Scalar
+    runs stage every moved element ([staged_bytes = 8 * volume]); forced
+    staged charges PR 4's [run_blits = locals + 2 * moves] segments and
+    stages everything; the zero-copy default charges locals and [Direct]
+    messages to [zero_copy_runs] and only [Staged] messages to
+    [run_blits]/[staged_bytes]. *)
+val charge_datapath :
   Machine.t -> src:endpoint -> dst:endpoint -> Redist.plan -> unit
 
 (** Execute a plan end to end: local moves first, then the step program

@@ -46,6 +46,14 @@ type counters = {
   mutable run_blits : int;
       (* contiguous segments copied by the compiled-run pack/unpack path;
          0 under the scalar oracle path *)
+  mutable zero_copy_runs : int;
+      (* contiguous segments copied payload-to-payload with no staging
+         buffer (on-processor moves and direct-eligible messages); 0
+         under the scalar oracle and forced-staged paths *)
+  mutable staged_bytes : int;
+      (* bytes routed through staging buffers (8 per element, both
+         under the scalar oracle and the staged blit path); elided
+         traffic shows up as zero_copy_runs instead *)
   mutable pool_hits : int;  (* staging buffers served from a buffer pool *)
   mutable pool_misses : int;  (* staging buffers freshly allocated *)
   mutable time : float;  (* modeled communication time *)
@@ -72,6 +80,8 @@ let fresh_counters () =
     steps = 0;
     peak_step_volume = 0;
     run_blits = 0;
+    zero_copy_runs = 0;
+    staged_bytes = 0;
     pool_hits = 0;
     pool_misses = 0;
     time = 0.0;
@@ -272,9 +282,10 @@ let event_to_json = function
    events so a truncated trace is never mistaken for a complete one. *)
 let trace_summary_json t =
   Printf.sprintf
-    {|{"ev":"trace_summary","events":%d,"dropped":%d,"capacity":%d,"complete":%b,"pool_hits":%d,"pool_misses":%d}|}
+    {|{"ev":"trace_summary","events":%d,"dropped":%d,"capacity":%d,"complete":%b,"pool_hits":%d,"pool_misses":%d,"zero_copy_runs":%d,"staged_bytes":%d}|}
     t.trace.len t.trace.dropped (trace_capacity t) (t.trace.dropped = 0)
-    t.counters.pool_hits t.counters.pool_misses
+    t.counters.pool_hits t.counters.pool_misses t.counters.zero_copy_runs
+    t.counters.staged_bytes
 
 (* Copy every field of [src] into [dst].  [reset] and the cross-run
    isolation tests rely on this covering the whole record: when a counter
@@ -298,6 +309,8 @@ let copy_counters ~into:(dst : counters) (src : counters) =
   dst.steps <- src.steps;
   dst.peak_step_volume <- src.peak_step_volume;
   dst.run_blits <- src.run_blits;
+  dst.zero_copy_runs <- src.zero_copy_runs;
+  dst.staged_bytes <- src.staged_bytes;
   dst.pool_hits <- src.pool_hits;
   dst.pool_misses <- src.pool_misses;
   dst.time <- src.time;
@@ -309,10 +322,10 @@ let pp_counters ppf (c : counters) =
   Fmt.pf ppf
     "remaps performed=%d skipped=%d live-reuses=%d dead=%d | messages=%d \
      volume=%d local=%d | allocs=%d frees=%d evictions=%d | plans hit=%d \
-     miss=%d evict=%d | steps=%d peak-step-vol=%d | blits=%d pool hit=%d \
-     miss=%d | time=%.1f"
+     miss=%d evict=%d | steps=%d peak-step-vol=%d | blits=%d zero-copy=%d \
+     staged-bytes=%d pool hit=%d miss=%d | time=%.1f"
     c.remaps_performed c.remaps_skipped c.live_reuses c.dead_copies c.messages
     c.volume c.local_moves c.allocs c.frees c.evictions c.plan_hits
     c.plan_misses c.plan_evictions c.steps c.peak_step_volume c.run_blits
-    c.pool_hits c.pool_misses c.time;
+    c.zero_copy_runs c.staged_bytes c.pool_hits c.pool_misses c.time;
   if c.wall_time > 0.0 then Fmt.pf ppf " | wall=%.3fms" (c.wall_time *. 1e3)

@@ -47,6 +47,15 @@ type counters = {
       (** contiguous segments copied by the compiled-run pack/unpack path
           (a strided run of [count] segments counts [count]); 0 under the
           scalar oracle path *)
+  mutable zero_copy_runs : int;
+      (** contiguous segments copied payload-to-payload with no staging
+          buffer: on-processor moves and direct-eligible messages under
+          the zero-copy datapath; 0 under the scalar oracle and the
+          forced-staged ([HPFC_FORCE_STAGED]/[--staged]) paths *)
+  mutable staged_bytes : int;
+      (** bytes routed through staging buffers (8 per staged element;
+          scalar and forced-staged runs stage every moved element, so
+          there it equals [8 * volume]) *)
   mutable pool_hits : int;
       (** staging buffers served from a size-classed buffer pool *)
   mutable pool_misses : int;  (** staging buffers freshly allocated *)

@@ -66,16 +66,24 @@ type addressing =
   | Row_major of int array  (* global extents *)
   | Owner_local of Layout.t
 
+(* How a message's compiled runs move data: [Direct] runs copy payload
+   to payload with no staging buffer (self-messages, and globally
+   addressed endpoints); [Staged] runs pack through a staging buffer the
+   way a real SPMD send must.  Decided once per memoized message by
+   [message_datapath]. *)
+type datapath = Direct of run array | Staged of run array
+
 type message = {
   m_from : int;  (* sender, linear rank in the source grid *)
   m_to : int;  (* receiver, linear rank in the target grid *)
   m_count : int;  (* elements = box_size m_box *)
   m_box : box;
-  mutable m_runs : (int * run array) list;
-      (* compiled runs memoized per (src, dst) addressing-kind key, next
-         to the plan's memoized [sprog]; at most four entries.  Parallel
-         executors must precompile on the coordinator before sharing the
-         message with workers. *)
+  mutable m_paths : (int * datapath) list;
+      (* compiled datapaths (runs + staging-vs-direct decision) memoized
+         per (src, dst) addressing-kind key, next to the plan's memoized
+         [sprog]; at most four entries.  Parallel executors must
+         precompile on the coordinator before sharing the message with
+         workers. *)
 }
 
 type plan = {
@@ -307,7 +315,7 @@ let plan_intervals ~(src : Layout.t) ~(dst : Layout.t) : plan =
                 m_to = pd;
                 m_count = !count;
                 m_box = message_box ~src ~dst tables cs cd;
-                m_runs = [];
+                m_paths = [];
               }
             in
             (* processors are identified across layouts by linear rank *)
@@ -357,7 +365,7 @@ let plan_naive ~(src : Layout.t) ~(dst : Layout.t) : plan =
       and cd = Procs.delinearize dst.Layout.procs t in
       let b = message_box ~src ~dst tables cs cd in
       assert (box_size b = n);
-      let m = { m_from = f; m_to = t; m_count = n; m_box = b; m_runs = [] } in
+      let m = { m_from = f; m_to = t; m_count = n; m_box = b; m_paths = [] } in
       if f = t then locals := m :: !locals else moves := m :: !moves)
     tally;
   make_plan ~moves:!moves ~locals:!locals ~nprocs_src:np_src ~nprocs_dst:np_dst
@@ -514,18 +522,34 @@ let compile_runs ~src ~dst (m : message) : run array =
 
 let addressing_kind = function Row_major _ -> 0 | Owner_local _ -> 1
 
-(* The message's compiled runs for one (src, dst) addressing pair,
+(* The message's compiled datapath for one (src, dst) addressing pair,
    memoized on the message (plans — and their messages — are cached and
    recur on every loop iteration, so compilation is paid once per
-   distinct layout pair and addressing combination). *)
-let message_runs ~src ~dst (m : message) =
+   distinct layout pair and addressing combination).  The
+   staging-vs-direct decision is made here, once per memoized message,
+   never per step: a message is [Direct] — its runs may be copied
+   payload to payload with no staging buffer — exactly when both
+   endpoint buffers are reachable from one address space, i.e. it is a
+   self-message ([m_from = m_to], both buffers live on that rank) or
+   both sides are globally addressed ([Row_major], rank-invariant
+   buffers).  Cross-rank messages between per-rank buffers stay
+   [Staged]: a real SPMD runtime cannot write a remote payload
+   directly. *)
+let message_datapath ~src ~dst (m : message) =
   let key = addressing_kind src lor (addressing_kind dst lsl 1) in
-  match List.assoc_opt key m.m_runs with
-  | Some runs -> runs
+  match List.assoc_opt key m.m_paths with
+  | Some path -> path
   | None ->
     let runs = compile_runs ~src ~dst m in
-    m.m_runs <- (key, runs) :: m.m_runs;
-    runs
+    let direct =
+      m.m_from = m.m_to || (addressing_kind src = 0 && addressing_kind dst = 0)
+    in
+    let path = if direct then Direct runs else Staged runs in
+    m.m_paths <- (key, path) :: m.m_paths;
+    path
+
+let message_runs ~src ~dst (m : message) =
+  match message_datapath ~src ~dst m with Direct runs | Staged runs -> runs
 
 (* Total number of contiguous segments a run array copies. *)
 let nb_run_segments runs =

@@ -47,15 +47,25 @@ type addressing =
   | Row_major of int array  (** global extents *)
   | Owner_local of Hpfc_mapping.Layout.t
 
+(** How a message's compiled runs move data — the staging-vs-direct
+    decision, made once per memoized message by {!message_datapath}:
+    [Direct] runs may be copied payload to payload with no staging
+    buffer (self-messages, whose two buffers live on one rank, and
+    messages between globally addressed [Row_major] endpoints, whose
+    buffers are rank-invariant); [Staged] runs must pack through a
+    staging buffer the way a real SPMD send does. *)
+type datapath = Direct of run array | Staged of run array
+
 type message = {
   m_from : int;  (** sender, linear rank in the source grid *)
   m_to : int;  (** receiver, linear rank in the target grid *)
   m_count : int;  (** elements, [= box_size m_box] *)
   m_box : box;
-  mutable m_runs : (int * run array) list;
-      (** compiled runs memoized per (src, dst) addressing-kind key, next
-          to the plan's memoized step program.  Parallel executors must
-          precompile on the coordinator (see {!message_runs}) before
+  mutable m_paths : (int * datapath) list;
+      (** compiled datapaths (runs plus the staging-vs-direct decision)
+          memoized per (src, dst) addressing-kind key, next to the
+          plan's memoized step program.  Parallel executors must
+          precompile on the coordinator (see {!message_datapath}) before
           sharing the message with worker domains. *)
 }
 
@@ -149,6 +159,11 @@ val iter_box : box -> (int array -> unit) -> unit
     message per addressing-kind pair; call once on the coordinator before
     handing the message to concurrent workers. *)
 val message_runs : src:addressing -> dst:addressing -> message -> run array
+
+(** The message's compiled runs together with its staging-vs-direct
+    decision ({!datapath}), memoized like {!message_runs} (both share
+    the [m_paths] memo). *)
+val message_datapath : src:addressing -> dst:addressing -> message -> datapath
 
 (** Total number of contiguous segments a run array copies
     (sum of [r_count]). *)

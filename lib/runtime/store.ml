@@ -27,8 +27,8 @@ open Hpfc_mapping
 type backend = Canonical | Distributed
 
 type payload =
-  | Global of float array
-  | Locals of float array array  (* indexed by linear processor rank *)
+  | Global of Buf.t
+  | Locals of Buf.t array  (* indexed by linear processor rank *)
 
 type copy = {
   version : int;
@@ -40,19 +40,21 @@ type copy = {
 (* Element access through a copy's payload. *)
 let copy_get (c : copy) index =
   match c.payload with
-  | Global g -> g.(Layout.global_linear_index c.layout.Layout.extents index)
+  | Global g -> Buf.get g (Layout.global_linear_index c.layout.Layout.extents index)
   | Locals ls ->
     let p = Procs.linearize c.layout.Layout.procs (Layout.owner c.layout index) in
-    ls.(p).(Layout.local_linear_index c.layout index)
+    Buf.get ls.(p) (Layout.local_linear_index c.layout index)
 
 let copy_set (c : copy) index v =
   match c.payload with
-  | Global g -> g.(Layout.global_linear_index c.layout.Layout.extents index) <- v
+  | Global g ->
+    Buf.set g (Layout.global_linear_index c.layout.Layout.extents index) v
   | Locals ls ->
     (* replicated layouts write every replica *)
     let lli = Layout.local_linear_index c.layout index in
     List.iter
-      (fun coords -> ls.(Procs.linearize c.layout.Layout.procs coords).(lli) <- v)
+      (fun coords ->
+        Buf.set ls.(Procs.linearize c.layout.Layout.procs coords) lli v)
       (Layout.owners c.layout index)
 
 (* How the communication executor touches this copy's storage.  The
@@ -67,20 +69,21 @@ let endpoint_of_copy (c : copy) : Comm.endpoint =
     let extents = c.layout.Layout.extents in
     {
       Comm.read =
-        (fun ~rank:_ index -> g.(Layout.global_linear_index extents index));
+        (fun ~rank:_ index -> Buf.get g (Layout.global_linear_index extents index));
       write =
         (fun ~rank:_ index v ->
-          g.(Layout.global_linear_index extents index) <- v);
+          Buf.set g (Layout.global_linear_index extents index) v);
       addressing = Redist.Row_major extents;
       buffer = (fun ~rank:_ -> g);
     }
   | Locals ls ->
     {
       Comm.read =
-        (fun ~rank index -> ls.(rank).(Layout.local_linear_index c.layout index));
+        (fun ~rank index ->
+          Buf.get ls.(rank) (Layout.local_linear_index c.layout index));
       write =
         (fun ~rank index v ->
-          ls.(rank).(Layout.local_linear_index c.layout index) <- v);
+          Buf.set ls.(rank) (Layout.local_linear_index c.layout index) v);
       addressing = Redist.Owner_local c.layout;
       buffer = (fun ~rank -> ls.(rank));
     }
@@ -108,7 +111,7 @@ let fill_copy (c : copy) f =
 (* Materialize a copy as a canonical global array (for result capture). *)
 let to_global (c : copy) =
   match c.payload with
-  | Global g -> Array.copy g
+  | Global g -> Buf.to_array g
   | Locals _ ->
     let out = Array.make (Layout.nb_elements c.layout) 0.0 in
     let k = ref 0 in
@@ -276,15 +279,14 @@ let alloc t d version layout =
         "out of memory allocating %s_%d (%d elements)" d.name version footprint;
     let payload =
       match t.backend with
-      | Canonical -> Global (Array.make (Array.fold_left ( * ) 1 d.extents) 0.0)
+      | Canonical -> Global (Buf.create (Array.fold_left ( * ) 1 d.extents))
       | Distributed ->
         Locals
           (Array.init (Procs.size layout.Layout.procs) (fun p ->
-               Array.make
+               Buf.create
                  (max 1
                     (Layout.local_size layout
-                       ~proc:(Procs.delinearize layout.Layout.procs p)))
-                 0.0))
+                       ~proc:(Procs.delinearize layout.Layout.procs p)))))
     in
     let c = { version; layout; payload; footprint } in
     d.copies.(version) <- Some c;

@@ -17,8 +17,8 @@
 type backend = Canonical | Distributed
 
 type payload =
-  | Global of float array  (** canonical row-major payload *)
-  | Locals of float array array  (** per linear processor rank *)
+  | Global of Buf.t  (** canonical row-major payload *)
+  | Locals of Buf.t array  (** per linear processor rank *)
 
 type copy = {
   version : int;

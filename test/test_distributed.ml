@@ -67,7 +67,7 @@ let test_local_allocation_sizes () =
   Store.alloc s d 0 layout;
   match (Store.get_copy d 0).Store.payload with
   | Store.Locals ls ->
-    let sizes = Array.to_list (Array.map Array.length ls) in
+    let sizes = Array.to_list (Array.map Hpfc_runtime.Buf.length ls) in
     (* cyclic(3) over 10 elements on 4 procs: 3, 3, 3, 1 *)
     Alcotest.(check (list int)) "local sizes" [ 3; 3; 3; 1 ] sizes
   | Store.Global _ -> Alcotest.fail "expected local buffers"
@@ -94,8 +94,8 @@ let test_replicated_write_updates_all () =
   (match (Store.get_copy d 0).Store.payload with
   | Store.Locals ls ->
     (* element 3 lives on row-coordinate 0 in both replica columns *)
-    Alcotest.(check (float 0.0)) "replica 1" 42.0 ls.(0).(3);
-    Alcotest.(check (float 0.0)) "replica 2" 42.0 ls.(1).(3)
+    Alcotest.(check (float 0.0)) "replica 1" 42.0 (Hpfc_runtime.Buf.get ls.(0) 3);
+    Alcotest.(check (float 0.0)) "replica 2" 42.0 (Hpfc_runtime.Buf.get ls.(1) 3)
   | Store.Global _ -> Alcotest.fail "expected local buffers");
   Alcotest.(check (float 0.0)) "read back" 42.0
     (Store.read s ~name:"a" ~version:0 [| 3 |])

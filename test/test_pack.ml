@@ -4,10 +4,12 @@
    produces, in the same row-major box order, under all four addressing
    combinations (global row-major / owner-local on either side); and an
    end-to-end remap must move bit-identical data whether the executor
-   blits compiled runs or routes every element through the scalar
-   closures, on both store backends and under both the sequential and
-   the domain-parallel executor.  Modeled counters never distinguish the
-   paths; only [run_blits] and the staging-pool totals do. *)
+   copies direct zero-copy runs, blits through staged pack/unpack, or
+   routes every element through the scalar closures, on both store
+   backends and under both the sequential and the domain-parallel
+   executor.  Modeled counters never distinguish the paths; only
+   [run_blits]/[zero_copy_runs]/[staged_bytes] and the staging-pool
+   totals do. *)
 
 open Hpfc_mapping
 open Hpfc_runtime
@@ -18,12 +20,19 @@ let layout_nd ~extents dists p =
   Layout.of_mapping ~extents
     (Mapping.direct ~array_name:"a" ~extents ~dist:dists ~procs:(procs p))
 
-(* Run [f] with the data path forced to [scalar], restoring the ambient
-   switch afterwards (the suite must pass under HPFC_FORCE_SCALAR too). *)
-let with_path ~scalar f =
-  let saved = !Comm.force_scalar in
+(* Run [f] with the data path forced (scalar oracle, staged blits, or —
+   both false — the zero-copy default), restoring the ambient switches
+   afterwards (the suite must pass under HPFC_FORCE_SCALAR and
+   HPFC_FORCE_STAGED too). *)
+let with_path ?(staged = false) ~scalar f =
+  let saved_scalar = !Comm.force_scalar and saved_staged = !Comm.force_staged in
   Comm.force_scalar := scalar;
-  Fun.protect ~finally:(fun () -> Comm.force_scalar := saved) f
+  Comm.force_staged := staged;
+  Fun.protect
+    ~finally:(fun () ->
+      Comm.force_scalar := saved_scalar;
+      Comm.force_staged := saved_staged)
+    f
 
 (* --- (a) run decomposition is exact ------------------------------------------- *)
 
@@ -135,18 +144,20 @@ let test_runs_exact_corners () =
     ~src:(layout_nd ~extents:[| 12 |] [| Dist.cyclic |] 4)
     ~dst:repl
 
-(* --- (b) blit path == scalar oracle, end to end -------------------------------- *)
+(* --- (b) zero-copy == staged == scalar, end to end ------------------------------ *)
 
 (* Final values and modeled counters of one remap, on a given backend
    and executor, with the data path forced. *)
-let observe ~scalar ~backend ?executor (src, dst) =
-  with_path ~scalar (fun () ->
+let observe ?(staged = false) ~scalar ~backend ?executor (src, dst) =
+  with_path ~staged ~scalar (fun () ->
       let m, _, d = Test_comm.remap ~backend ?executor ~src ~dst float_of_int in
       let c =
         {
           m.Machine.counters with
           (* the only counters allowed to differ between the paths *)
           Machine.run_blits = 0;
+          Machine.zero_copy_runs = 0;
+          Machine.staged_bytes = 0;
           Machine.pool_hits = 0;
           Machine.pool_misses = 0;
           Machine.wall_time = 0.0;
@@ -154,35 +165,99 @@ let observe ~scalar ~backend ?executor (src, dst) =
       in
       (Store.to_global (Store.get_copy d 1), c))
 
-let prop_blit_equals_scalar =
+(* The three datapaths, as (scalar, staged) switch pairs. *)
+let paths = [ (false, false); (false, true); (true, false) ]
+
+let all_paths_agree ?executor ~backend (src, dst) =
+  match
+    List.map
+      (fun (scalar, staged) ->
+        observe ~scalar ~staged ~backend ?executor (src, dst))
+      paths
+  with
+  | ref_obs :: rest -> List.for_all (fun o -> o = ref_obs) rest
+  | [] -> assert false
+
+let prop_paths_equal =
   QCheck2.Test.make
-    ~name:"blit pack/unpack = scalar oracle (values and modeled counters)"
-    ~print:Test_redist_props.print_pair ~count:120 Test_redist_props.gen_pair
+    ~name:"zero-copy = staged = scalar (values and modeled counters)"
+    ~print:Test_redist_props.print_pair ~count:80 Test_redist_props.gen_pair
     (fun (src, dst) ->
       List.for_all
-        (fun backend ->
-          observe ~scalar:false ~backend (src, dst)
-          = observe ~scalar:true ~backend (src, dst))
+        (fun backend -> all_paths_agree ~backend (src, dst))
         [ Store.Canonical; Store.Distributed ])
 
-let prop_blit_equals_scalar_par =
+let prop_paths_equal_par =
   QCheck2.Test.make
-    ~name:"parallel blit pack/unpack = parallel scalar oracle"
-    ~print:Test_redist_props.print_pair ~count:60 Test_comm.gen_irregular_pair
+    ~name:"parallel zero-copy = parallel staged = parallel scalar"
+    ~print:Test_redist_props.print_pair ~count:40 Test_comm.gen_irregular_pair
     (fun (src, dst) ->
-      let run ~scalar =
-        observe ~scalar ~backend:Store.Distributed
-          ~executor:(Test_par.par_executor ()) (src, dst)
-      in
-      run ~scalar:false = run ~scalar:true)
+      all_paths_agree ~backend:Store.Distributed
+        ~executor:(Test_par.par_executor ()) (src, dst))
 
-(* The blit path charges run_blits from the memoized runs: local moves
-   copy once, cross-processor messages pack and unpack. *)
+(* Self-message-rich remaps: identity layout pairs are all locals, so
+   the zero-copy path touches no staging buffer at all — and must still
+   agree with the staged and scalar paths element-wise. *)
+let print_layout l = Fmt.str "%a" Layout.pp l
+
+let prop_paths_equal_identity =
+  QCheck2.Test.make
+    ~name:"identity remaps: three paths agree, zero-copy stages nothing"
+    ~print:print_layout ~count:60
+    (Test_redist_props.gen_side ~n:48)
+    (fun l ->
+      List.for_all
+        (fun backend ->
+          all_paths_agree ~backend (l, l)
+          &&
+          let m, _, _ =
+            with_path ~scalar:false (fun () ->
+                Test_comm.remap ~backend ~src:l ~dst:l float_of_int)
+          in
+          let c = m.Machine.counters in
+          (* a replicated layout broadcasts even onto itself: only the
+             cross-rank moves may stage, and a move-free identity remap
+             must touch no staging buffer at all *)
+          (backend = Store.Distributed || c.Machine.staged_bytes = 0)
+          && (c.Machine.messages > 0
+             || c.Machine.staged_bytes = 0
+                && c.Machine.run_blits = 0
+                && c.Machine.pool_hits + c.Machine.pool_misses = 0)
+          && (c.Machine.local_moves = 0 || c.Machine.zero_copy_runs > 0))
+        [ Store.Canonical; Store.Distributed ])
+
+(* Deterministic self-message-heavy corners: a transpose remap on one
+   rank (everything is a self-message) and block -> block over nested
+   grids (shared owners keep most elements local). *)
+let test_paths_self_message_corners () =
+  let check name pair =
+    List.iter
+      (fun backend ->
+        Alcotest.(check bool) name true (all_paths_agree ~backend pair))
+      [ Store.Canonical; Store.Distributed ]
+  in
+  let e2 = [| 6; 8 |] in
+  check "transpose on 1 rank"
+    ( layout_nd ~extents:e2 [| Dist.block; Dist.star |] 1,
+      layout_nd ~extents:e2 [| Dist.star; Dist.block |] 1 );
+  check "block -> block with shared owners"
+    ( layout_nd ~extents:[| 64 |] [| Dist.block |] 4,
+      layout_nd ~extents:[| 64 |] [| Dist.block_sized 16 |] 4 );
+  check "block p4 -> block p2 shared owners"
+    ( layout_nd ~extents:[| 64 |] [| Dist.block |] 4,
+      layout_nd ~extents:[| 64 |] [| Dist.block |] 2 )
+
+(* Datapath accounting, charged from the memoized runs and decisions.
+   Under the forced-staged path, PR 4's formula: locals copy once,
+   moves pack and unpack.  Under the zero-copy default, locals and
+   Direct-eligible moves charge zero_copy_runs, the rest blit twice and
+   stage their bytes. *)
 let prop_run_blits_charged =
-  QCheck2.Test.make ~name:"run_blits = local segments + 2 * move segments"
-    ~print:Test_redist_props.print_pair ~count:100 Test_redist_props.gen_pair
+  QCheck2.Test.make
+    ~name:"forced staged: run_blits = local segments + 2 * move segments"
+    ~print:Test_redist_props.print_pair ~count:60 Test_redist_props.gen_pair
     (fun (src, dst) ->
-      with_path ~scalar:false (fun () ->
+      with_path ~scalar:false ~staged:true (fun () ->
           let m, s, d = Test_comm.remap ~src ~dst float_of_int in
           let plan = Store.plan_for s d ~src:0 ~dst:1 in
           let extents = src.Layout.extents in
@@ -197,7 +272,52 @@ let prop_run_blits_charged =
                 (fun a msg -> a + (2 * segs msg))
                 0 plan.Redist.moves
           in
-          m.Machine.counters.Machine.run_blits = expected))
+          let c = m.Machine.counters in
+          c.Machine.run_blits = expected
+          && c.Machine.zero_copy_runs = 0
+          && c.Machine.staged_bytes = 8 * c.Machine.volume))
+
+let prop_zero_copy_charged =
+  QCheck2.Test.make
+    ~name:"zero-copy accounting on both backends"
+    ~print:Test_redist_props.print_pair ~count:60 Test_redist_props.gen_pair
+    (fun (src, dst) ->
+      with_path ~scalar:false (fun () ->
+          let extents = src.Layout.extents in
+          (* canonical: both sides Row_major, every message is Direct *)
+          let m, s, d =
+            Test_comm.remap ~backend:Store.Canonical ~src ~dst float_of_int
+          in
+          let plan = Store.plan_for s d ~src:0 ~dst:1 in
+          let segs addressing =
+            let a_src, a_dst = addressing in
+            fun (msg : Redist.message) ->
+              Redist.nb_run_segments
+                (Redist.message_runs ~src:a_src ~dst:a_dst msg)
+          in
+          let sum f msgs = List.fold_left (fun a msg -> a + f msg) 0 msgs in
+          let rm = (Redist.Row_major extents, Redist.Row_major extents) in
+          let c = m.Machine.counters in
+          let canonical_ok =
+            c.Machine.run_blits = 0
+            && c.Machine.staged_bytes = 0
+            && c.Machine.zero_copy_runs
+               = sum (segs rm) plan.Redist.locals + sum (segs rm) plan.Redist.moves
+          in
+          (* distributed: per-rank buffers, only self-messages are Direct
+             and those are exactly the plan's locals *)
+          let m', s', d' =
+            Test_comm.remap ~backend:Store.Distributed ~src ~dst float_of_int
+          in
+          let plan' = Store.plan_for s' d' ~src:0 ~dst:1 in
+          let ol = (Redist.Owner_local src, Redist.Owner_local dst) in
+          let c' = m'.Machine.counters in
+          let distributed_ok =
+            c'.Machine.zero_copy_runs = sum (segs ol) plan'.Redist.locals
+            && c'.Machine.run_blits = 2 * sum (segs ol) plan'.Redist.moves
+            && c'.Machine.staged_bytes = 8 * c'.Machine.volume
+          in
+          canonical_ok && distributed_ok))
 
 (* --- (c) the staging-buffer pool ------------------------------------------------ *)
 
@@ -205,7 +325,8 @@ let test_pool_unit () =
   let p = Comm.Pool.create () in
   let hit, b1 = Comm.Pool.acquire p 100 in
   Alcotest.(check bool) "fresh pool misses" false hit;
-  Alcotest.(check bool) "power-of-two class" true (Array.length b1 = 128);
+  Alcotest.(check bool) "power-of-two class" true (Buf.length b1 = 128);
+  Alcotest.(check (float 0.0)) "fresh buffers read as zero" 0.0 (Buf.get b1 0);
   Comm.Pool.release p b1;
   let hit, b2 = Comm.Pool.acquire p 65 in
   Alcotest.(check bool) "same class hits" true hit;
@@ -220,20 +341,127 @@ let test_pool_unit () =
   Alcotest.(check int) "misses counted" 3 (Comm.Pool.misses p)
 
 (* Steady state: the sequential executor releases each staging buffer
-   before acquiring the next, so a warmed-up pool serves every message
-   of a repeated remap without allocating. *)
+   before acquiring the next, so a warmed-up pool serves every staged
+   message of a repeated remap without allocating.  Forced staged so
+   the distributed cross-rank messages actually stage (they do anyway)
+   and the counts stay exact under any ambient switches. *)
 let test_pool_steady_state () =
-  let src = layout_nd ~extents:[| 64 |] [| Dist.block |] 4
-  and dst = layout_nd ~extents:[| 64 |] [| Dist.cyclic |] 4 in
-  let (_ : Machine.t * Store.t * Store.descriptor) =
-    Test_comm.remap ~src ~dst float_of_int
+  with_path ~scalar:false ~staged:true (fun () ->
+      let src = layout_nd ~extents:[| 64 |] [| Dist.block |] 4
+      and dst = layout_nd ~extents:[| 64 |] [| Dist.cyclic |] 4 in
+      let (_ : Machine.t * Store.t * Store.descriptor) =
+        Test_comm.remap ~src ~dst float_of_int
+      in
+      let m, _, _ = Test_comm.remap ~src ~dst float_of_int in
+      let c = m.Machine.counters in
+      Alcotest.(check bool) "plan has messages" true (c.Machine.messages > 0);
+      Alcotest.(check int) "warm pool never allocates" 0 c.Machine.pool_misses;
+      Alcotest.(check int) "every message a pool hit" c.Machine.messages
+        c.Machine.pool_hits)
+
+(* Zero-copy steady state: on the canonical backend every message is
+   Direct, so a remap touches the pool not at all — no staging
+   allocations even from cold — and charges zero_copy_runs instead. *)
+let test_zero_copy_steady_state () =
+  with_path ~scalar:false (fun () ->
+      let src = layout_nd ~extents:[| 64 |] [| Dist.block |] 4
+      and dst = layout_nd ~extents:[| 64 |] [| Dist.cyclic |] 4 in
+      let m, _, _ =
+        Test_comm.remap ~backend:Store.Canonical ~src ~dst float_of_int
+      in
+      let c = m.Machine.counters in
+      Alcotest.(check bool) "plan has messages" true (c.Machine.messages > 0);
+      Alcotest.(check int) "no staging buffers acquired" 0
+        (c.Machine.pool_hits + c.Machine.pool_misses);
+      Alcotest.(check int) "nothing staged" 0 c.Machine.staged_bytes;
+      Alcotest.(check int) "no staged blits" 0 c.Machine.run_blits;
+      Alcotest.(check bool) "direct copies charged" true
+        (c.Machine.zero_copy_runs > 0))
+
+(* --- (d) overlap safety of the direct path -------------------------------------- *)
+
+(* An in-place remap exposes one payload wrapper to both endpoints of a
+   self-message; the direct path must then copy with memmove semantics.
+   The cyclic owned set of rank 1 compiles to a single strided run whose
+   source and destination regions overlap on the shared buffer: the
+   gather direction (global row-major -> owner-local) is only correct
+   iterating forward, the scatter direction only iterating backward, so
+   both directions regression-test the overtaking check.  (The staged
+   path masks this class of bug — packing reads everything before any
+   write — which is exactly why the direct path needs its own test.) *)
+let test_direct_overlap_inplace () =
+  with_path ~scalar:false (fun () ->
+      let n = 16 in
+      let l = layout_nd ~extents:[| n |] [| Dist.cyclic |] 2 in
+      let endpoint buf addressing =
+        {
+          Comm.read = (fun ~rank:_ index -> Buf.get buf index.(0));
+          write = (fun ~rank:_ index v -> Buf.set buf index.(0) v);
+          addressing;
+          buffer = (fun ~rank:_ -> buf);
+        }
+      in
+      (* rank 1 owns the odd elements: box = {1, 3, ..., 15} *)
+      let message () =
+        {
+          Redist.m_from = 1;
+          m_to = 1;
+          m_count = n / 2;
+          m_box =
+            [| Ivset.Periodic { period = 2; pattern = [ (1, 2) ]; extent = n } |];
+          m_paths = [];
+        }
+      in
+      let fresh () = Buf.of_array (Array.init n float_of_int) in
+      (* gather: buf[k] := buf[2k+1] — destination trails the source *)
+      let buf = fresh () in
+      Comm.run_local
+        ~src:(endpoint buf (Redist.Row_major [| n |]))
+        ~dst:(endpoint buf (Redist.Owner_local l))
+        (message ());
+      for k = 0 to (n / 2) - 1 do
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "gather element %d" k)
+          (float_of_int ((2 * k) + 1))
+          (Buf.get buf k)
+      done;
+      (* scatter: buf[2k+1] := buf[k] — destination overtakes the source *)
+      let buf = fresh () in
+      Comm.run_local
+        ~src:(endpoint buf (Redist.Owner_local l))
+        ~dst:(endpoint buf (Redist.Row_major [| n |]))
+        (message ());
+      for k = 0 to (n / 2) - 1 do
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "scatter element %d" k)
+          (float_of_int k)
+          (Buf.get buf ((2 * k) + 1))
+      done)
+
+(* The same overlap discipline at the Buf level: blit is memmove in
+   both directions on one wrapper, and unsafe_blit's same-wrapper
+   fallback keeps short forward-overlapping copies correct too. *)
+let test_buf_overlap () =
+  let fresh () = Buf.of_array (Array.init 12 float_of_int) in
+  let check name expected b =
+    Alcotest.(check (list (float 0.0))) name expected
+      (Array.to_list (Buf.to_array b))
   in
-  let m, _, _ = Test_comm.remap ~src ~dst float_of_int in
-  let c = m.Machine.counters in
-  Alcotest.(check bool) "plan has messages" true (c.Machine.messages > 0);
-  Alcotest.(check int) "warm pool never allocates" 0 c.Machine.pool_misses;
-  Alcotest.(check int) "every message a pool hit" c.Machine.messages
-    c.Machine.pool_hits
+  let b = fresh () in
+  Buf.blit b 0 b 3 8;
+  check "blit forward overlap"
+    [ 0.; 1.; 2.; 0.; 1.; 2.; 3.; 4.; 5.; 6.; 7.; 11. ]
+    b;
+  let b = fresh () in
+  Buf.blit b 3 b 0 8;
+  check "blit backward overlap"
+    [ 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10.; 8.; 9.; 10.; 11. ]
+    b;
+  let b = fresh () in
+  Buf.unsafe_blit b 0 b 3 8;
+  check "unsafe_blit same-wrapper forward overlap"
+    [ 0.; 1.; 2.; 0.; 1.; 2.; 3.; 4.; 5.; 6.; 7.; 11. ]
+    b
 
 (* --- (d) Ivset.to_runs ----------------------------------------------------------- *)
 
@@ -255,10 +483,19 @@ let suite =
     Qcheck_env.to_alcotest prop_runs_exact;
     Alcotest.test_case "run decomposition corners" `Quick
       test_runs_exact_corners;
-    Qcheck_env.to_alcotest prop_blit_equals_scalar;
-    Qcheck_env.to_alcotest prop_blit_equals_scalar_par;
+    Qcheck_env.to_alcotest prop_paths_equal;
+    Qcheck_env.to_alcotest prop_paths_equal_par;
+    Qcheck_env.to_alcotest prop_paths_equal_identity;
+    Alcotest.test_case "self-message corners" `Quick
+      test_paths_self_message_corners;
     Qcheck_env.to_alcotest prop_run_blits_charged;
+    Qcheck_env.to_alcotest prop_zero_copy_charged;
     Alcotest.test_case "pool acquire/release" `Quick test_pool_unit;
     Alcotest.test_case "pool steady state" `Quick test_pool_steady_state;
+    Alcotest.test_case "zero-copy steady state" `Quick
+      test_zero_copy_steady_state;
+    Alcotest.test_case "direct path in-place overlap" `Quick
+      test_direct_overlap_inplace;
+    Alcotest.test_case "Buf overlap semantics" `Quick test_buf_overlap;
     Alcotest.test_case "Ivset.to_runs" `Quick test_ivset_to_runs;
   ]

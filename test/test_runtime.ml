@@ -302,6 +302,8 @@ let test_counter_reset_coverage () =
   c.Machine.steps <- 14;
   c.Machine.peak_step_volume <- 15;
   c.Machine.run_blits <- 16;
+  c.Machine.zero_copy_runs <- 21;
+  c.Machine.staged_bytes <- 22;
   c.Machine.pool_hits <- 17;
   c.Machine.pool_misses <- 18;
   c.Machine.time <- 19.0;
