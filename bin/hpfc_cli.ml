@@ -98,7 +98,15 @@ let run_cmd =
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the structured event timeline as JSON lines on stdout (remap begin/end, plan cache probes, step boundaries, messages, evictions); counters and scalars go to stderr.") in
   let scalars = Arg.(value & opt_all scalar_assignments [] & info [ "s"; "set" ] ~docv:"X=V" ~doc:"Set a scalar before execution.") in
   let compare = Arg.(value & flag & info [ "compare" ] ~doc:"Run the naive and the optimized compilations and compare.") in
-  let sched = Arg.(value & flag & info [ "sched" ] ~doc:"Charge communication as contention-free steps (serialized, one send and one receive per processor per step) instead of one unordered burst.") in
+  let sched_conv =
+    let parse s =
+      Result.map_error
+        (fun e -> `Msg e)
+        (Hpfc_driver.Pipeline.sched_of_string s)
+    in
+    Arg.conv (parse, fun ppf s -> Fmt.string ppf (Hpfc_driver.Pipeline.sched_name s))
+  in
+  let sched = Arg.(value & opt ~vopt:(Some Hpfc_driver.Pipeline.Sched_stepped) (some sched_conv) None & info [ "sched" ] ~docv:"MODE" ~doc:"Communication schedule: $(b,burst) (default) charges the whole plan as one unordered exchange; $(b,stepped) charges contention-free steps (serialized, one send and one receive per processor per step; also the bare --sched spelling); $(b,async) keeps stepped accounting but executes remappings with the dependency-driven parallel executor — sends posted eagerly in plan order, double-buffered staging, per-message completion flags instead of a barrier per step (implies --par; same as HPFC_FORCE_ASYNC=1).") in
   let scalar = Arg.(value & flag & info [ "scalar" ] ~doc:"Move data element by element through the per-element closures (the differential oracle) instead of blitting compiled runs; same as HPFC_FORCE_SCALAR=1.") in
   let staged = Arg.(value & flag & info [ "staged" ] ~doc:"Stage every message through a pooled pack/unpack buffer even when a zero-copy direct blit is eligible; same as HPFC_FORCE_STAGED=1.") in
   let compare_lex (a, _) (b, _) = Stdlib.compare a b in
@@ -106,9 +114,15 @@ let run_cmd =
     handle (fun () ->
         if scalar then Hpfc_runtime.Comm.force_scalar := true;
         if staged then Hpfc_runtime.Comm.force_staged := true;
-        let sched_mode =
-          if sched then Machine.Stepped else Machine.Burst
+        let sched_spec =
+          Option.value sched ~default:Hpfc_driver.Pipeline.Sched_burst
         in
+        let async = sched_spec = Hpfc_driver.Pipeline.Sched_async in
+        if async then Hpfc_runtime.Comm.force_async := true;
+        let sched_mode = Hpfc_driver.Pipeline.machine_mode sched_spec in
+        (* --sched=async implies executing remappings for real on the
+           domain pool: out-of-step delivery needs an actual executor *)
+        let par = if async && par = None then Some "auto" else par in
         let src = read_file file in
         if compare then begin
           let c =
@@ -148,7 +162,8 @@ let run_cmd =
             Fun.protect ~finally (fun () ->
                 Hpfc_driver.Pipeline.run_source
                   ~pipeline:(pipeline_of_naive naive) ~scalars ?entry ~backend
-                  ?executor:(Option.map Hpfc_par.Par.executor pool) ~machine
+                  ?executor:(Option.map (fun p -> Hpfc_par.Par.executor p) pool)
+                  ~machine
                   src)
           in
           (* with --trace, stdout is a pure JSON-lines stream (one event

@@ -85,6 +85,32 @@ let pp_report ppf (r : compile_report) =
   Fmt.pf ppf "  remapping operations: %d -> %d@." r.remappings_before
     r.remappings_after
 
+(* The CLI's schedule vocabulary.  Burst and stepped are pure accounting
+   modes of the simulated machine; async is stepped accounting plus the
+   dependency-driven parallel executor (out-of-step delivery, identical
+   modeled counters by construction). *)
+type sched_spec = Sched_burst | Sched_stepped | Sched_async
+
+let sched_specs =
+  [
+    ("burst", Sched_burst); ("stepped", Sched_stepped); ("async", Sched_async);
+  ]
+
+let sched_name spec =
+  fst (List.find (fun (_, s) -> s = spec) sched_specs)
+
+let sched_of_string s =
+  match List.assoc_opt (String.lowercase_ascii s) sched_specs with
+  | Some spec -> Ok spec
+  | None ->
+    Error
+      (Printf.sprintf "invalid schedule %S, expected one of %s" s
+         (String.concat " | " (List.map fst sched_specs)))
+
+let machine_mode = function
+  | Sched_burst -> Machine.Burst
+  | Sched_stepped | Sched_async -> Machine.Stepped
+
 (* Parse, compile and run a whole program from source. *)
 let run_source ?(pipeline = I.full_pipeline) ?(scalars = []) ?entry
     ?use_interval_engine ?backend ?executor ?machine ?sched ?record_trace src :

@@ -27,6 +27,27 @@ val analyze :
 
 val pp_report : Format.formatter -> compile_report -> unit
 
+(** The CLI's [--sched] vocabulary.  [Sched_burst] and [Sched_stepped]
+    are pure accounting modes of the simulated machine
+    ({!Hpfc_runtime.Machine.sched_mode}); [Sched_async] is stepped
+    accounting plus the dependency-driven parallel executor
+    ([Comm.force_async]): out-of-step delivery with modeled counters
+    identical to stepped by construction. *)
+type sched_spec = Sched_burst | Sched_stepped | Sched_async
+
+(** The vocabulary, in CLI spelling order: [burst | stepped | async]. *)
+val sched_specs : (string * sched_spec) list
+
+val sched_name : sched_spec -> string
+
+(** Parse a [--sched] value (case-insensitive); unknown spellings get an
+    error message listing the valid values. *)
+val sched_of_string : string -> (sched_spec, string) result
+
+(** The machine accounting mode of a schedule spec: async charges like
+    stepped. *)
+val machine_mode : sched_spec -> Hpfc_runtime.Machine.sched_mode
+
 (** Parse, compile and run a whole program from source.  [sched] selects
     burst or stepped communication accounting for the default machine;
     [record_trace] turns on its structured event trace; [executor]

@@ -3,10 +3,12 @@
 
    Matrix: {optimized, unoptimized} x {canonical, distributed} x
    {sequential, parallel} x {zerocopy, staged, scalar} x
-   {burst, stepped}.  The parallel executor requires the distributed
-   payload (replicated writes into the shared canonical payload would
-   race), so 18 of the 24 backend combinations are valid — 36 runs per
-   accepted program.
+   {burst, stepped, async}.  The parallel executor requires the
+   distributed payload (replicated writes into the shared canonical
+   payload would race), and the async schedule requires the parallel
+   executor (it is an execution discipline of the domain pool, charged
+   like stepped), so 21 configurations are valid — 42 runs per accepted
+   program.
 
    Checks, in decreasing order of strength:
    - final arrays (program-defined elements) and untainted scalars are
@@ -15,7 +17,13 @@
      local moves, remaps, allocation traffic, plan-cache behaviour) are
      identical across every configuration of one pipeline;
    - schedule-derived counters (modeled time, steps, peak step volume)
-     are identical across configurations sharing a schedule mode;
+     are identical across configurations sharing an accounting mode —
+     async charges like stepped, so its modeled counters are checked
+     byte-identical against the stepped runs;
+   - async configurations complete exactly the staged messages out of
+     step order (async_completions = messages on the distributed
+     backend, where every cross-rank message stages); every other
+     configuration completes none;
    - datapath accounting: the scalar oracle blits and zero-copies
      nothing, the staged path zero-copies nothing and stages every moved
      byte, the zero-copy path stages nothing on the canonical backend
@@ -45,11 +53,21 @@ module Par = Hpfc_par.Par
    the forced-staged PR 4 behaviour, and the per-element scalar oracle. *)
 type path = Zero | Staged | Scalar
 
+(* The oracle's schedule axis: [Burst] and [Stepped] are the machine's
+   accounting modes; [Async] is stepped accounting plus the
+   dependency-driven executor ([Comm.force_async]) — only meaningful on
+   the parallel executor, and byte-identical to [Stepped] on every
+   modeled counter by construction. *)
+type sched = Burst | Stepped | Async
+
+(* How a schedule configuration charges the machine. *)
+let machine_mode = function Burst -> M.Burst | Stepped | Async -> M.Stepped
+
 type config = {
   backend : Store.backend;
   par : bool;
   path : path;
-  sched : M.sched_mode;
+  sched : sched;
 }
 
 let path_name = function
@@ -64,7 +82,10 @@ let config_name c =
     | Store.Distributed -> "distributed")
     (if c.par then "par" else "seq")
     (path_name c.path)
-    (match c.sched with M.Burst -> "burst" | M.Stepped -> "stepped")
+    (match c.sched with
+    | Burst -> "burst"
+    | Stepped -> "stepped"
+    | Async -> "async")
 
 (* The head config (canonical / seq / zerocopy / burst) is the reference
    the others are compared against. *)
@@ -79,7 +100,8 @@ let configs =
               (fun path ->
                 List.map
                   (fun sched -> { backend; par; path; sched })
-                  [ M.Burst; M.Stepped ])
+                  (if par then [ Burst; Stepped; Async ]
+                   else [ Burst; Stepped ]))
               [ Zero; Staged; Scalar ])
         [ false; true ])
     [ Store.Canonical; Store.Distributed ]
@@ -124,17 +146,21 @@ let run_one prog entry cfg =
   let executor =
     if cfg.par then Par.executor (Lazy.force pool) else Comm.execute
   in
-  let saved_scalar = !Comm.force_scalar and saved_staged = !Comm.force_staged in
+  let saved_scalar = !Comm.force_scalar
+  and saved_staged = !Comm.force_staged
+  and saved_async = !Comm.force_async in
   Comm.force_scalar := cfg.path = Scalar;
   Comm.force_staged := cfg.path = Staged;
+  Comm.force_async := cfg.sched = Async;
   let res =
     Fun.protect
       ~finally:(fun () ->
         Comm.force_scalar := saved_scalar;
-        Comm.force_staged := saved_staged)
+        Comm.force_staged := saved_staged;
+        Comm.force_async := saved_async)
       (fun () ->
-        I.run ~sched:cfg.sched ~record_trace:true ~backend:cfg.backend
-          ~executor prog ~entry ())
+        I.run ~sched:(machine_mode cfg.sched) ~record_trace:true
+          ~backend:cfg.backend ~executor prog ~entry ())
   in
   {
     cfg;
@@ -329,7 +355,7 @@ let trace_self_check ~what (r : run) =
     if !vol <> c.M.volume then
       failf "%s: traced volume %d but volume = %d" ctx !vol c.M.volume;
     if
-      r.cfg.sched = M.Stepped
+      machine_mode r.cfg.sched = M.Stepped
       && abs_float (!step_time -. c.M.time) > 1e-6 *. (1.0 +. abs_float c.M.time)
     then
       failf "%s: step costs sum to %g but time = %g" ctx !step_time c.M.time
@@ -409,9 +435,25 @@ let check_pipeline ~what (runs : run list) =
       trace_self_check ~what r;
       same_result ~what ref_run r;
       same_counters ~what ref_run r;
-      (* schedule-derived counters: compare to the first run sharing the mode *)
-      let sched_ref = List.find (fun r' -> r'.cfg.sched = r.cfg.sched) runs in
+      (* schedule-derived counters: compare to the first run sharing the
+         accounting mode — async charges exactly like stepped, so the
+         two configurations sit in one group and the "modeled counters
+         byte-identical" law is checked for free *)
+      let sched_ref =
+        List.find
+          (fun r' -> machine_mode r'.cfg.sched = machine_mode r.cfg.sched)
+          runs
+      in
       same_sched_counters ~what sched_ref r;
+      (* completion accounting: the async executor completes exactly the
+         staged messages out of step order — on the distributed backend
+         every cross-rank message stages, so the count is the message
+         count; every other executor never completes out of order *)
+      let c = counters_of r in
+      let expected = if r.cfg.sched = Async then c.M.messages else 0 in
+      if c.M.async_completions <> expected then
+        failf "%s %s: async_completions = %d, expected %d" what
+          (config_name r.cfg) c.M.async_completions expected;
       check_datapath ~what runs r;
       if (not (r.dropped > 0 || ref_run.dropped > 0)) && messages_of r <> ref_msgs
       then failf "%s %s: Message multiset differs from reference" what (config_name r.cfg))

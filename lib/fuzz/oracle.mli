@@ -1,22 +1,33 @@
 (** Differential oracle for generated programs.
 
     Runs a program through both pipelines under every valid combination
-    of store backend, executor, datapath, and schedule mode (36 runs),
-    and cross-checks final values, modeled counters, and event traces.
-    See the implementation header for the exact invariant list. *)
+    of store backend, executor, datapath, and schedule (42 runs), and
+    cross-checks final values, modeled counters, and event traces.  See
+    the implementation header for the exact invariant list. *)
 
 (** The three {!Hpfc_runtime.Comm} datapaths: zero-copy default, forced
     staged, per-element scalar oracle. *)
 type path = Zero | Staged | Scalar
 
+(** The schedule axis: [Burst] and [Stepped] are the machine's
+    accounting modes; [Async] is stepped accounting plus the
+    dependency-driven parallel executor ([Comm.force_async]), valid only
+    with [par] and byte-identical to [Stepped] on every modeled
+    counter. *)
+type sched = Burst | Stepped | Async
+
+(** The accounting mode a schedule charges under (async charges like
+    stepped). *)
+val machine_mode : sched -> Hpfc_runtime.Machine.sched_mode
+
 type config = {
   backend : Hpfc_runtime.Store.backend;
   par : bool;  (** domain-parallel executor (implies distributed) *)
   path : path;
-  sched : Hpfc_runtime.Machine.sched_mode;
+  sched : sched;
 }
 
-(** The 18 valid configurations; the head is the reference. *)
+(** The 21 valid configurations; the head is the reference. *)
 val configs : config list
 
 val config_name : config -> string

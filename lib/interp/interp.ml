@@ -404,9 +404,13 @@ and run_frame p frame =
    executor through the domain-parallel backend (and per-rank payloads),
    so the whole test suite exercises it.  An integer value sets the team
    size; any other non-empty value (e.g. "auto") uses the recommended
-   domain count; "", "0" and unset leave the sequential executor.  The
-   pool is created once and shared — runs are sequential within a
-   process, and the coordinator owns all accounting, so reuse is safe. *)
+   domain count; "", "0" and unset leave the sequential executor.
+   HPFC_FORCE_ASYNC implies the rerouting too — the async discipline
+   only exists on the parallel backend, so forcing it must also force
+   the pool (Comm.force_async itself makes the pool deliver out of step
+   order).  The pool is created once and shared — runs are sequential
+   within a process, and the coordinator owns all accounting, so reuse
+   is safe. *)
 let forced_par_pool =
   lazy
     (let ndomains =
@@ -420,9 +424,12 @@ let forced_par_pool =
      Hpfc_par.Par.create ?ndomains ())
 
 let force_par () =
-  match Sys.getenv_opt "HPFC_FORCE_PAR" with
-  | None | Some "" | Some "0" -> false
-  | Some _ -> true
+  let set v =
+    match Sys.getenv_opt v with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true
+  in
+  set "HPFC_FORCE_PAR" || set "HPFC_FORCE_ASYNC"
 
 let run ?(machine : Machine.t option) ?(sched = Machine.Burst)
     ?(record_trace = false) ?(use_interval_engine = true)

@@ -63,10 +63,12 @@ val compile : ?pipeline:pipeline -> Hpfc_lang.Ast.program -> program
     installs an alternative communication executor, shared by every
     frame of the call tree (e.g. [Hpfc_par.Par.executor] for the
     domain-parallel backend, which wants [backend = Distributed]).  When
-    no executor is given and the [HPFC_FORCE_PAR] environment variable
-    is set non-empty and non-zero, the run is rerouted through a shared
-    domain-parallel pool (an integer value sets the team size) — the CI
-    hook that executes the whole suite on the parallel backend.
+    no executor is given and the [HPFC_FORCE_PAR] or [HPFC_FORCE_ASYNC]
+    environment variable is set non-empty and non-zero, the run is
+    rerouted through a shared domain-parallel pool (an integer
+    [HPFC_FORCE_PAR] sets the team size) — the CI hook that executes the
+    whole suite on the parallel backend ([HPFC_FORCE_ASYNC] additionally
+    makes it deliver out of step order, via [Comm.force_async]).
     @raise Hpfc_base.Error.Hpf_error on runtime faults or calls to
     unknown routines. *)
 val run :

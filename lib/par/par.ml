@@ -7,41 +7,58 @@
    independent of any particular processor grid: each plan brings its own
    rank count and the team adapts.
 
-   One remap executes the plan's *existing* step program — the same
-   greedy edge coloring the stepped cost model charges — the way a real
-   message-passing runtime would:
+   Two execution disciplines share the pool, the mailboxes and the
+   staging pools:
 
-     - every rank first performs its on-processor moves;
-     - within a step, every rank packs the box of each message it sends
-       into a staging buffer (row-major box order, exactly
-       [Comm.run_message]'s walk) drawn from its worker's buffer pool,
-       posts it to the receiving rank's mailbox, then takes the messages
-       addressed to it, unpacks them into the target payload, and
-       releases each packet buffer into its own pool (buffers migrate
-       between worker pools as packets do);
-     - all ranks cross a barrier before the next step begins.
+   - the *stepped* mode (default) executes the plan's existing step
+     program — the same greedy edge coloring the stepped cost model
+     charges — the way a lockstep message-passing runtime would: per
+     step every rank packs the box of each message it sends into a
+     staging buffer (row-major box order, exactly [Comm.run_message]'s
+     walk) drawn from its worker's buffer pool, posts it to the
+     receiving rank's mailbox, takes and unpacks the messages addressed
+     to it, and crosses a sense-reversing barrier before the next step;
 
-   Data movement follows [Comm.force_scalar] / [Comm.force_staged]:
-   compiled-run blits by default — with [Redist.Direct]-eligible
-   messages copied payload to payload by the sending rank, never posted
-   to a mailbox — the per-element scalar oracle or the unconditional
-   staging path when forced.  The run memo and datapath decision on each
-   message are precompiled by the coordinator before the job is
-   submitted, so worker domains only ever read them.
+   - the *async* mode ([Comm.force_async], --sched=async /
+     HPFC_FORCE_ASYNC) is dependency-driven: there is no barrier at
+     all.  Each rank posts its staged sends eagerly in plan order,
+     bounded by a window of [lease_window] = 2 staging leases in flight
+     (double buffering: the pack of message k+1 overlaps the receiver's
+     unpack of message k), and completes incoming messages as they
+     arrive.  Completion is a per-message flag: unpacking a packet
+     decrements the sending rank's atomic lease counter and signals its
+     worker, releasing one window slot.  A worker hosting several ranks
+     interleaves them — it round-robins non-blocking progress attempts
+     and only blocks when none of its ranks can move, re-checking its
+     mailboxes and windows under the worker lock so a concurrent post
+     or lease release cannot be missed.
 
-   Because a step is contention-free (no rank sends twice, none receives
-   twice) and payload endpoints address per-rank buffers, the data
-   movement inside a step touches disjoint storage — the schedule's
-   contention-freedom is exercised by construction rather than merely
-   asserted.  Sends never block, and every receive is matched by a send
-   issued in the same phase, so the step loop cannot deadlock.
+   Async delivery is race-free without the barriers because a plan's
+   messages write pairwise-disjoint regions of the destination payload
+   and only read the source payload (replicated sources may send one
+   element twice, but both copies carry the same value); the stepped
+   barriers only ever *exercised* the schedule, they never ordered
+   conflicting writes.
+
+   Data movement follows [Comm.force_scalar] / [Comm.force_staged] in
+   both modes: compiled-run blits by default — with
+   [Redist.Direct]-eligible messages copied payload to payload by the
+   sending rank, never posted to a mailbox — the per-element scalar
+   oracle or the unconditional staging path when forced.  The run memo
+   and datapath decision on each message are precompiled by the
+   coordinator before the job is submitted, so worker domains only ever
+   read them.
 
    The caller's domain stays the coordinator: it submits the job, waits
-   for the team, and then owns all machine accounting — counters, the
-   modeled clock (via [Comm.charge], shared with the sequential
-   executor), and the event trace, to which it adds the measured
-   [Wall_step] / [Wall_remap] times next to the modeled [Step_end] ones.
-   Worker domains never touch the machine, so tracing needs no locks. *)
+   for the team, and then owns all machine accounting — counters and
+   the modeled clock via [Comm.charge] / [Comm.charge_datapath], and
+   the trace via [Comm.record_schedule_trace], all shared with the
+   sequential executor — so modeled numbers are byte-identical across
+   executors and modes by construction.  Only the measured wall events
+   differ: stepped runs record one [Wall_step] per step, async runs one
+   [Wall_msg] (post-to-completion) per staged message and the
+   [async_completions] counter.  Worker domains never touch the
+   machine, so tracing needs no locks. *)
 
 module Machine = Hpfc_runtime.Machine
 module Redist = Hpfc_runtime.Redist
@@ -87,37 +104,64 @@ let barrier_await b ~on_last =
 
 (* --- per-rank mailboxes ---------------------------------------------------- *)
 
-type packet = { p_msg : Redist.message; p_buf : Buf.t }
+(* [p_slot] indexes the job's per-message wall array and [p_posted] is
+   the send-side post time — async bookkeeping, unused (-1 / 0.) in
+   stepped mode. *)
+type packet = {
+  p_msg : Redist.message;
+  p_buf : Buf.t;
+  p_slot : int;
+  p_posted : float;
+}
 
+(* All mailboxes of the ranks hosted by one worker share that worker's
+   (mutex, condition) pair, so a worker interleaving several ranks has a
+   single place to block on "anything arrived for any of my ranks" (and,
+   in async mode, "a staging lease of one of my ranks was released"). *)
 type mailbox = {
   mb_mutex : Mutex.t;
   mb_cond : Condition.t;
-  mutable mb_packets : packet list;
+  mutable mb_items : packet list;
 }
 
-let mailbox_make () =
-  { mb_mutex = Mutex.create (); mb_cond = Condition.create (); mb_packets = [] }
+let mailbox_make (mb_mutex, mb_cond) = { mb_mutex; mb_cond; mb_items = [] }
 
-let mailbox_post mb p =
+let mailbox_post mb item =
   Mutex.lock mb.mb_mutex;
-  mb.mb_packets <- p :: mb.mb_packets;
+  mb.mb_items <- item :: mb.mb_items;
   Condition.signal mb.mb_cond;
   Mutex.unlock mb.mb_mutex
 
+(* Blocking take (stepped mode: the worker serves its ranks one at a
+   time, so waiting on the shared condition is safe — wakeups for a
+   sibling rank re-check and wait again). *)
 let mailbox_take mb =
   Mutex.lock mb.mb_mutex;
-  while mb.mb_packets = [] do
+  while mb.mb_items = [] do
     Condition.wait mb.mb_cond mb.mb_mutex
   done;
-  let p = List.hd mb.mb_packets in
-  mb.mb_packets <- List.tl mb.mb_packets;
+  let item = List.hd mb.mb_items in
+  mb.mb_items <- List.tl mb.mb_items;
   Mutex.unlock mb.mb_mutex;
-  p
+  item
+
+(* Non-blocking take (async mode's progress loop). *)
+let mailbox_try_take mb =
+  Mutex.lock mb.mb_mutex;
+  let item =
+    match mb.mb_items with
+    | [] -> None
+    | x :: rest ->
+      mb.mb_items <- rest;
+      Some x
+  in
+  Mutex.unlock mb.mb_mutex;
+  item
 
 (* --- jobs ------------------------------------------------------------------ *)
 
-(* One remap, precomputed per rank and per step by the coordinator so
-   workers only move data. *)
+(* One stepped remap, precomputed per rank and per step by the
+   coordinator so workers only move data. *)
 type job = {
   j_nranks : int;
   j_locals : Redist.message list array;  (* rank -> on-processor moves *)
@@ -136,11 +180,48 @@ type job = {
                               barrier's last arriver only *)
 }
 
+(* One async remap: no steps, no barrier.  Staged sends are flattened
+   per rank in plan (step-program) order; each carries the slot of its
+   [a_msg_wall] cell. *)
+type ajob = {
+  a_nranks : int;
+  a_locals : Redist.message list array;  (* rank -> on-processor moves *)
+  a_directs : Redist.message list array;
+      (* rank -> direct-eligible messages, executed eagerly by the
+         sender before its first send: their destination regions are
+         disjoint from every other writer's, so no ordering is needed *)
+  a_sends : (Redist.message * int) array array;
+      (* rank -> staged sends in plan order, with their wall slot *)
+  a_recvs : int array;  (* rank -> expected staged messages *)
+  a_src : Comm.endpoint;
+  a_dst : Comm.endpoint;
+  a_mailboxes : mailbox array;  (* indexed by receiving rank *)
+  a_leases : int Atomic.t array;
+      (* rank -> staging leases in flight (messages posted by that rank
+         and not yet unpacked): the per-message completion flag.  The
+         sending rank increments before posting; the receiving rank
+         decrements after unpacking and signals the sender's worker,
+         releasing one lease of the double-buffer window *)
+  a_staged : Redist.message array;  (* slot -> message (event emission) *)
+  a_msg_wall : float array;
+      (* slot -> measured post-to-completion seconds; written once by
+         the receiving worker, read by the coordinator after the job *)
+  a_stamp : bool;
+      (* stamp per-message wall clocks?  Only when the machine records a
+         trace — the stamps feed [Wall_msg] events and nothing else, so
+         untraced runs skip two clock reads per message *)
+  a_max_leases : int array;
+      (* rank -> high-water mark of simultaneously held staging leases;
+         the double-buffer bound caps it at [lease_window] *)
+}
+
+type jobkind = Stepped_job of job | Async_job of ajob
+
 type t = {
   ndomains : int;
   p_mutex : Mutex.t;
   p_cond : Condition.t;
-  mutable p_job : job option;
+  mutable p_job : jobkind option;
   mutable p_generation : int;  (* bumped per submitted job *)
   mutable p_done : int;  (* workers finished with the current job *)
   mutable p_shutdown : bool;
@@ -149,9 +230,18 @@ type t = {
   p_pools : Comm.Pool.t array;
       (* staging-buffer pool of each worker domain; only its owner touches
          it mid-job, the coordinator reads the totals between jobs *)
+  mutable p_last_max_leases : int;
+      (* max over ranks of [a_max_leases] for the last async job run on
+         this pool (0 before any); the lease-bound tests read it *)
 }
 
 let ndomains t = t.ndomains
+let last_max_leases t = t.p_last_max_leases
+
+(* The double-buffer bound: at most this many staging leases (posted,
+   un-acknowledged sends) per rank at any moment in async mode — one
+   buffer in flight while the next one packs. *)
+let lease_window = 2
 
 (* The message's precompiled runs (memoized on the message by the
    coordinator before the job was submitted; workers only read). *)
@@ -161,7 +251,7 @@ let runs_of ~(src : Comm.endpoint) ~(dst : Comm.endpoint) (m : Redist.message) =
 (* Pack one message's box into a pooled staging buffer in row-major box
    order — the identical walk as [Comm.run_message], performed on the
    sending rank.  The buffer's first [m_count] slots carry the payload. *)
-let pack pool ~(src : Comm.endpoint) ~(dst : Comm.endpoint)
+let pack_buf pool ~(src : Comm.endpoint) ~(dst : Comm.endpoint)
     (m : Redist.message) =
   let _, buf = Comm.Pool.acquire pool m.Redist.m_count in
   (if !Comm.force_scalar then begin
@@ -174,12 +264,12 @@ let pack pool ~(src : Comm.endpoint) ~(dst : Comm.endpoint)
      Comm.pack_runs (runs_of ~src ~dst m)
        (src.Comm.buffer ~rank:m.Redist.m_from)
        buf);
-  { p_msg = m; p_buf = buf }
+  buf
 
 (* Unpack on the receiving rank, then release the packet buffer into the
    receiving worker's pool. *)
-let unpack pool ~(src : Comm.endpoint) ~(dst : Comm.endpoint)
-    { p_msg = m; p_buf = buf } =
+let unpack_buf pool ~(src : Comm.endpoint) ~(dst : Comm.endpoint)
+    (m : Redist.message) buf =
   (if !Comm.force_scalar then begin
      let k = ref 0 in
      Redist.iter_box m.Redist.m_box (fun index ->
@@ -190,6 +280,8 @@ let unpack pool ~(src : Comm.endpoint) ~(dst : Comm.endpoint)
      Comm.unpack_runs (runs_of ~src ~dst m) buf
        (dst.Comm.buffer ~rank:m.Redist.m_to));
   Comm.Pool.release pool buf
+
+(* --- the stepped job body --------------------------------------------------- *)
 
 (* The SPMD body one worker runs for its ranks: local moves, then per
    step send / receive / barrier.  The last arriver at each barrier
@@ -217,20 +309,145 @@ let run_job pool w (job : job) =
           job.j_directs.(i).(r);
         List.iter
           (fun (m : Redist.message) ->
+            let buf = pack_buf my_pool ~src:job.j_src ~dst:job.j_dst m in
             mailbox_post
               job.j_mailboxes.(m.Redist.m_to)
-              (pack my_pool ~src:job.j_src ~dst:job.j_dst m))
+              { p_msg = m; p_buf = buf; p_slot = -1; p_posted = 0.0 })
           job.j_sends.(i).(r));
     each_rank (fun r ->
         for _ = 1 to job.j_recvs.(i).(r) do
-          unpack my_pool ~src:job.j_src ~dst:job.j_dst
-            (mailbox_take job.j_mailboxes.(r))
+          let p = mailbox_take job.j_mailboxes.(r) in
+          unpack_buf my_pool ~src:job.j_src ~dst:job.j_dst p.p_msg p.p_buf
         done);
     barrier_await pool.p_barrier ~on_last:(fun () ->
         let now = Unix.gettimeofday () in
         job.j_wall.(i) <- now -. job.j_tick;
         job.j_tick <- now)
   done
+
+(* --- the async job body ------------------------------------------------------ *)
+
+(* Per-rank progress state of the async discipline, owned by the hosting
+   worker. *)
+type rstate = {
+  rs_rank : int;
+  mutable rs_pending : (Redist.message * int) list;  (* sends left, plan order *)
+  mutable rs_recvs_left : int;
+}
+
+(* One worker's async body: run every hosted rank's local and direct
+   moves, then interleave the ranks through a non-blocking progress
+   loop — send when the lease window allows, otherwise drain the
+   mailbox — blocking on the worker condition only when no hosted rank
+   can move at all.
+
+   Deadlock-freedom: posts and lease releases never block, so consider
+   every worker blocked at once.  Blocked means every hosted mailbox is
+   empty and every hosted rank with sends left has a full window.  Empty
+   mailboxes mean every posted packet was unpacked, so every lease was
+   released and every window is free — then no rank has sends left, and
+   a rank waiting only on receives waits on a packet whose sender still
+   has it pending, contradiction. *)
+let run_async_job pool w (job : ajob) =
+  let my_pool = pool.p_pools.(w) in
+  let states = ref [] in
+  let r = ref w in
+  while !r < job.a_nranks do
+    List.iter
+      (fun m -> Comm.run_local ~src:job.a_src ~dst:job.a_dst m)
+      job.a_locals.(!r);
+    List.iter
+      (fun m -> Comm.run_direct ~src:job.a_src ~dst:job.a_dst m)
+      job.a_directs.(!r);
+    states :=
+      {
+        rs_rank = !r;
+        rs_pending = Array.to_list job.a_sends.(!r);
+        rs_recvs_left = job.a_recvs.(!r);
+      }
+      :: !states;
+    r := !r + pool.ndomains
+  done;
+  let states = List.rev !states in
+  let can_send st =
+    st.rs_pending <> []
+    && Atomic.get job.a_leases.(st.rs_rank) < lease_window
+  in
+  let try_progress st =
+    match st.rs_pending with
+    | (m, slot) :: rest when Atomic.get job.a_leases.(st.rs_rank) < lease_window
+      ->
+      (* a lease is free: pack the next message and post it eagerly.
+         Only the sending rank increments its own counter, so the window
+         check cannot be raced past [lease_window] *)
+      let buf = pack_buf my_pool ~src:job.a_src ~dst:job.a_dst m in
+      st.rs_pending <- rest;
+      let held = 1 + Atomic.fetch_and_add job.a_leases.(st.rs_rank) 1 in
+      if held > job.a_max_leases.(st.rs_rank) then
+        job.a_max_leases.(st.rs_rank) <- held;
+      mailbox_post
+        job.a_mailboxes.(m.Redist.m_to)
+        {
+          p_msg = m;
+          p_buf = buf;
+          p_slot = slot;
+          p_posted = (if job.a_stamp then Unix.gettimeofday () else 0.0);
+        };
+      true
+    | _ -> (
+      match mailbox_try_take job.a_mailboxes.(st.rs_rank) with
+      | Some p ->
+        (* complete the message as it arrives, stamp its wall clock,
+           release the sender's staging lease and wake its worker in
+           case it was blocked on a full window *)
+        unpack_buf my_pool ~src:job.a_src ~dst:job.a_dst p.p_msg p.p_buf;
+        if job.a_stamp then
+          job.a_msg_wall.(p.p_slot) <- Unix.gettimeofday () -. p.p_posted;
+        st.rs_recvs_left <- st.rs_recvs_left - 1;
+        let from = p.p_msg.Redist.m_from in
+        let held = Atomic.fetch_and_add job.a_leases.(from) (-1) in
+        (* wake the sender's worker only on a full-to-free transition: a
+           sender below the window never blocks on sending, and one
+           blocked on receiving is woken by the packet post itself *)
+        if held = lease_window then begin
+          let sender_mb = job.a_mailboxes.(from) in
+          Mutex.lock sender_mb.mb_mutex;
+          Condition.signal sender_mb.mb_cond;
+          Mutex.unlock sender_mb.mb_mutex
+        end;
+        true
+      | None -> false)
+  in
+  let rank_done st = st.rs_pending = [] && st.rs_recvs_left = 0 in
+  let all_done () = List.for_all rank_done states in
+  if states <> [] then begin
+    (* all mailboxes of my ranks share my (mutex, cond) pair *)
+    let mutex = job.a_mailboxes.((List.hd states).rs_rank).mb_mutex
+    and cond = job.a_mailboxes.((List.hd states).rs_rank).mb_cond in
+    while not (all_done ()) do
+      let progressed =
+        List.fold_left (fun acc st -> try_progress st || acc) false states
+      in
+      if (not progressed) && not (all_done ()) then begin
+        (* nothing moved: block until a packet lands in one of my ranks'
+           mailboxes or one of their leases is released.  Both re-checks
+           happen under the shared lock that posters and releasers
+           signal through, so a concurrent wakeup cannot be missed *)
+        Mutex.lock mutex;
+        while
+          List.for_all
+            (fun st ->
+              job.a_mailboxes.(st.rs_rank).mb_items = [] && not (can_send st))
+            states
+        do
+          Condition.wait cond mutex
+        done;
+        Mutex.unlock mutex
+      end
+    done
+  end
+
+(* --- the worker loop --------------------------------------------------------- *)
 
 let worker pool w =
   let rec loop generation =
@@ -243,7 +460,9 @@ let worker pool w =
       let generation = pool.p_generation in
       let job = Option.get pool.p_job in
       Mutex.unlock pool.p_mutex;
-      run_job pool w job;
+      (match job with
+      | Stepped_job j -> run_job pool w j
+      | Async_job j -> run_async_job pool w j);
       Mutex.lock pool.p_mutex;
       pool.p_done <- pool.p_done + 1;
       if pool.p_done = pool.ndomains then Condition.broadcast pool.p_cond;
@@ -271,6 +490,7 @@ let create ?ndomains () =
       p_barrier = barrier_make n;
       p_domains = [];
       p_pools = Array.init n (fun _ -> Comm.Pool.create ());
+      p_last_max_leases = 0;
     }
   in
   pool.p_domains <- List.init n (fun w -> Domain.spawn (fun () -> worker pool w));
@@ -303,7 +523,16 @@ let run_job_sync pool job =
 
 (* --- the executor ----------------------------------------------------------- *)
 
-let execute pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
+(* Mailboxes for a job on this pool: the mailboxes of all ranks hosted
+   by one worker share that worker's (mutex, condition) pair. *)
+let make_mailboxes pool nranks =
+  let locks =
+    Array.init pool.ndomains (fun _ -> (Mutex.create (), Condition.create ()))
+  in
+  Array.init nranks (fun r -> mailbox_make locks.(r mod pool.ndomains))
+
+let execute ?async pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
+  let async = match async with Some b -> b | None -> !Comm.force_async in
   let nranks = max 1 (max plan.Redist.nprocs_src plan.Redist.nprocs_dst) in
   let prog = Redist.step_program plan in
   let nsteps = List.length prog in
@@ -324,80 +553,130 @@ let execute pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
     List.iter precompile plan.Redist.moves
   end;
   let direct_ok = Comm.direct_enabled () in
-  let sends = Array.init nsteps (fun _ -> Array.make nranks []) in
-  let directs = Array.init nsteps (fun _ -> Array.make nranks []) in
-  let recvs = Array.init nsteps (fun _ -> Array.make nranks 0) in
-  List.iteri
-    (fun i step ->
-      List.iter
-        (fun (m : Redist.message) ->
-          if direct_ok && Comm.message_direct ~src ~dst m then
-            directs.(i).(m.Redist.m_from) <- m :: directs.(i).(m.Redist.m_from)
-          else begin
-            sends.(i).(m.Redist.m_from) <- m :: sends.(i).(m.Redist.m_from);
-            recvs.(i).(m.Redist.m_to) <- recvs.(i).(m.Redist.m_to) + 1
-          end)
-        step)
-    prog;
-  let job =
-    {
-      j_nranks = nranks;
-      j_locals = locals;
-      j_sends = sends;
-      j_directs = directs;
-      j_recvs = recvs;
-      j_src = src;
-      j_dst = dst;
-      j_mailboxes = Array.init nranks (fun _ -> mailbox_make ());
-      j_wall = Array.make nsteps 0.0;
-      j_tick = 0.0;
-    }
-  in
   let pool_totals () =
     Array.fold_left
       (fun (h, m) p -> (h + Comm.Pool.hits p, m + Comm.Pool.misses p))
       (0, 0) pool.p_pools
   in
   let hits0, misses0 = pool_totals () in
-  let t0 = Unix.gettimeofday () in
-  run_job_sync pool job;
-  let wall = Unix.gettimeofday () -. t0 in
-  let hits1, misses1 = pool_totals () in
-  (* All accounting happens here, on the coordinator, after the fact: the
-     trace replays the schedule exactly as the sequential executor records
-     it, with the measured wall clock of each step appended to its modeled
-     cost. *)
-  List.iteri
-    (fun i s ->
-      Machine.record mach
-        (Machine.Step_begin
-           {
-             index = i;
-             nb_messages = List.length s;
-             volume = Redist.step_volume s;
-           });
-      List.iter
-        (fun (m : Redist.message) ->
-          Machine.record mach
-            (Machine.Message
-               {
-                 from_rank = m.Redist.m_from;
-                 to_rank = m.Redist.m_to;
-                 count = m.Redist.m_count;
-               }))
-        s;
-      Machine.record mach
-        (Machine.Step_end
-           { index = i; time = Redist.step_time mach.Machine.cost s });
-      Machine.record mach (Machine.Wall_step { index = i; wall = job.j_wall.(i) }))
-    prog;
-  Comm.charge mach plan prog;
-  Comm.charge_datapath mach ~src ~dst plan;
   let c = mach.Machine.counters in
-  c.Machine.pool_hits <- c.Machine.pool_hits + (hits1 - hits0);
-  c.Machine.pool_misses <- c.Machine.pool_misses + (misses1 - misses0);
-  c.Machine.wall_time <- c.Machine.wall_time +. wall;
-  Machine.record mach (Machine.Wall_remap { steps = nsteps; wall })
+  if async then begin
+    (* flatten the schedule per sending rank, in step-program order;
+       every staged message gets the slot of its wall-clock cell *)
+    let directs = Array.make nranks [] in
+    let sends = Array.make nranks [] in
+    let recvs = Array.make nranks 0 in
+    let staged = ref [] in
+    let nstaged = ref 0 in
+    List.iter
+      (fun step ->
+        List.iter
+          (fun (m : Redist.message) ->
+            if direct_ok && Comm.message_direct ~src ~dst m then
+              directs.(m.Redist.m_from) <- m :: directs.(m.Redist.m_from)
+            else begin
+              let slot = !nstaged in
+              incr nstaged;
+              staged := m :: !staged;
+              sends.(m.Redist.m_from) <- (m, slot) :: sends.(m.Redist.m_from);
+              recvs.(m.Redist.m_to) <- recvs.(m.Redist.m_to) + 1
+            end)
+          step)
+      prog;
+    let job =
+      {
+        a_nranks = nranks;
+        a_locals = locals;
+        a_directs = Array.map List.rev directs;
+        a_sends = Array.map (fun l -> Array.of_list (List.rev l)) sends;
+        a_recvs = recvs;
+        a_src = src;
+        a_dst = dst;
+        a_mailboxes = make_mailboxes pool nranks;
+        a_leases = Array.init nranks (fun _ -> Atomic.make 0);
+        a_staged = Array.of_list (List.rev !staged);
+        a_msg_wall = Array.make !nstaged 0.0;
+        a_stamp = mach.Machine.record_trace;
+        a_max_leases = Array.make nranks 0;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    run_job_sync pool (Async_job job);
+    let wall = Unix.gettimeofday () -. t0 in
+    pool.p_last_max_leases <- Array.fold_left max 0 job.a_max_leases;
+    (* modeled accounting and trace replay are shared with the stepped
+       and sequential executors, so the out-of-step delivery is
+       invisible to every modeled observable; the per-message measured
+       walls follow the replayed schedule *)
+    Comm.record_schedule_trace mach prog;
+    Array.iteri
+      (fun slot (m : Redist.message) ->
+        Machine.record mach
+          (Machine.Wall_msg
+             {
+               from_rank = m.Redist.m_from;
+               to_rank = m.Redist.m_to;
+               wall = job.a_msg_wall.(slot);
+             }))
+      job.a_staged;
+    Comm.charge mach plan prog;
+    Comm.charge_datapath mach ~src ~dst plan;
+    c.Machine.async_completions <-
+      c.Machine.async_completions + Array.length job.a_staged;
+    let hits1, misses1 = pool_totals () in
+    c.Machine.pool_hits <- c.Machine.pool_hits + (hits1 - hits0);
+    c.Machine.pool_misses <- c.Machine.pool_misses + (misses1 - misses0);
+    c.Machine.wall_time <- c.Machine.wall_time +. wall;
+    Machine.record mach (Machine.Wall_remap { steps = nsteps; wall })
+  end
+  else begin
+    let sends = Array.init nsteps (fun _ -> Array.make nranks []) in
+    let directs = Array.init nsteps (fun _ -> Array.make nranks []) in
+    let recvs = Array.init nsteps (fun _ -> Array.make nranks 0) in
+    List.iteri
+      (fun i step ->
+        List.iter
+          (fun (m : Redist.message) ->
+            if direct_ok && Comm.message_direct ~src ~dst m then
+              directs.(i).(m.Redist.m_from) <- m :: directs.(i).(m.Redist.m_from)
+            else begin
+              sends.(i).(m.Redist.m_from) <- m :: sends.(i).(m.Redist.m_from);
+              recvs.(i).(m.Redist.m_to) <- recvs.(i).(m.Redist.m_to) + 1
+            end)
+          step)
+      prog;
+    let job =
+      {
+        j_nranks = nranks;
+        j_locals = locals;
+        j_sends = sends;
+        j_directs = directs;
+        j_recvs = recvs;
+        j_src = src;
+        j_dst = dst;
+        j_mailboxes = make_mailboxes pool nranks;
+        j_wall = Array.make nsteps 0.0;
+        j_tick = 0.0;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    run_job_sync pool (Stepped_job job);
+    let wall = Unix.gettimeofday () -. t0 in
+    let hits1, misses1 = pool_totals () in
+    (* All accounting happens here, on the coordinator, after the fact:
+       the trace replays the schedule exactly as the sequential executor
+       records it, with the measured wall clock of each step appended to
+       its modeled cost. *)
+    Comm.record_schedule_trace mach prog ~on_step:(fun i ->
+        Machine.record mach
+          (Machine.Wall_step { index = i; wall = job.j_wall.(i) }));
+    Comm.charge mach plan prog;
+    Comm.charge_datapath mach ~src ~dst plan;
+    c.Machine.pool_hits <- c.Machine.pool_hits + (hits1 - hits0);
+    c.Machine.pool_misses <- c.Machine.pool_misses + (misses1 - misses0);
+    c.Machine.wall_time <- c.Machine.wall_time +. wall;
+    Machine.record mach (Machine.Wall_remap { steps = nsteps; wall })
+  end
 
-let executor pool : Comm.executor =
- fun mach ~src ~dst plan -> execute pool mach ~src ~dst plan
+let executor ?async pool : Comm.executor =
+ fun mach ~src ~dst plan -> execute ?async pool mach ~src ~dst plan

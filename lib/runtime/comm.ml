@@ -77,6 +77,20 @@ let force_staged =
     | None | Some "" | Some "0" -> false
     | Some _ -> true)
 
+(* Schedule switch: deliver staged messages out of step order on the
+   parallel backend — the async dependency-driven executor (per-message
+   completion flags in the mailbox instead of a barrier per step).
+   Purely an execution-order choice: modeled counters and the replayed
+   schedule trace stay byte-identical to the stepped executor; only the
+   wall-clock events differ.  Initialized from HPFC_FORCE_ASYNC (CI runs
+   the whole suite once that way), settable by the --sched=async CLI
+   flag.  Same write discipline as [force_scalar]. *)
+let force_async =
+  ref
+    (match Sys.getenv_opt "HPFC_FORCE_ASYNC" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
 (* Zero-copy is a blit-path refinement: the scalar oracle stages every
    message, and forcing staged disables the direct fast path. *)
 let direct_enabled () = (not !force_scalar) && not !force_staged
@@ -281,6 +295,40 @@ let charge (mach : Machine.t) (plan : Redist.plan) (prog : Redist.step list) =
       max c.Machine.peak_step_volume (Redist.peak_step_volume prog);
     c.Machine.time <-
       c.Machine.time +. Redist.modeled_time_of_steps mach.Machine.cost prog
+
+(* Replay the modeled schedule into the machine trace after the fact —
+   the executor hook for out-of-step delivery.  An executor that moves
+   real data in a different wall-clock order (the parallel backend,
+   stepped or async) records the identical [Step_begin] / [Message] /
+   [Step_end] stream the sequential executor produces, so trace-level
+   oracles cannot tell executors apart; only measured wall events
+   differ.  [on_step i] runs right after step [i]'s [Step_end] (the
+   stepped backend appends its measured [Wall_step] there). *)
+let record_schedule_trace ?(on_step = fun _ -> ()) (mach : Machine.t)
+    (prog : Redist.step list) =
+  List.iteri
+    (fun i s ->
+      Machine.record mach
+        (Machine.Step_begin
+           {
+             index = i;
+             nb_messages = List.length s;
+             volume = Redist.step_volume s;
+           });
+      List.iter
+        (fun (m : Redist.message) ->
+          Machine.record mach
+            (Machine.Message
+               {
+                 from_rank = m.Redist.m_from;
+                 to_rank = m.Redist.m_to;
+                 count = m.Redist.m_count;
+               }))
+        s;
+      Machine.record mach
+        (Machine.Step_end { index = i; time = Redist.step_time mach.Machine.cost s });
+      on_step i)
+    prog
 
 (* Datapath accounting for one executed plan — [run_blits],
    [zero_copy_runs] and [staged_bytes].  Derived from the memoized runs

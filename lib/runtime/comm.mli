@@ -49,6 +49,16 @@ val force_scalar : bool ref
     between executed plans. *)
 val force_staged : bool ref
 
+(** Deliver staged messages out of step order on the parallel backend —
+    the async dependency-driven executor (per-message completion flags
+    in the mailbox instead of a barrier per step).  Purely an
+    execution-order choice: modeled counters and the replayed schedule
+    trace stay byte-identical to the stepped executor ([Machine.Wall_msg]
+    events and [async_completions] aside).  Initialized from
+    HPFC_FORCE_ASYNC, set by the [--sched=async] CLI flag.  Only write
+    it between executed plans. *)
+val force_async : bool ref
+
 (** Is the zero-copy direct datapath enabled under the current switches
     (neither scalar nor staged forced)? *)
 val direct_enabled : unit -> bool
@@ -128,6 +138,16 @@ type executor = Machine.t -> src:endpoint -> dst:endpoint -> Redist.plan -> unit
     plan, per the machine's scheduling mode — shared by every executor so
     the accounting cannot drift between backends. *)
 val charge : Machine.t -> Redist.plan -> Redist.step list -> unit
+
+(** Replay the modeled schedule into the machine trace after the fact —
+    the executor hook for out-of-step delivery: an executor that moves
+    real data in a different wall-clock order (the parallel backend,
+    stepped or async) records the identical [Step_begin] / [Message] /
+    [Step_end] stream the sequential executor produces.  [on_step i]
+    runs right after step [i]'s [Step_end] (the stepped backend appends
+    its measured [Wall_step] there). *)
+val record_schedule_trace :
+  ?on_step:(int -> unit) -> Machine.t -> Redist.step list -> unit
 
 (** Datapath accounting for one executed plan —
     [run_blits]/[zero_copy_runs]/[staged_bytes] — derived from the

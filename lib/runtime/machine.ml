@@ -56,6 +56,11 @@ type counters = {
          traffic shows up as zero_copy_runs instead *)
   mutable pool_hits : int;  (* staging buffers served from a buffer pool *)
   mutable pool_misses : int;  (* staging buffers freshly allocated *)
+  mutable async_completions : int;
+      (* staged messages completed out of step order by the async
+         dependency-driven executor (per-message completion flags instead
+         of a barrier per step); 0 under the sequential and stepped
+         parallel executors *)
   mutable time : float;  (* modeled communication time *)
   mutable wall_time : float;
       (* measured wall-clock seconds spent moving data in a real parallel
@@ -84,6 +89,7 @@ let fresh_counters () =
     staged_bytes = 0;
     pool_hits = 0;
     pool_misses = 0;
+    async_completions = 0;
     time = 0.0;
     wall_time = 0.0;
   }
@@ -113,6 +119,10 @@ type event =
   | Wall_remap of { steps : int; wall : float }
       (* measured wall-clock seconds of a whole remap (local moves plus
          every step) on a real parallel backend; precedes [Remap_end] *)
+  | Wall_msg of { from_rank : int; to_rank : int; wall : float }
+      (* measured post-to-completion wall-clock seconds of one staged
+         message under the async dependency-driven executor; one per
+         staged message, recorded after the modeled schedule replay *)
   | Dead_copy of { array : string; src : int option; dst : int }
   | Live_reuse of { array : string; dst : int }
   | Skip of { array : string; dst : int }
@@ -202,6 +212,8 @@ let pp_event ppf = function
     Fmt.pf ppf "step  #%d wall %.3f ms" index (wall *. 1e3)
   | Wall_remap { steps; wall } ->
     Fmt.pf ppf "remap wall %.3f ms over %d steps" (wall *. 1e3) steps
+  | Wall_msg { from_rank; to_rank; wall } ->
+    Fmt.pf ppf "msg   P%d -> P%d wall %.3f ms" from_rank to_rank (wall *. 1e3)
   | Dead_copy { array; src; dst } ->
     Fmt.pf ppf "dead  %s_%s -> %s_%d" array
       (match src with Some v -> string_of_int v | None -> "?")
@@ -265,6 +277,9 @@ let event_to_json = function
   | Wall_remap { steps; wall } ->
     Printf.sprintf {|{"ev":"wall_remap","steps":%d,"wall":%s}|} steps
       (json_float wall)
+  | Wall_msg { from_rank; to_rank; wall } ->
+    Printf.sprintf {|{"ev":"wall_msg","from":%d,"to":%d,"wall":%s}|} from_rank
+      to_rank (json_float wall)
   | Dead_copy { array; src; dst } ->
     Printf.sprintf {|{"ev":"dead_copy","array":"%s","src":%s,"dst":%d}|}
       (json_escape array) (json_src src) dst
@@ -313,6 +328,7 @@ let copy_counters ~into:(dst : counters) (src : counters) =
   dst.staged_bytes <- src.staged_bytes;
   dst.pool_hits <- src.pool_hits;
   dst.pool_misses <- src.pool_misses;
+  dst.async_completions <- src.async_completions;
   dst.time <- src.time;
   dst.wall_time <- src.wall_time
 
@@ -328,4 +344,6 @@ let pp_counters ppf (c : counters) =
     c.volume c.local_moves c.allocs c.frees c.evictions c.plan_hits
     c.plan_misses c.plan_evictions c.steps c.peak_step_volume c.run_blits
     c.zero_copy_runs c.staged_bytes c.pool_hits c.pool_misses c.time;
+  if c.async_completions > 0 then
+    Fmt.pf ppf " | async-completions=%d" c.async_completions;
   if c.wall_time > 0.0 then Fmt.pf ppf " | wall=%.3fms" (c.wall_time *. 1e3)

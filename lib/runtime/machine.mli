@@ -59,6 +59,11 @@ type counters = {
   mutable pool_hits : int;
       (** staging buffers served from a size-classed buffer pool *)
   mutable pool_misses : int;  (** staging buffers freshly allocated *)
+  mutable async_completions : int;
+      (** staged messages completed out of step order by the async
+          dependency-driven executor ([HPFC_FORCE_ASYNC]/[--sched=async]:
+          per-message completion flags instead of a barrier per step);
+          0 under the sequential and stepped parallel executors *)
   mutable time : float;  (** modeled communication time *)
   mutable wall_time : float;
       (** measured wall-clock seconds spent moving data in a real
@@ -96,6 +101,10 @@ type event =
   | Wall_remap of { steps : int; wall : float }
       (** measured wall-clock seconds of a whole remap on a real parallel
           backend; recorded right before [Remap_end] *)
+  | Wall_msg of { from_rank : int; to_rank : int; wall : float }
+      (** measured post-to-completion wall-clock seconds of one staged
+          message under the async dependency-driven executor; one per
+          staged message, recorded after the modeled schedule replay *)
   | Dead_copy of { array : string; src : int option; dst : int }
   | Live_reuse of { array : string; dst : int }
   | Skip of { array : string; dst : int }

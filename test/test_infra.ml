@@ -244,6 +244,93 @@ let suite =
     Alcotest.test_case "env: argument shape" `Quick test_env_call_shape_mismatch;
   ]
 
+(* --- CLI schedule parsing --------------------------------------------------- *)
+
+(* --sched=<unknown> must be a usage error naming the valid values, not
+   silently accepted; the CLI converter is a thin wrapper over
+   [Pipeline.sched_of_string], so the contract is tested here. *)
+let test_sched_of_string () =
+  let module P = Hpfc_driver.Pipeline in
+  let ok s spec =
+    match P.sched_of_string s with
+    | Ok got ->
+      Alcotest.(check string) ("parse " ^ s) (P.sched_name spec) (P.sched_name got)
+    | Error msg -> Alcotest.failf "%s rejected: %s" s msg
+  in
+  ok "burst" P.Sched_burst;
+  ok "stepped" P.Sched_stepped;
+  ok "async" P.Sched_async;
+  ok "ASYNC" P.Sched_async;
+  (* async charges like stepped; burst charges like burst *)
+  Alcotest.(check bool) "async accounts as stepped" true
+    (P.machine_mode P.Sched_async = Hpfc_runtime.Machine.Stepped);
+  Alcotest.(check bool) "burst accounts as burst" true
+    (P.machine_mode P.Sched_burst = Hpfc_runtime.Machine.Burst);
+  match P.sched_of_string "bogus" with
+  | Ok _ -> Alcotest.fail "bogus schedule accepted"
+  | Error msg ->
+    List.iter
+      (fun valid ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names %S" valid)
+          true
+          (Astring.String.is_infix ~affix:valid msg))
+      [ "bogus"; "burst"; "stepped"; "async" ]
+
+(* --- bench.json schema checker ----------------------------------------------- *)
+
+(* The CI artifact validator: every line the bench actually emits must
+   pass, and the representative rot cases must fail with a message that
+   names the problem. *)
+let test_bench_check () =
+  let module B = Hpfc_bench_check.Bench_check in
+  let ok line =
+    match B.check_line line with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.failf "rejected good line %s: %s" line msg
+  in
+  let bad reason line =
+    match B.check_line line with
+    | Ok bench -> Alcotest.failf "accepted %s (as %s): %s" reason bench line
+    | Error _ -> ()
+  in
+  ok
+    {|{"bench":"time_par","n":100000,"reps":20,"cores":1,"rows":[{"p":4,"ndomains":2,"seq_ms":1.5,"par_ms":1.2,"speedup":1.25}]}|};
+  ok
+    {|{"bench":"time_async","n":100000,"reps":20,"cores":1,"rows":[{"p":8,"ndomains":2,"stepped_ms":0.9,"async_ms":0.8,"speedup":1.12}]}|};
+  ok
+    {|{"bench":"time_pack","n":250000,"p":4,"reps":40,"cores":1,"seq_scalar_eps":1e8,"seq_blit_eps":2e8,"par_scalar_eps":1e8,"par_blit_eps":2e8,"blit_speedup":2.0}|};
+  ok
+    {|{"bench":"time_zero","n":250000,"p":4,"reps":40,"canon_staged_eps":1.0,"canon_zero_eps":2.0,"zero_speedup":2.0,"dist_staged_eps":1.0,"dist_zero_eps":2.0,"identity_zero_eps":3.0,"canon_zero_staged_bytes":0,"canon_zero_runs":12}|};
+  ok
+    {|{"bench":"fuzz","seed":42,"programs":120,"executed":100,"rejected":20,"divergences":0,"pipeline_runs":4200,"programs_per_sec":9.5}|};
+  bad "malformed JSON" {|{"bench":"fuzz","seed":|};
+  bad "trailing garbage" {|{"bench":"fuzz","seed":1}}|};
+  bad "missing bench tag" {|{"n":1,"reps":2,"cores":1,"rows":[]}|};
+  bad "unknown bench" {|{"bench":"time_warp","n":1,"reps":2,"cores":1}|};
+  bad "missing required key"
+    {|{"bench":"time_async","n":100000,"reps":20,"rows":[{"p":8,"ndomains":2,"stepped_ms":0.9,"async_ms":0.8,"speedup":1.12}]}|};
+  bad "missing row key"
+    {|{"bench":"time_async","n":100000,"reps":20,"cores":1,"rows":[{"p":8,"ndomains":2,"stepped_ms":0.9,"speedup":1.12}]}|};
+  bad "non-numeric value"
+    {|{"bench":"fuzz","seed":"42","programs":120,"executed":100,"rejected":20,"divergences":0,"pipeline_runs":4200,"programs_per_sec":9.5}|};
+  bad "empty rows" {|{"bench":"time_async","n":1,"reps":2,"cores":1,"rows":[]}|};
+  (* whole-artifact checks: counts per bench, blank lines skipped, an
+     empty artifact is rot *)
+  (match
+     B.check_lines
+       [ {|{"bench":"fuzz","seed":42,"programs":1,"executed":1,"rejected":0,"divergences":0,"pipeline_runs":42,"programs_per_sec":1.0}|};
+         "";
+         {|{"bench":"fuzz","seed":43,"programs":1,"executed":1,"rejected":0,"divergences":0,"pipeline_runs":42,"programs_per_sec":1.0}|}
+       ]
+   with
+  | Ok counts ->
+    Alcotest.(check (list (pair string int))) "counts" [ ("fuzz", 2) ] counts
+  | Error msg -> Alcotest.failf "artifact rejected: %s" msg);
+  match B.check_lines [] with
+  | Ok _ -> Alcotest.fail "empty artifact accepted"
+  | Error _ -> ()
+
 (* intent(in) dummies are read-only. *)
 let test_intent_in_write_rejected () =
   expect_error Hpfc_base.Error.Invalid_directive
@@ -273,4 +360,6 @@ let suite =
   @ [
       Alcotest.test_case "intent(in) write rejected" `Quick test_intent_in_write_rejected;
       Alcotest.test_case "all figures compile" `Quick test_all_figures_compile;
+      Alcotest.test_case "--sched value parsing" `Quick test_sched_of_string;
+      Alcotest.test_case "bench.json schema checker" `Quick test_bench_check;
     ]

@@ -12,6 +12,7 @@ let () =
       ("redist-props", Test_redist_props.suite);
       ("comm", Test_comm.suite);
       ("par", Test_par.suite);
+      ("async", Test_async.suite);
       ("pack", Test_pack.suite);
       ("codegen", Test_codegen.suite);
       ("more", Test_more.suite);

@@ -161,6 +161,7 @@ let observe ?(staged = false) ~scalar ~backend ?executor (src, dst) =
           Machine.pool_hits = 0;
           Machine.pool_misses = 0;
           Machine.wall_time = 0.0;
+          Machine.async_completions = 0;
         }
       in
       (Store.to_global (Store.get_copy d 1), c))

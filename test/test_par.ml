@@ -21,11 +21,14 @@ let pool =
      at_exit (fun () -> Hpfc_par.Par.destroy p);
      p)
 
-let par_executor () = Hpfc_par.Par.executor (Lazy.force pool)
+let par_executor ?async () = Hpfc_par.Par.executor ?async (Lazy.force pool)
 
-let remap_par ?(sched = Machine.Burst) ~src ~dst fill =
-  Test_comm.remap ~backend:Store.Distributed ~sched ~executor:(par_executor ())
-    ~src ~dst fill
+(* [async] pins the execution discipline for discipline-specific tests;
+   left out, the executor follows [Comm.force_async] so the generic
+   properties run under whichever discipline the environment forces. *)
+let remap_par ?(sched = Machine.Burst) ?async ~src ~dst fill =
+  Test_comm.remap ~backend:Store.Distributed ~sched
+    ~executor:(par_executor ?async ()) ~src ~dst fill
 
 let remap_seq ?(sched = Machine.Burst) ~src ~dst fill =
   Test_comm.remap ~backend:Store.Distributed ~sched ~src ~dst fill
@@ -73,7 +76,9 @@ let prop_par_trace_replays_schedule =
     ~name:"stepped parallel trace replays the schedule, one wall per step"
     ~print:Test_redist_props.print_pair ~count:120 Test_redist_props.gen_pair
     (fun (src, dst) ->
-      let m, s, d = remap_par ~sched:Machine.Stepped ~src ~dst float_of_int in
+      let m, s, d =
+        remap_par ~sched:Machine.Stepped ~async:false ~src ~dst float_of_int
+      in
       let plan = Store.plan_for s d ~src:0 ~dst:1 in
       let prog = Redist.step_program plan in
       let events = Machine.events m in
@@ -117,8 +122,9 @@ let prop_par_counters_equal_seq =
     ~name:"parallel modeled counters = sequential (wall and pool excluded)"
     ~print:Test_redist_props.print_pair ~count:120 Test_redist_props.gen_pair
     (fun (src, dst) ->
-      (* wall time is measured, and pool hit/miss splits depend on each
-         executor's pool history; everything else — including run_blits,
+      (* wall time is measured, pool hit/miss splits depend on each
+         executor's pool history, and async completions only exist on
+         the parallel backend; everything else — including run_blits,
          charged from the shared memoized runs — must match exactly *)
       let scrub (m : Machine.t) =
         {
@@ -126,6 +132,7 @@ let prop_par_counters_equal_seq =
           Machine.wall_time = 0.0;
           Machine.pool_hits = 0;
           Machine.pool_misses = 0;
+          Machine.async_completions = 0;
         }
       in
       let mp, _, _ = remap_par ~sched:Machine.Stepped ~src ~dst float_of_int

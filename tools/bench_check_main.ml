@@ -1,0 +1,33 @@
+(* CLI wrapper over [Bench_check]: validate a bench.json artifact.
+
+   Usage: bench_check FILE — exits 0 and prints the per-bench line
+   counts when every line conforms, exits 1 with the offending line
+   otherwise. *)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+    match Hpfc_bench_check.Bench_check.check_lines (read_lines path) with
+    | Ok counts ->
+      List.iter
+        (fun (bench, n) -> Printf.printf "%s: %d line(s) ok\n" bench n)
+        counts;
+      Printf.printf "%s: schema ok\n" path
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 1)
+  | _ ->
+    prerr_endline "usage: bench_check FILE";
+    exit 2
