@@ -2,6 +2,7 @@
 
      hpfc compile FILE [--naive] [--dump-gr] [--dump-gr-opt] [--dump-code]
      hpfc run FILE [--entry NAME] [-s x=3] [--naive] [--compare]
+     hpfc serve FILE --tenants=N [--sched=MODE] [--plan-cache=N] [--check]
      hpfc figures [ID]
 
    See README.md for the language. *)
@@ -33,6 +34,23 @@ let naive_flag =
 
 let pipeline_of_naive naive =
   if naive then I.naive_pipeline else I.full_pipeline
+
+let plan_cache_conv =
+  let parse s =
+    Result.map_error
+      (fun e -> `Msg e)
+      (Hpfc_driver.Pipeline.plan_cache_of_string s)
+  in
+  Arg.conv (parse, Fmt.int)
+
+let plan_cache_arg =
+  Arg.(
+    value
+    & opt (some plan_cache_conv) None
+    & info [ "plan-cache" ] ~docv:"N"
+        ~doc:
+          "LRU capacity of the remapping plan cache (positive; default 512, \
+           or the $(b,HPFC_PLAN_CACHE) environment variable).")
 
 let compile_cmd =
   let dump_gr = Arg.(value & flag & info [ "dump-gr" ] ~doc:"Print the remapping graph before optimization.") in
@@ -110,7 +128,8 @@ let run_cmd =
   let scalar = Arg.(value & flag & info [ "scalar" ] ~doc:"Move data element by element through the per-element closures (the differential oracle) instead of blitting compiled runs; same as HPFC_FORCE_SCALAR=1.") in
   let staged = Arg.(value & flag & info [ "staged" ] ~doc:"Stage every message through a pooled pack/unpack buffer even when a zero-copy direct blit is eligible; same as HPFC_FORCE_STAGED=1.") in
   let compare_lex (a, _) (b, _) = Stdlib.compare a b in
-  let run file naive entry scalars compare distributed par trace sched scalar staged =
+  let run file naive entry scalars compare distributed par trace sched scalar
+      staged plan_cache =
     handle (fun () ->
         if scalar then Hpfc_runtime.Comm.force_scalar := true;
         if staged then Hpfc_runtime.Comm.force_staged := true;
@@ -163,7 +182,7 @@ let run_cmd =
                 Hpfc_driver.Pipeline.run_source
                   ~pipeline:(pipeline_of_naive naive) ~scalars ?entry ~backend
                   ?executor:(Option.map (fun p -> Hpfc_par.Par.executor p) pool)
-                  ~machine
+                  ~machine ?plan_cache
                   src)
           in
           (* with --trace, stdout is a pure JSON-lines stream (one event
@@ -199,7 +218,166 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated machine.")
-    Term.(const run $ file_arg $ naive_flag $ entry $ scalars $ compare $ distributed $ par $ trace $ sched $ scalar $ staged)
+    Term.(const run $ file_arg $ naive_flag $ entry $ scalars $ compare $ distributed $ par $ trace $ sched $ scalar $ staged $ plan_cache_arg)
+
+(* --- serve -------------------------------------------------------------------- *)
+
+(* Replay one workload program as N concurrent tenant streams through the
+   multi-tenant remap service: every tenant interprets the program with
+   its remappings delegated to the shared service ([Serve.executor]), its
+   plans looked up through its private cache chained to the shared
+   sharded cache.  [--check] additionally replays each tenant's stream
+   alone through the sequential executor and verifies values and
+   (scrubbed) counters are identical. *)
+let serve_cmd =
+  let module Serve = Hpfc_serve.Serve in
+  let entry = Arg.(value & opt (some string) None & info [ "entry" ] ~docv:"NAME" ~doc:"Entry routine (default: first).") in
+  let scalars = Arg.(value & opt_all scalar_assignments [] & info [ "s"; "set" ] ~docv:"X=V" ~doc:"Set a scalar before execution.") in
+  let tenants = Arg.(value & opt int 4 & info [ "tenants" ] ~docv:"N" ~doc:"Number of concurrent tenant streams.") in
+  let workers = Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc:"Service worker domains (default: one per tenant, capped by cores).") in
+  let repeat = Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"R" ~doc:"Replay the workload R times per tenant (plans stay cached across replays).") in
+  let window = Arg.(value & opt int 8 & info [ "window" ] ~docv:"W" ~doc:"Per-tenant admission window (max queued requests).") in
+  let quantum = Arg.(value & opt int 1 & info [ "quantum" ] ~docv:"Q" ~doc:"Deficit-round-robin quantum of the dispatcher.") in
+  let no_fusion = Arg.(value & flag & info [ "no-fusion" ] ~doc:"Disable remap fusion: every request executes as its own batch.") in
+  let check = Arg.(value & flag & info [ "check" ] ~doc:"Also replay each tenant solo through the sequential executor and verify values and modeled counters are identical.") in
+  let sched_conv =
+    let parse s =
+      Result.map_error
+        (fun e -> `Msg e)
+        (Hpfc_driver.Pipeline.sched_of_string s)
+    in
+    Arg.conv (parse, fun ppf s -> Fmt.string ppf (Hpfc_driver.Pipeline.sched_name s))
+  in
+  let sched = Arg.(value & opt ~vopt:(Some Hpfc_driver.Pipeline.Sched_stepped) (some sched_conv) None & info [ "sched" ] ~docv:"MODE" ~doc:"Communication schedule of every tenant machine: $(b,burst) (default), $(b,stepped), or $(b,async) (single-worker service executing through the dependency-driven parallel backend).") in
+  let run file naive entry scalars tenants workers repeat window quantum
+      no_fusion check sched plan_cache =
+    handle (fun () ->
+        if tenants < 1 then begin
+          Fmt.epr "hpfc: --tenants expects a positive integer@.";
+          exit 2
+        end;
+        let sched_spec =
+          Option.value sched ~default:Hpfc_driver.Pipeline.Sched_burst
+        in
+        let async = sched_spec = Hpfc_driver.Pipeline.Sched_async in
+        let sched_mode = Hpfc_driver.Pipeline.machine_mode sched_spec in
+        let src = read_file file in
+        let pipeline = pipeline_of_naive naive in
+        (* async executes through the domain-parallel backend: the pool
+           has one coordinator, so the service runs single-worker with
+           the pool installed as its singleton executor *)
+        let pool = if async then Some (Hpfc_par.Par.create ()) else None in
+        let backend =
+          if async then Hpfc_runtime.Store.Distributed
+          else Hpfc_runtime.Store.Canonical
+        in
+        let svc =
+          Serve.create ~tenants ~window ~quantum ~fusion:(not no_fusion)
+            ?workers:(if async then Some 1 else workers)
+            ?cache_capacity:plan_cache
+            ?singleton_executor:
+              (Option.map (fun p -> Hpfc_par.Par.executor ~async:true p) pool)
+            ()
+        in
+        let replay ~executor ~plans =
+          (* one tenant stream: R replays on one machine, plans cached
+             across replays *)
+          let machine = Machine.create ~nprocs:4 ~sched:sched_mode () in
+          let last = ref None in
+          for _ = 1 to repeat do
+            last :=
+              Some
+                (Hpfc_driver.Pipeline.run_source ~pipeline ~scalars ?entry
+                   ~backend ~executor ~machine ~plans src)
+          done;
+          (machine, Option.get !last)
+        in
+        let t0 = Unix.gettimeofday () in
+        let doms =
+          List.init tenants (fun i ->
+              Domain.spawn (fun () ->
+                  try
+                    Ok
+                      (replay
+                         ~executor:(Serve.executor svc ~tenant:i)
+                         ~plans:(Serve.tenant_cache svc i))
+                  with e -> Error e))
+        in
+        let results =
+          List.map
+            (fun d -> match Domain.join d with Ok r -> r | Error e -> raise e)
+            doms
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let stats = Serve.shutdown svc in
+        Option.iter Hpfc_par.Par.destroy pool;
+        List.iteri
+          (fun i ((m : Machine.t), _) ->
+            Fmt.pr "tenant %d: %a@." i Machine.pp_counters
+              m.Machine.counters)
+          results;
+        let lat = stats.Serve.latencies in
+        Array.sort compare lat;
+        let pct p =
+          let n = Array.length lat in
+          if n = 0 then 0.0
+          else lat.(min (n - 1) (int_of_float (float_of_int n *. p)))
+        in
+        Fmt.pr
+          "serve: %d tenants, %d workers | %d requests in %d batches (%d \
+           fused batches, %d fused remaps) | %.3f s wall, %.0f requests/s | \
+           latency p50 %.3f ms, p99 %.3f ms@."
+          tenants (Serve.config svc).Serve.workers stats.Serve.requests
+          stats.Serve.batches stats.Serve.fused_batches
+          stats.Serve.fused_members wall
+          (float_of_int stats.Serve.requests /. Float.max wall 1e-9)
+          (pct 0.50 *. 1e3) (pct 0.99 *. 1e3);
+        if check then begin
+          (* solo replay: same stream, sequential executor, private
+             cache of the same capacity — the correctness bar says the
+             serve-side values and counters must match byte for byte
+             (modulo the executor-history classes every cross-executor
+             comparison scrubs: wall clock, staging pool totals, async
+             completions, and the service's own fusion counter) *)
+          let scrubbed (m : Machine.t) =
+            let c = Machine.snapshot_counters m in
+            c.Machine.wall_time <- 0.0;
+            c.Machine.pool_hits <- 0;
+            c.Machine.pool_misses <- 0;
+            c.Machine.async_completions <- 0;
+            c.Machine.fused_remaps <- 0;
+            c
+          in
+          let solo_exec : Hpfc_runtime.Comm.executor =
+           fun mach ~src ~dst plan -> Hpfc_runtime.Comm.execute mach ~src ~dst plan
+          in
+          let failures = ref 0 in
+          List.iteri
+            (fun i ((m : Machine.t), (r : I.result)) ->
+              let solo_m, solo_r =
+                replay ~executor:solo_exec
+                  ~plans:(Hpfc_runtime.Redist.Plan_cache.create
+                            ?capacity:plan_cache ())
+              in
+              let values_ok =
+                r.I.final_scalars = solo_r.I.final_scalars
+                && r.I.final_arrays = solo_r.I.final_arrays
+              in
+              let counters_ok = scrubbed m = scrubbed solo_m in
+              if not (values_ok && counters_ok) then incr failures;
+              Fmt.pr "check: tenant %d values %s, counters %s@." i
+                (if values_ok then "agree" else "DIFFER")
+                (if counters_ok then "agree" else "DIFFER"))
+            results;
+          if !failures > 0 then exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Replay a workload as N concurrent tenant streams through the \
+          multi-tenant remap service.")
+    Term.(const run $ file_arg $ naive_flag $ entry $ scalars $ tenants $ workers $ repeat $ window $ quantum $ no_fusion $ check $ sched $ plan_cache_arg)
 
 (* --- schedule ------------------------------------------------------------------ *)
 
@@ -288,4 +466,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "hpfc" ~doc)
-          [ compile_cmd; run_cmd; figures_cmd; schedule_cmd ]))
+          [ compile_cmd; run_cmd; serve_cmd; figures_cmd; schedule_cmd ]))

@@ -10,6 +10,7 @@ module Version = Hpfc_remap.Version
 module Gen = Hpfc_codegen.Gen
 module I = Hpfc_interp.Interp
 module Machine = Hpfc_runtime.Machine
+module Redist = Hpfc_runtime.Redist
 
 type compile_report = {
   routine : string;
@@ -111,10 +112,21 @@ let machine_mode = function
   | Sched_burst -> Machine.Burst
   | Sched_stepped | Sched_async -> Machine.Stepped
 
+(* The CLI's [--plan-cache] vocabulary: a positive LRU capacity.  Kept
+   next to [sched_of_string] so both flags reject bad spellings with a
+   cmdliner usage error rather than a crash mid-run. *)
+let plan_cache_of_string s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok n
+  | Some _ | None ->
+    Error
+      (Printf.sprintf
+         "invalid plan-cache capacity %S, expected a positive integer" s)
+
 (* Parse, compile and run a whole program from source. *)
 let run_source ?(pipeline = I.full_pipeline) ?(scalars = []) ?entry
-    ?use_interval_engine ?backend ?executor ?machine ?sched ?record_trace src :
-    I.result =
+    ?use_interval_engine ?backend ?executor ?machine ?sched ?record_trace
+    ?plans ?plan_cache src : I.result =
   let prog = Hpfc_parser.Parser.parse_program src in
   let entry =
     match entry with
@@ -122,8 +134,14 @@ let run_source ?(pipeline = I.full_pipeline) ?(scalars = []) ?entry
     | None -> (List.hd prog.Ast.routines).Ast.r_name
   in
   let compiled = I.compile ~pipeline prog in
+  let plans =
+    match (plans, plan_cache) with
+    | Some _, _ -> plans
+    | None, Some capacity -> Some (Redist.Plan_cache.create ~capacity ())
+    | None, None -> None
+  in
   I.run ?machine ?sched ?record_trace ?use_interval_engine ?backend ?executor
-    compiled ~entry ~scalars ()
+    ?plans compiled ~entry ~scalars ()
 
 (* Compare the naive and the fully optimized pipeline on the same program;
    used by every Q experiment. *)

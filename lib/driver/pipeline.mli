@@ -48,11 +48,19 @@ val sched_of_string : string -> (sched_spec, string) result
     stepped. *)
 val machine_mode : sched_spec -> Hpfc_runtime.Machine.sched_mode
 
+(** Parse a [--plan-cache] value: a positive LRU capacity.  Zero,
+    negative and non-integer spellings get an error message (surfaced as
+    a cmdliner usage error by the CLI).  The parsed capacity takes
+    precedence over the [HPFC_PLAN_CACHE] environment variable. *)
+val plan_cache_of_string : string -> (int, string) result
+
 (** Parse, compile and run a whole program from source.  [sched] selects
     burst or stepped communication accounting for the default machine;
     [record_trace] turns on its structured event trace; [executor]
     installs an alternative communication executor (e.g. the
-    domain-parallel backend's). *)
+    domain-parallel backend's); [plans] installs an external plan cache
+    for the whole call tree, while [plan_cache] (ignored when [plans] is
+    given) creates one with that LRU capacity. *)
 val run_source :
   ?pipeline:Hpfc_interp.Interp.pipeline ->
   ?scalars:(string * Hpfc_interp.Interp.value) list ->
@@ -63,6 +71,8 @@ val run_source :
   ?machine:Hpfc_runtime.Machine.t ->
   ?sched:Hpfc_runtime.Machine.sched_mode ->
   ?record_trace:bool ->
+  ?plans:Hpfc_runtime.Redist.Plan_cache.t ->
+  ?plan_cache:int ->
   string ->
   Hpfc_interp.Interp.result
 

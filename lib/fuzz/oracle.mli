@@ -43,8 +43,10 @@ val check_case : Gen.case -> outcome
 (** Optimizer passes checked individually by {!check_pass}. *)
 val pass_names : string list
 
-(** One pass against the all-off baseline: semantics preserved and
-    modeled traffic (messages, volume, remaps) never increased. *)
+(** One pass against the all-off baseline: semantics preserved, volume
+    and remap count never increased, and messages never increased for
+    the route-preserving passes (all but remove_useless — see
+    oracle.ml on why route contraction may add messages). *)
 val check_pass : string -> Gen.case -> outcome
 
 (** Accepted programs run through an oracle so far (cumulative). *)

@@ -433,7 +433,7 @@ let force_par () =
 
 let run ?(machine : Machine.t option) ?(sched = Machine.Burst)
     ?(record_trace = false) ?(use_interval_engine = true)
-    ?(backend = Store.Canonical) ?executor ?(scalars = []) (p : program)
+    ?(backend = Store.Canonical) ?executor ?plans ?(scalars = []) (p : program)
     ~entry () : result =
   let target =
     match Hashtbl.find_opt p.compiled entry with
@@ -459,7 +459,7 @@ let run ?(machine : Machine.t option) ?(sched = Machine.Burst)
   let frame =
     {
       routine = target;
-      store = Store.create ~use_interval_engine ~backend ?executor machine;
+      store = Store.create ~use_interval_engine ~backend ?executor ?plans machine;
       scalars = Hashtbl.create 8;
       tainted = Hashtbl.create 4;
       saved = Hashtbl.create 4;

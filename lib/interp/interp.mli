@@ -69,6 +69,9 @@ val compile : ?pipeline:pipeline -> Hpfc_lang.Ast.program -> program
     [HPFC_FORCE_PAR] sets the team size) — the CI hook that executes the
     whole suite on the parallel backend ([HPFC_FORCE_ASYNC] additionally
     makes it deliver out of step order, via [Comm.force_async]).
+    [plans] installs an external plan cache for the whole call tree
+    (e.g. a service tenant's cache, or one sized by [--plan-cache]);
+    when absent the root frame creates its own.
     @raise Hpfc_base.Error.Hpf_error on runtime faults or calls to
     unknown routines. *)
 val run :
@@ -78,6 +81,7 @@ val run :
   ?use_interval_engine:bool ->
   ?backend:Hpfc_runtime.Store.backend ->
   ?executor:Hpfc_runtime.Comm.executor ->
+  ?plans:Hpfc_runtime.Redist.Plan_cache.t ->
   ?scalars:(string * value) list ->
   program ->
   entry:string ->

@@ -418,3 +418,126 @@ let execute (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
     prog;
   charge mach plan prog;
   charge_datapath mach ~src ~dst plan
+
+(* --- fused batch execution -------------------------------------------------- *)
+
+(* Execute several plan instances as one fused batch — the serve layer's
+   remap fusion.  The batch is a list of groups; each group is one plan
+   object shared by its members (same canonical layout pair, so the same
+   messages against different payloads), and distinct groups carry plans
+   whose rank footprints the caller has checked are disjoint, so
+   overlaying their step programs index by index keeps every fused step
+   contention-free in the modeled machine.
+
+   Per member, the observable accounting is exactly the sequential
+   [execute]'s: the same [Step_begin] / [Message] / [Step_end] stream on
+   its machine (members only ever see their own steps), then [charge] and
+   [charge_datapath] from the same memoized runs.  What fusion actually
+   shares is the work: one step walk per group, and one pooled staging
+   lease per message reused across every staged member (pack member k's
+   source, deliver, unpack member k's target, fully overwriting the lease
+   before member k+1) — so only the pool totals, which executors may
+   distribute differently by design, distinguish a fused run from solo
+   runs.  The caller charges [fused_remaps]; this function is policy-free. *)
+let execute_fused ?(pool = default_pool)
+    (groups : (Redist.plan * (Machine.t * endpoint * endpoint) list) list) =
+  (* local moves first, per member, exactly like [execute] *)
+  List.iter
+    (fun ((plan : Redist.plan), members) ->
+      List.iter
+        (fun (_, src, dst) -> List.iter (run_local ~src ~dst) plan.Redist.locals)
+        members)
+    groups;
+  let progs =
+    List.map
+      (fun (plan, members) ->
+        (Array.of_list (Redist.step_program plan), members))
+      groups
+  in
+  let nsteps =
+    List.fold_left (fun acc (p, _) -> max acc (Array.length p)) 0 progs
+  in
+  let direct_ok = direct_enabled () in
+  for i = 0 to nsteps - 1 do
+    List.iter
+      (fun (prog, members) ->
+        if i < Array.length prog then begin
+          let s = prog.(i) in
+          List.iter
+            (fun ((mach : Machine.t), _, _) ->
+              Machine.record mach
+                (Machine.Step_begin
+                   {
+                     index = i;
+                     nb_messages = List.length s;
+                     volume = Redist.step_volume s;
+                   }))
+            members;
+          List.iter
+            (fun (m : Redist.message) ->
+              (* one staging lease per message, shared by every staged
+                 member of the group; acquired lazily so an all-direct
+                 message touches no buffer, charged to the first staged
+                 member's machine *)
+              let staging = ref None in
+              List.iter
+                (fun ((mach : Machine.t), src, dst) ->
+                  (if direct_ok && message_direct ~src ~dst m then
+                     run_direct ~src ~dst m
+                   else begin
+                     let buf =
+                       match !staging with
+                       | Some b -> b
+                       | None ->
+                         let c = mach.Machine.counters in
+                         let hit, b = Pool.acquire pool m.Redist.m_count in
+                         if hit then
+                           c.Machine.pool_hits <- c.Machine.pool_hits + 1
+                         else c.Machine.pool_misses <- c.Machine.pool_misses + 1;
+                         staging := Some b;
+                         b
+                     in
+                     if !force_scalar then begin
+                       let k = ref 0 in
+                       Redist.iter_box m.Redist.m_box (fun index ->
+                           Buf.set buf !k (src.read ~rank:m.Redist.m_from index);
+                           incr k);
+                       let k = ref 0 in
+                       Redist.iter_box m.Redist.m_box (fun index ->
+                           dst.write ~rank:m.Redist.m_to index (Buf.get buf !k);
+                           incr k)
+                     end
+                     else begin
+                       let runs = runs_of ~src ~dst m in
+                       pack_runs runs (src.buffer ~rank:m.Redist.m_from) buf;
+                       unpack_runs runs buf (dst.buffer ~rank:m.Redist.m_to)
+                     end
+                   end);
+                  Machine.record mach
+                    (Machine.Message
+                       {
+                         from_rank = m.Redist.m_from;
+                         to_rank = m.Redist.m_to;
+                         count = m.Redist.m_count;
+                       }))
+                members;
+              Option.iter (Pool.release pool) !staging)
+            s;
+          List.iter
+            (fun ((mach : Machine.t), _, _) ->
+              Machine.record mach
+                (Machine.Step_end
+                   { index = i; time = Redist.step_time mach.Machine.cost s }))
+            members
+        end)
+      progs
+  done;
+  List.iter
+    (fun (plan, members) ->
+      let prog = Redist.step_program plan in
+      List.iter
+        (fun (mach, src, dst) ->
+          charge mach plan prog;
+          charge_datapath mach ~src ~dst plan)
+        members)
+    groups

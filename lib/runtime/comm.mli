@@ -164,3 +164,21 @@ val charge_datapath :
 (** Execute a plan end to end: local moves first, then the step program
     in schedule order. *)
 val execute : executor
+
+(** Execute several plan instances as one fused batch — the serve
+    layer's remap fusion.  Each group is one plan object shared by its
+    members (same canonical layout pair: the same messages against
+    different payloads); distinct groups must carry plans with disjoint
+    rank footprints, so overlaying their step programs index by index
+    keeps every fused step contention-free.  Per member, the observable
+    accounting (trace stream, {!charge}, {!charge_datapath}) is exactly
+    the sequential {!execute}'s; what fusion shares is the work — one
+    step walk per group and one pooled staging lease per message reused
+    across the group's staged members — so only the pool totals
+    distinguish a fused run from solo runs.  The caller charges
+    [fused_remaps].  [pool] defaults to {!default_pool}; pass a private
+    pool from concurrent workers. *)
+val execute_fused :
+  ?pool:Pool.t ->
+  (Redist.plan * (Machine.t * endpoint * endpoint) list) list ->
+  unit

@@ -61,6 +61,11 @@ type counters = {
          dependency-driven executor (per-message completion flags instead
          of a barrier per step); 0 under the sequential and stepped
          parallel executors *)
+  mutable fused_remaps : int;
+      (* remaps executed as members of a multi-tenant fused batch (same
+         layout pair, or plans with disjoint rank footprints, sharing one
+         step walk and pooled staging leases in the serve layer); 0
+         outside the service *)
   mutable time : float;  (* modeled communication time *)
   mutable wall_time : float;
       (* measured wall-clock seconds spent moving data in a real parallel
@@ -90,6 +95,7 @@ let fresh_counters () =
     pool_hits = 0;
     pool_misses = 0;
     async_completions = 0;
+    fused_remaps = 0;
     time = 0.0;
     wall_time = 0.0;
   }
@@ -329,10 +335,20 @@ let copy_counters ~into:(dst : counters) (src : counters) =
   dst.pool_hits <- src.pool_hits;
   dst.pool_misses <- src.pool_misses;
   dst.async_completions <- src.async_completions;
+  dst.fused_remaps <- src.fused_remaps;
   dst.time <- src.time;
   dst.wall_time <- src.wall_time
 
 let reset t = copy_counters ~into:t.counters (fresh_counters ())
+
+(* A detached copy of the live counters — the serve layer's per-tenant
+   snapshots: the record is mutable and another domain may be executing
+   against it, so handing out the live record would let a report skew
+   mid-read. *)
+let snapshot_counters t =
+  let c = fresh_counters () in
+  copy_counters ~into:c t.counters;
+  c
 
 let pp_counters ppf (c : counters) =
   Fmt.pf ppf
@@ -346,4 +362,5 @@ let pp_counters ppf (c : counters) =
     c.zero_copy_runs c.staged_bytes c.pool_hits c.pool_misses c.time;
   if c.async_completions > 0 then
     Fmt.pf ppf " | async-completions=%d" c.async_completions;
+  if c.fused_remaps > 0 then Fmt.pf ppf " | fused=%d" c.fused_remaps;
   if c.wall_time > 0.0 then Fmt.pf ppf " | wall=%.3fms" (c.wall_time *. 1e3)

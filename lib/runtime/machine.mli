@@ -64,6 +64,11 @@ type counters = {
           dependency-driven executor ([HPFC_FORCE_ASYNC]/[--sched=async]:
           per-message completion flags instead of a barrier per step);
           0 under the sequential and stepped parallel executors *)
+  mutable fused_remaps : int;
+      (** remaps executed as members of a multi-tenant fused batch (same
+          layout pair, or plans with disjoint rank footprints, sharing
+          one step walk and pooled staging leases in the serve layer);
+          0 outside the service *)
   mutable time : float;  (** modeled communication time *)
   mutable wall_time : float;
       (** measured wall-clock seconds spent moving data in a real
@@ -169,5 +174,10 @@ val event_to_json : event -> string
 
 (** Zero all counters. *)
 val reset : t -> unit
+
+(** A detached copy of the machine's live counters — safe to report from
+    another domain than the one executing (the serve layer's per-tenant
+    snapshots). *)
+val snapshot_counters : t -> counters
 
 val pp_counters : Format.formatter -> counters -> unit

@@ -78,12 +78,17 @@ type message = {
   m_to : int;  (* receiver, linear rank in the target grid *)
   m_count : int;  (* elements = box_size m_box *)
   m_box : box;
-  mutable m_paths : (int * datapath) list;
+  m_paths : (int * datapath) list Atomic.t;
       (* compiled datapaths (runs + staging-vs-direct decision) memoized
          per (src, dst) addressing-kind key, next to the plan's memoized
-         [sprog]; at most four entries.  Parallel executors must
-         precompile on the coordinator before sharing the message with
-         workers. *)
+         [sprog]; at most four entries.  Published through an atomic so
+         a domain that finds the memo already filled observes fully
+         built run arrays (plans cached in a sharded Plan_cache are
+         shared across service workers); concurrent fills of one key
+         compute identical runs and the CAS keeps whichever lands
+         first.  Parallel executors still precompile on the coordinator
+         before sharing the message with workers — the memo makes late
+         fills safe, not free. *)
 }
 
 type plan = {
@@ -315,7 +320,7 @@ let plan_intervals ~(src : Layout.t) ~(dst : Layout.t) : plan =
                 m_to = pd;
                 m_count = !count;
                 m_box = message_box ~src ~dst tables cs cd;
-                m_paths = [];
+                m_paths = Atomic.make [];
               }
             in
             (* processors are identified across layouts by linear rank *)
@@ -365,7 +370,9 @@ let plan_naive ~(src : Layout.t) ~(dst : Layout.t) : plan =
       and cd = Procs.delinearize dst.Layout.procs t in
       let b = message_box ~src ~dst tables cs cd in
       assert (box_size b = n);
-      let m = { m_from = f; m_to = t; m_count = n; m_box = b; m_paths = [] } in
+      let m =
+        { m_from = f; m_to = t; m_count = n; m_box = b; m_paths = Atomic.make [] }
+      in
       if f = t then locals := m :: !locals else moves := m :: !moves)
     tally;
   make_plan ~moves:!moves ~locals:!locals ~nprocs_src:np_src ~nprocs_dst:np_dst
@@ -537,16 +544,23 @@ let addressing_kind = function Row_major _ -> 0 | Owner_local _ -> 1
    directly. *)
 let message_datapath ~src ~dst (m : message) =
   let key = addressing_kind src lor (addressing_kind dst lsl 1) in
-  match List.assoc_opt key m.m_paths with
-  | Some path -> path
-  | None ->
-    let runs = compile_runs ~src ~dst m in
-    let direct =
-      m.m_from = m.m_to || (addressing_kind src = 0 && addressing_kind dst = 0)
-    in
-    let path = if direct then Direct runs else Staged runs in
-    m.m_paths <- (key, path) :: m.m_paths;
-    path
+  let rec probe () =
+    let cur = Atomic.get m.m_paths in
+    match List.assoc_opt key cur with
+    | Some path -> path
+    | None ->
+      let runs = compile_runs ~src ~dst m in
+      let direct =
+        m.m_from = m.m_to
+        || (addressing_kind src = 0 && addressing_kind dst = 0)
+      in
+      let path = if direct then Direct runs else Staged runs in
+      (* a lost CAS means another domain filled the memo first; its entry
+         is identical, so re-probe and use it *)
+      if Atomic.compare_and_set m.m_paths cur ((key, path) :: cur) then path
+      else probe ()
+  in
+  probe ()
 
 let message_runs ~src ~dst (m : message) =
   match message_datapath ~src ~dst m with Direct runs | Staged runs -> runs
@@ -601,7 +615,19 @@ let equal p1 p2 = pairs p1 = pairs p2 && local_pairs p1 = local_pairs p2
    but the first occurrence free.  The key strips everything
    [Layout.equal] ignores — grid names — and keeps everything it compares:
    extents, grid shapes, per-grid-dimension sources and per-array-dimension
-   roles of both sides. *)
+   roles of both sides.
+
+   The cache is sharded for the multi-tenant service: keys hash-stripe
+   over independently locked shards, each an exact LRU over its slice of
+   the capacity.  A hit takes no lock to *find* the plan — shards publish
+   an immutable map through an [Atomic.t], and a generation stamp
+   certifies the probed snapshot was not mutated under the reader — and
+   only a brief shard-lock to move the entry to the front of the
+   intrusive doubly-linked recency list (O(1), replacing the old
+   O(capacity) eviction scan).  Misses compute under the shard lock, so
+   one canonical key is never planned twice within a shard no matter how
+   many tenants race on it.  Small caches collapse to a single shard, so
+   the pre-sharding tests observe the identical exact-LRU sequence. *)
 module Plan_cache = struct
   type side = {
     k_shape : int array;
@@ -621,73 +647,185 @@ module Plan_cache = struct
   let key ~(src : Layout.t) ~(dst : Layout.t) =
     { k_extents = src.Layout.extents; k_src = side src; k_dst = side dst }
 
-  (* Entries carry a last-use tick for the LRU bound; the table never
-     holds more than [capacity] plans, so long multi-kernel runs cannot
-     grow the cache without limit. *)
-  type entry = { e_plan : plan; mutable e_tick : int }
+  module Kmap = Map.Make (struct
+    type t = key
+
+    (* keys are extents / shapes / source and role variants — plain data,
+       safe under the polymorphic compare *)
+    let compare = Stdlib.compare
+  end)
+
+  (* Entries sit both in the shard's published map and on an intrusive
+     doubly-linked recency list ([e_prev] toward the MRU end); eviction
+     pops the LRU tail in O(1) instead of scanning the whole table. *)
+  type entry = {
+    e_key : key;
+    e_plan : plan;
+    mutable e_prev : entry option;
+    mutable e_next : entry option;
+  }
+
+  type shard = {
+    lock : Mutex.t;
+    map : entry Kmap.t Atomic.t;
+        (* immutable snapshot, replaced wholesale under [lock]: lock-free
+           readers always probe a self-consistent map, and the atomic
+           publish carries every write made before it (the plan, its
+           precompiled step program) to other domains *)
+    gen : int Atomic.t;
+        (* bumped on every map mutation (insert / evict / clear), never
+           on a recency touch: a probe that reads the same generation on
+           both sides of its map lookup saw a stable snapshot *)
+    s_capacity : int;
+    mutable mru : entry option;
+    mutable lru : entry option;
+    mutable s_size : int;
+    mutable s_hits : int;
+    mutable s_misses : int;
+    mutable s_evictions : int;
+  }
 
   type t = {
-    table : (key, entry) Hashtbl.t;
-    capacity : int;
-    mutable clock : int;  (* bumped on every touch; max tick = most recent *)
-    mutable hits : int;
-    mutable misses : int;
-    mutable evictions : int;
+    shards : shard array;
+    total_capacity : int;
+    parent : t option;
+        (* two-level lookup for the multi-tenant service: a per-tenant
+           cache keeps solo-identical hit/miss/eviction accounting while
+           plan *construction* is deduplicated in a shared parent — a
+           tenant miss computes through [parent], so the same canonical
+           key built by another tenant is shared, never rebuilt *)
   }
 
   let default_capacity = 512
 
-  let create ?(capacity = default_capacity) () =
-    {
-      table = Hashtbl.create 64;
-      capacity = max 1 capacity;
-      clock = 0;
-      hits = 0;
-      misses = 0;
-      evictions = 0;
-    }
+  (* HPFC_PLAN_CACHE overrides the capacity of caches created without an
+     explicit one (the --plan-cache CLI flag passes ?capacity and takes
+     precedence).  Invalid or non-positive values are ignored. *)
+  let env_capacity =
+    lazy
+      (match Sys.getenv_opt "HPFC_PLAN_CACHE" with
+      | None | Some "" -> None
+      | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some n when n >= 1 -> Some n
+        | Some _ | None -> None))
 
-  let size c = Hashtbl.length c.table
-  let capacity c = c.capacity
-  let hits c = c.hits
-  let misses c = c.misses
-  let evictions c = c.evictions
+  (* One shard per 64 plans of capacity, capped at 8: the default 512
+     stripes 8 ways, while small test caches (capacity 2) stay a single
+     exact LRU — sharding splits the capacity, so a sharded cache is
+     LRU-exact per stripe, not globally. *)
+  let default_shards capacity = max 1 (min 8 (capacity / 64))
+
+  let create ?capacity ?shards ?parent () =
+    let capacity =
+      match capacity with
+      | Some c -> max 1 c
+      | None -> (
+        match Lazy.force env_capacity with
+        | Some c -> c
+        | None -> default_capacity)
+    in
+    let n =
+      min
+        (match shards with Some s -> max 1 s | None -> default_shards capacity)
+        capacity
+    in
+    let shard i =
+      {
+        lock = Mutex.create ();
+        map = Atomic.make Kmap.empty;
+        gen = Atomic.make 0;
+        s_capacity = (capacity / n) + (if i < capacity mod n then 1 else 0);
+        mru = None;
+        lru = None;
+        s_size = 0;
+        s_hits = 0;
+        s_misses = 0;
+        s_evictions = 0;
+      }
+    in
+    { shards = Array.init n shard; total_capacity = capacity; parent }
+
+  let shard_of c k =
+    let n = Array.length c.shards in
+    c.shards.(if n = 1 then 0 else Hashtbl.hash k mod n)
+
+  (* Totals summed across shards.  Plain reads: exact when quiescent
+     (every test and report point), advisory while writers race. *)
+  let sum c f = Array.fold_left (fun acc s -> acc + f s) 0 c.shards
+  let size c = sum c (fun s -> s.s_size)
+  let capacity c = c.total_capacity
+  let nshards c = Array.length c.shards
+  let hits c = sum c (fun s -> s.s_hits)
+  let misses c = sum c (fun s -> s.s_misses)
+  let evictions c = sum c (fun s -> s.s_evictions)
 
   let clear c =
-    Hashtbl.reset c.table;
-    c.clock <- 0;
-    c.hits <- 0;
-    c.misses <- 0;
-    c.evictions <- 0
+    Array.iter
+      (fun s ->
+        Mutex.lock s.lock;
+        Atomic.set s.map Kmap.empty;
+        Atomic.incr s.gen;
+        s.mru <- None;
+        s.lru <- None;
+        s.s_size <- 0;
+        s.s_hits <- 0;
+        s.s_misses <- 0;
+        s.s_evictions <- 0;
+        Mutex.unlock s.lock)
+      c.shards
 
-  let touch c e =
-    c.clock <- c.clock + 1;
-    e.e_tick <- c.clock
+  (* Recency-list surgery, all under the shard lock. *)
+  let unlink s e =
+    (match e.e_prev with
+    | Some p -> p.e_next <- e.e_next
+    | None -> s.mru <- e.e_next);
+    (match e.e_next with
+    | Some nx -> nx.e_prev <- e.e_prev
+    | None -> s.lru <- e.e_prev);
+    e.e_prev <- None;
+    e.e_next <- None
 
-  (* Drop the least recently used entry (O(size) scan; the capacity is a
-     few hundred, and eviction only runs once the cache is full). *)
-  let evict_lru c =
-    let victim =
-      Hashtbl.fold
-        (fun k e acc ->
-          match acc with
-          | Some (_, t) when t <= e.e_tick -> acc
-          | _ -> Some (k, e.e_tick))
-        c.table None
-    in
-    match victim with
-    | Some (k, _) ->
-      Hashtbl.remove c.table k;
-      c.evictions <- c.evictions + 1
+  let push_front s e =
+    e.e_prev <- None;
+    e.e_next <- s.mru;
+    (match s.mru with Some m -> m.e_prev <- Some e | None -> s.lru <- Some e);
+    s.mru <- Some e
+
+  let touch s e =
+    match s.mru with
+    | Some m when m == e -> ()
+    | _ ->
+      unlink s e;
+      push_front s e
+
+  (* Drop the least recently used entry: pop the list tail, O(1). *)
+  let evict_lru s =
+    match s.lru with
     | None -> ()
+    | Some victim ->
+      unlink s victim;
+      Atomic.set s.map (Kmap.remove victim.e_key (Atomic.get s.map));
+      Atomic.incr s.gen;
+      s.s_size <- s.s_size - 1;
+      s.s_evictions <- s.s_evictions + 1
 
   (* Look up the plan for (src, dst), calling [compute] on a miss.  Hit,
      miss and eviction totals go to the cache itself and, when given, to
      the [machine] — counter bumps plus a [Plan_lookup] trace event (the
      cache outlives machine resets, so per-run reports use the machine's
-     view). *)
-  let find c ?machine ~src ~dst compute =
+     view).
+
+     Fast path: a generation-stamped lock-free probe.  Read the shard
+     generation, probe the published snapshot, re-read the generation —
+     if it moved, a mutation raced the probe and the locked path decides;
+     if it held, the entry is current and only the O(1) recency touch
+     takes the lock.  The miss path re-probes and computes *under* the
+     shard lock, so concurrent tenants missing on one canonical key plan
+     it exactly once. *)
+  let rec find c ?machine ~src ~dst compute =
     let k = key ~src ~dst in
+    let s = shard_of c k in
     let note hit =
       Option.iter
         (fun (m : Machine.t) ->
@@ -697,28 +835,60 @@ module Plan_cache = struct
           Machine.record m (Machine.Plan_lookup { hit }))
         machine
     in
-    match Hashtbl.find_opt c.table k with
-    | Some e ->
-      c.hits <- c.hits + 1;
-      touch c e;
+    let hit e =
+      Mutex.lock s.lock;
+      s.s_hits <- s.s_hits + 1;
+      (* the entry may have been evicted between probe and lock; its plan
+         is still valid, and re-touching a detached entry would corrupt
+         the list, so only touch what the current map holds *)
+      (match Kmap.find_opt k (Atomic.get s.map) with
+      | Some cur when cur == e -> touch s e
+      | Some _ | None -> ());
+      Mutex.unlock s.lock;
       note true;
       e.e_plan
-    | None ->
-      c.misses <- c.misses + 1;
-      note false;
-      let p = compute () in
-      if Hashtbl.length c.table >= c.capacity then begin
-        evict_lru c;
-        Option.iter
-          (fun (m : Machine.t) ->
-            m.Machine.counters.Machine.plan_evictions <-
-              m.Machine.counters.Machine.plan_evictions + 1)
-          machine
-      end;
-      let e = { e_plan = p; e_tick = 0 } in
-      touch c e;
-      Hashtbl.add c.table k e;
-      p
+    in
+    let g = Atomic.get s.gen in
+    match Kmap.find_opt k (Atomic.get s.map) with
+    | Some e when Atomic.get s.gen = g -> hit e
+    | _ -> (
+      Mutex.lock s.lock;
+      match Kmap.find_opt k (Atomic.get s.map) with
+      | Some e ->
+        s.s_hits <- s.s_hits + 1;
+        touch s e;
+        Mutex.unlock s.lock;
+        note true;
+        e.e_plan
+      | None ->
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock s.lock)
+          (fun () ->
+            s.s_misses <- s.s_misses + 1;
+            note false;
+            let p =
+              match c.parent with
+              | None -> compute ()
+              | Some parent -> find parent ~src ~dst compute
+            in
+            (* precompile the step program before publication, so other
+               domains that pick the plan out of the shared snapshot never
+               race its memo *)
+            ignore (step_program p);
+            if s.s_size >= s.s_capacity then begin
+              evict_lru s;
+              Option.iter
+                (fun (m : Machine.t) ->
+                  m.Machine.counters.Machine.plan_evictions <-
+                    m.Machine.counters.Machine.plan_evictions + 1)
+                machine
+            end;
+            let e = { e_key = k; e_plan = p; e_prev = None; e_next = None } in
+            push_front s e;
+            Atomic.set s.map (Kmap.add k e (Atomic.get s.map));
+            Atomic.incr s.gen;
+            s.s_size <- s.s_size + 1;
+            p))
 end
 
 let pp ppf plan =

@@ -61,12 +61,15 @@ type message = {
   m_to : int;  (** receiver, linear rank in the target grid *)
   m_count : int;  (** elements, [= box_size m_box] *)
   m_box : box;
-  mutable m_paths : (int * datapath) list;
+  m_paths : (int * datapath) list Atomic.t;
       (** compiled datapaths (runs plus the staging-vs-direct decision)
           memoized per (src, dst) addressing-kind key, next to the
-          plan's memoized step program.  Parallel executors must
-          precompile on the coordinator (see {!message_datapath}) before
-          sharing the message with worker domains. *)
+          plan's memoized step program.  Atomically published, so a
+          domain that finds the memo filled observes fully built run
+          arrays even when plans are shared through the sharded
+          {!Plan_cache}; parallel executors still precompile on the
+          coordinator (see {!message_datapath}) before sharing the
+          message with worker domains. *)
 }
 
 type plan = {
@@ -192,7 +195,14 @@ val equal : plan -> plan -> bool
 (** Memoized plans keyed by canonicalized (source layout, target layout,
     extents): loop-carried remappings between the same layout pair pay
     planning cost once.  The key keeps exactly what
-    {!Hpfc_mapping.Layout.equal} compares (grid names are stripped). *)
+    {!Hpfc_mapping.Layout.equal} compares (grid names are stripped).
+
+    Safe for concurrent use from multiple domains: keys hash-stripe over
+    mutex-protected shards, each an exact O(1) LRU (intrusive recency
+    list) over its slice of the capacity; hits probe an atomically
+    published snapshot without the lock (a generation stamp certifies
+    the probe) and misses compute under the shard lock, so one canonical
+    key is never planned twice within a shard. *)
 module Plan_cache : sig
   type t
 
@@ -201,13 +211,24 @@ module Plan_cache : sig
   val default_capacity : int
 
   (** The cache holds at most [capacity] plans (>= 1, clamped); beyond
-      that the least recently used plan is evicted. *)
-  val create : ?capacity:int -> unit -> t
+      that the least recently used plan of the full shard is evicted.
+      [capacity] defaults to the HPFC_PLAN_CACHE environment variable
+      when set to a positive integer, else {!default_capacity}.
+      [shards] (default: one per 64 plans of capacity, at most 8, so
+      small caches keep one globally exact LRU) stripes the capacity;
+      [parent] chains a second cache level — misses compute through the
+      parent, so plan construction is shared across caches (the
+      multi-tenant service gives every tenant a private cache with
+      solo-identical accounting over one shared parent). *)
+  val create : ?capacity:int -> ?shards:int -> ?parent:t -> unit -> t
 
   (** Cached plans currently held. *)
   val size : t -> int
 
   val capacity : t -> int
+
+  (** Number of lock stripes the capacity is split over. *)
+  val nshards : t -> int
 
   (** Lifetime hit/miss/eviction totals of this cache (machine counters
       are bumped per find when given, and reset independently). *)

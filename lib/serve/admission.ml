@@ -1,0 +1,60 @@
+(* Deficit round robin over tenants — the fairness half of admission
+   control (the bounded in-flight window in [Bqueue] is the other half).
+
+   Each tenant holds a credit counter; granting a request costs one
+   unit.  The dispatcher scans from a rotating cursor for a ready tenant
+   (backlogged and not already being served) with credit; when every
+   ready tenant is out of credit, ready tenants are replenished by
+   [quantum] and the scan repeats.  Invariant: between two consecutive
+   grants to a continuously backlogged tenant, any other continuously
+   backlogged tenant is granted at most [quantum] requests — a
+   heavy-tail tenant with a thousand queued remaps advances the light
+   tenants' heads just as fast as its own.
+
+   No internal synchronization: the dispatch state is owned by the
+   service lock. *)
+
+type t = {
+  deficits : int array;
+  quantum : int;
+  mutable cursor : int;  (* next tenant considered first *)
+}
+
+let create ~tenants ~quantum =
+  { deficits = Array.make (max 1 tenants) 0; quantum = max 1 quantum; cursor = 0 }
+
+(* Grant one request to the next ready tenant, or [None] when no tenant
+   is ready.  [ready i] must be stable for the duration of the call. *)
+let next t ~ready =
+  let n = Array.length t.deficits in
+  let scan () =
+    let rec go i =
+      if i = n then None
+      else
+        let idx = (t.cursor + i) mod n in
+        if ready idx && t.deficits.(idx) >= 1 then Some idx else go (i + 1)
+    in
+    go 0
+  in
+  let any = ref false in
+  for i = 0 to n - 1 do
+    if ready i then any := true
+  done;
+  if not !any then None
+  else begin
+    let idx =
+      match scan () with
+      | Some idx -> idx
+      | None ->
+        (* every ready tenant is out of credit: replenish and rescan
+           (guaranteed to succeed — some ready tenant now holds
+           [quantum] >= 1) *)
+        for i = 0 to n - 1 do
+          if ready i then t.deficits.(i) <- t.deficits.(i) + t.quantum
+        done;
+        Option.get (scan ())
+    in
+    t.deficits.(idx) <- t.deficits.(idx) - 1;
+    t.cursor <- (idx + 1) mod n;
+    Some idx
+  end

@@ -1,0 +1,33 @@
+(* Bounded per-tenant request queue — the admission window.  A plain
+   ring buffer with no internal synchronization: every operation runs
+   under the service lock, which also provides the room/work condition
+   variables the service blocks on.  A tenant can never have more than
+   [capacity] requests in flight (queued or executing), so one tenant's
+   burst cannot occupy the service's memory or starve the dispatch
+   scan. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int;  (* next pop position *)
+  mutable len : int;
+}
+
+let create ~capacity = { buf = Array.make (max 1 capacity) None; head = 0; len = 0 }
+let capacity t = Array.length t.buf
+let length t = t.len
+let is_empty t = t.len = 0
+let is_full t = t.len = Array.length t.buf
+
+let push t x =
+  if is_full t then invalid_arg "Bqueue.push: full";
+  t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+  t.len <- t.len + 1
+
+let pop t =
+  match t.buf.(t.head) with
+  | None -> invalid_arg "Bqueue.pop: empty"
+  | Some x ->
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    x

@@ -277,6 +277,29 @@ let test_sched_of_string () =
           (Astring.String.is_infix ~affix:valid msg))
       [ "bogus"; "burst"; "stepped"; "async" ]
 
+(* --plan-cache=<not a positive int> must be a usage error too; same
+   contract shape as --sched. *)
+let test_plan_cache_of_string () =
+  let module P = Hpfc_driver.Pipeline in
+  let ok s n =
+    match P.plan_cache_of_string s with
+    | Ok got -> Alcotest.(check int) ("parse " ^ s) n got
+    | Error msg -> Alcotest.failf "%s rejected: %s" s msg
+  in
+  ok "1" 1;
+  ok "512" 512;
+  ok " 64 " 64 (* whitespace tolerated, like the env var *);
+  List.iter
+    (fun s ->
+      match P.plan_cache_of_string s with
+      | Ok n -> Alcotest.failf "%S accepted as %d" s n
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error for %S quotes the input" s)
+          true
+          (Astring.String.is_infix ~affix:s msg))
+    [ "0"; "-3"; "many"; "" ]
+
 (* --- bench.json schema checker ----------------------------------------------- *)
 
 (* The CI artifact validator: every line the bench actually emits must
@@ -304,6 +327,8 @@ let test_bench_check () =
     {|{"bench":"time_zero","n":250000,"p":4,"reps":40,"canon_staged_eps":1.0,"canon_zero_eps":2.0,"zero_speedup":2.0,"dist_staged_eps":1.0,"dist_zero_eps":2.0,"identity_zero_eps":3.0,"canon_zero_staged_bytes":0,"canon_zero_runs":12}|};
   ok
     {|{"bench":"fuzz","seed":42,"programs":120,"executed":100,"rejected":20,"divergences":0,"pipeline_runs":4200,"programs_per_sec":9.5}|};
+  ok
+    {|{"bench":"time_serve","n":50000,"tenants":4,"requests":32,"cores":1,"rows":[{"tenants":4,"workers":1,"requests":128,"serial_rps":743.6,"serve_rps":633.5,"speedup":0.85,"p50_ms":0.93,"p99_ms":14.7,"fused_remaps":96}]}|};
   bad "malformed JSON" {|{"bench":"fuzz","seed":|};
   bad "trailing garbage" {|{"bench":"fuzz","seed":1}}|};
   bad "missing bench tag" {|{"n":1,"reps":2,"cores":1,"rows":[]}|};
@@ -315,6 +340,10 @@ let test_bench_check () =
   bad "non-numeric value"
     {|{"bench":"fuzz","seed":"42","programs":120,"executed":100,"rejected":20,"divergences":0,"pipeline_runs":4200,"programs_per_sec":9.5}|};
   bad "empty rows" {|{"bench":"time_async","n":1,"reps":2,"cores":1,"rows":[]}|};
+  bad "time_serve row missing latency key"
+    {|{"bench":"time_serve","n":50000,"tenants":4,"requests":32,"cores":1,"rows":[{"tenants":4,"workers":1,"requests":128,"serial_rps":743.6,"serve_rps":633.5,"speedup":0.85,"p50_ms":0.93,"fused_remaps":96}]}|};
+  bad "time_serve missing rows"
+    {|{"bench":"time_serve","n":50000,"tenants":4,"requests":32,"cores":1}|};
   (* whole-artifact checks: counts per bench, blank lines skipped, an
      empty artifact is rot *)
   (match
@@ -361,5 +390,7 @@ let suite =
       Alcotest.test_case "intent(in) write rejected" `Quick test_intent_in_write_rejected;
       Alcotest.test_case "all figures compile" `Quick test_all_figures_compile;
       Alcotest.test_case "--sched value parsing" `Quick test_sched_of_string;
+      Alcotest.test_case "--plan-cache value parsing" `Quick
+        test_plan_cache_of_string;
       Alcotest.test_case "bench.json schema checker" `Quick test_bench_check;
     ]

@@ -410,7 +410,7 @@ let test_direct_overlap_inplace () =
           m_count = n / 2;
           m_box =
             [| Ivset.Periodic { period = 2; pattern = [ (1, 2) ]; extent = n } |];
-          m_paths = [];
+          m_paths = Atomic.make [];
         }
       in
       let fresh () = Buf.of_array (Array.init n float_of_int) in

@@ -209,6 +209,14 @@ let schemas : (string * schema) list =
             "identity_zero_eps"; "canon_zero_staged_bytes"; "canon_zero_runs" ];
         rows = None;
       } );
+    ( "time_serve",
+      {
+        top = [ "n"; "tenants"; "requests"; "cores" ];
+        rows =
+          Some
+            [ "tenants"; "workers"; "requests"; "serial_rps"; "serve_rps";
+              "speedup"; "p50_ms"; "p99_ms"; "fused_remaps" ];
+      } );
     ( "fuzz",
       {
         top =
