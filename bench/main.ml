@@ -1145,6 +1145,84 @@ let time_zero () =
      corner turn stages its cross-rank messages on both paths, so the \
      two columns should track each other there.@."
 
+(* --- TIME_COLLECTIVE: collective lowering vs stepped p2p -------------------------- *)
+
+(* The corner turn of TIME_PAR under both lowerings on the sequential
+   stepped executor: identical modeled volume by construction, a small
+   constant-factor wall premium for the slicing (each message crosses
+   the pool once per slice instead of once), and the collective's
+   budget-sliced phases cap the peak staging footprint — strictly below
+   p2p's whole-message steps on the balanced P=8 fan-out. *)
+let time_collective () =
+  section "time_collective"
+    "collective lowering vs stepped p2p: wall time and peak staging bytes";
+  let module Comm = Hpfc_runtime.Comm in
+  let with_lower l f =
+    let saved = !Comm.force_lower in
+    Comm.force_lower := l;
+    Fun.protect ~finally:(fun () -> Comm.force_lower := saved) f
+  in
+  let cores = Domain.recommended_domain_count () in
+  let n = 100_000 in
+  let reps = 20 in
+  row "block -> cyclic corner turn, n=%d, sequential stepped executor@." n;
+  row "%4s | %12s %12s | %10s %10s | %7s %6s@." "P" "p2p wall(ms)"
+    "coll wall(ms)" "p2p peakB" "coll peakB" "phases" "steps";
+  let json_rows = ref [] in
+  List.iter
+    (fun p ->
+      let measure l =
+        with_lower l (fun () ->
+            let m, _, remap = corner_turn ~n ~p () in
+            remap () (* warm the plan cache before timing *);
+            let (), t =
+              time_of (fun () -> for _ = 1 to reps do remap () done)
+            in
+            (t /. float_of_int reps, m.Machine.counters.Machine.peak_bytes))
+      in
+      let p2p_ms, p2p_peak = measure Comm.Lower_p2p in
+      let coll_ms, coll_peak = measure Comm.Lower_collective in
+      (* schedule shapes, from the memoized plan programs *)
+      let mk dist =
+        Layout.of_mapping ~extents:[| n |]
+          (Mapping.direct ~array_name:"a" ~extents:[| n |] ~dist:[| dist |]
+             ~procs:(Procs.linear "P" p))
+      in
+      let plan =
+        Redist.plan_intervals ~src:(mk Dist.block) ~dst:(mk Dist.cyclic)
+      in
+      let phases = Redist.nb_phases (Redist.collective_program plan)
+      and steps = List.length (Redist.step_program plan) in
+      (* the lowering's contract, enforced on every bench run: bounded
+         peak everywhere, strictly lower on the balanced P=8 fan-out *)
+      assert (coll_peak <= p2p_peak);
+      assert (p < 8 || coll_peak < p2p_peak);
+      row "%4d | %12.3f %12.3f | %10d %10d | %7d %6d@." p (p2p_ms *. 1e3)
+        (coll_ms *. 1e3) p2p_peak coll_peak phases steps;
+      json_rows :=
+        Printf.sprintf
+          {|{"p":%d,"p2p_ms":%.6f,"coll_ms":%.6f,"p2p_peak_bytes":%d,"coll_peak_bytes":%d,"phases":%d,"steps":%d}|}
+          p (p2p_ms *. 1e3) (coll_ms *. 1e3) p2p_peak coll_peak phases steps
+        :: !json_rows)
+    [ 4; 8 ];
+  (match Sys.getenv_opt "HPFC_BENCH_JSON" with
+  | Some path when path <> "" ->
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    Printf.fprintf oc
+      {|{"bench":"time_collective","n":%d,"reps":%d,"cores":%d,"rows":[%s]}|}
+      n reps cores
+      (String.concat "," (List.rev !json_rows));
+    output_char oc '\n';
+    close_out oc;
+    row "json summary written to %s@." path
+  | Some _ | None -> ());
+  row
+    "shape: both lowerings move the same bytes through the same pool; \
+     the collective pays a small constant factor of wall time (a pool \
+     round-trip and a clipped run walk per slice instead of per \
+     message) to cap the peak staging footprint at O(volume/P) per \
+     phase — at P=8 the whole-message p2p steps stage strictly more.@."
+
 (* --- TIMELINE: per-step trace of a stepped run ------------------------------------ *)
 
 let timeline () =
@@ -1202,7 +1280,7 @@ let timeline () =
    per second and any divergences; the JSON summary joins the bench
    artifact next to the timing sections. *)
 let fuzz () =
-  section "fuzz" "differential fuzzer throughput (42-run matrix + serve pass per program)";
+  section "fuzz" "differential fuzzer throughput (66-run matrix + serve pass per program)";
   let count =
     match Sys.getenv_opt "HPFC_FUZZ_COUNT" with
     | Some v -> ( match int_of_string_opt (String.trim v) with Some n -> n | None -> 300)
@@ -1275,6 +1353,7 @@ let sections () =
       ("time_serve", time_serve);
       ("time_pack", time_pack);
       ("time_zero", time_zero);
+      ("time_collective", time_collective);
       ("timeline", timeline);
       ("fuzz", fuzz);
     ]

@@ -52,6 +52,26 @@ let plan_cache_arg =
           "LRU capacity of the remapping plan cache (positive; default 512, \
            or the $(b,HPFC_PLAN_CACHE) environment variable).")
 
+let lower_conv =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Hpfc_driver.Pipeline.lower_of_string s)
+  in
+  Arg.conv
+    (parse, fun ppf l -> Fmt.string ppf (Hpfc_driver.Pipeline.lower_name l))
+
+let lower_arg =
+  Arg.(
+    value
+    & opt (some lower_conv) None
+    & info [ "lower" ] ~docv:"MODE"
+        ~doc:
+          "Lowering of cross-processor traffic: $(b,p2p) (default) executes \
+           the contention-free point-to-point step program; \
+           $(b,collective) compiles the plan to a short sequence of portable \
+           collective phases (ring shift classes, budget-bounded slices) \
+           with peak staging memory at or below the p2p peak; $(b,auto) \
+           picks per plan from the cost model.  Same as HPFC_FORCE_LOWER.")
+
 let compile_cmd =
   let dump_gr = Arg.(value & flag & info [ "dump-gr" ] ~doc:"Print the remapping graph before optimization.") in
   let dump_gr_opt = Arg.(value & flag & info [ "dump-gr-opt" ] ~doc:"Print the remapping graph after optimization.") in
@@ -129,10 +149,11 @@ let run_cmd =
   let staged = Arg.(value & flag & info [ "staged" ] ~doc:"Stage every message through a pooled pack/unpack buffer even when a zero-copy direct blit is eligible; same as HPFC_FORCE_STAGED=1.") in
   let compare_lex (a, _) (b, _) = Stdlib.compare a b in
   let run file naive entry scalars compare distributed par trace sched scalar
-      staged plan_cache =
+      staged lower plan_cache =
     handle (fun () ->
         if scalar then Hpfc_runtime.Comm.force_scalar := true;
         if staged then Hpfc_runtime.Comm.force_staged := true;
+        Option.iter (fun l -> Hpfc_runtime.Comm.force_lower := l) lower;
         let sched_spec =
           Option.value sched ~default:Hpfc_driver.Pipeline.Sched_burst
         in
@@ -218,7 +239,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute on the simulated machine.")
-    Term.(const run $ file_arg $ naive_flag $ entry $ scalars $ compare $ distributed $ par $ trace $ sched $ scalar $ staged $ plan_cache_arg)
+    Term.(const run $ file_arg $ naive_flag $ entry $ scalars $ compare $ distributed $ par $ trace $ sched $ scalar $ staged $ lower_arg $ plan_cache_arg)
 
 (* --- serve -------------------------------------------------------------------- *)
 
@@ -250,12 +271,15 @@ let serve_cmd =
   in
   let sched = Arg.(value & opt ~vopt:(Some Hpfc_driver.Pipeline.Sched_stepped) (some sched_conv) None & info [ "sched" ] ~docv:"MODE" ~doc:"Communication schedule of every tenant machine: $(b,burst) (default), $(b,stepped), or $(b,async) (single-worker service executing through the dependency-driven parallel backend).") in
   let run file naive entry scalars tenants workers repeat window quantum
-      no_fusion check sched plan_cache =
+      no_fusion check sched lower plan_cache =
     handle (fun () ->
         if tenants < 1 then begin
           Fmt.epr "hpfc: --tenants expects a positive integer@.";
           exit 2
         end;
+        (* both the service workers and the --check solo replays read the
+           global switch, so serve and solo legs run the same lowering *)
+        Option.iter (fun l -> Hpfc_runtime.Comm.force_lower := l) lower;
         let sched_spec =
           Option.value sched ~default:Hpfc_driver.Pipeline.Sched_burst
         in
@@ -346,6 +370,7 @@ let serve_cmd =
             c.Machine.pool_misses <- 0;
             c.Machine.async_completions <- 0;
             c.Machine.fused_remaps <- 0;
+            c.Machine.pool_lease_peak <- 0;
             c
           in
           let solo_exec : Hpfc_runtime.Comm.executor =
@@ -377,7 +402,7 @@ let serve_cmd =
        ~doc:
          "Replay a workload as N concurrent tenant streams through the \
           multi-tenant remap service.")
-    Term.(const run $ file_arg $ naive_flag $ entry $ scalars $ tenants $ workers $ repeat $ window $ quantum $ no_fusion $ check $ sched $ plan_cache_arg)
+    Term.(const run $ file_arg $ naive_flag $ entry $ scalars $ tenants $ workers $ repeat $ window $ quantum $ no_fusion $ check $ sched $ lower_arg $ plan_cache_arg)
 
 (* --- schedule ------------------------------------------------------------------ *)
 
@@ -409,7 +434,8 @@ let schedule_cmd =
   let extents = Arg.(value & opt (list int) [ 16 ] & info [ "n" ] ~docv:"N,N" ~doc:"Array extents.") in
   let nprocs = Arg.(value & opt int 4 & info [ "p" ] ~docv:"P" ~doc:"Number of processors (linear grid).") in
   let steps = Arg.(value & flag & info [ "steps" ] ~doc:"Also print the contention-free step decomposition and its stepped vs burst modeled time.") in
-  let run src dst extents nprocs steps =
+  let phases = Arg.(value & flag & info [ "phases" ] ~doc:"Also print the collective phase program (ring shift classes, budget-bounded slices) with its modeled time and peak staging volume.") in
+  let run src dst extents nprocs steps phases =
     handle (fun () ->
         let mk dists =
           Hpfc_mapping.Layout.of_mapping ~extents:(Array.of_list extents)
@@ -432,12 +458,25 @@ let schedule_cmd =
             (Hpfc_runtime.Redist.modeled_time_of_steps cost prog)
             (List.length prog)
             (Hpfc_runtime.Redist.peak_step_volume prog)
+        end;
+        if phases then begin
+          Fmt.pr "%a" Hpfc_runtime.Redist.pp_phases plan;
+          let cost = Machine.default_cost in
+          let cp = Hpfc_runtime.Redist.collective_program plan in
+          Fmt.pr
+            "collective (%s) time %.1f in %d phases (%d slices), peak %d \
+             elements/phase@."
+            (Hpfc_runtime.Redist.phase_kind_name cp.Hpfc_runtime.Redist.c_kind)
+            (Hpfc_runtime.Redist.modeled_time_of_phases cost cp)
+            (Hpfc_runtime.Redist.nb_phases cp)
+            (Hpfc_runtime.Redist.nb_slices cp)
+            (Hpfc_runtime.Redist.peak_collective_volume plan)
         end)
   in
   Cmd.v
     (Cmd.info "schedule"
        ~doc:"Print the per-processor message schedule of a redistribution.")
-    Term.(const run $ src $ dst $ extents $ nprocs $ steps)
+    Term.(const run $ src $ dst $ extents $ nprocs $ steps $ phases)
 
 (* --- figures ------------------------------------------------------------------ *)
 

@@ -11,6 +11,7 @@ module Gen = Hpfc_codegen.Gen
 module I = Hpfc_interp.Interp
 module Machine = Hpfc_runtime.Machine
 module Redist = Hpfc_runtime.Redist
+module Comm = Hpfc_runtime.Comm
 
 type compile_report = {
   routine : string;
@@ -112,6 +113,30 @@ let machine_mode = function
   | Sched_burst -> Machine.Burst
   | Sched_stepped | Sched_async -> Machine.Stepped
 
+(* The CLI's lowering vocabulary — how cross-processor traffic is
+   scheduled and executed: the point-to-point step program, the
+   budget-sliced collective phase program, or a per-plan cost-model
+   choice.  The spec type is [Comm.lowering] itself; the executed data
+   is identical either way, only schedule shape and peak staging memory
+   differ. *)
+let lower_specs =
+  [
+    ("p2p", Comm.Lower_p2p);
+    ("collective", Comm.Lower_collective);
+    ("auto", Comm.Lower_auto);
+  ]
+
+let lower_name spec =
+  fst (List.find (fun (_, s) -> s = spec) lower_specs)
+
+let lower_of_string s =
+  match List.assoc_opt (String.lowercase_ascii s) lower_specs with
+  | Some spec -> Ok spec
+  | None ->
+    Error
+      (Printf.sprintf "invalid lowering %S, expected one of %s" s
+         (String.concat " | " (List.map fst lower_specs)))
+
 (* The CLI's [--plan-cache] vocabulary: a positive LRU capacity.  Kept
    next to [sched_of_string] so both flags reject bad spellings with a
    cmdliner usage error rather than a crash mid-run. *)
@@ -123,10 +148,13 @@ let plan_cache_of_string s =
       (Printf.sprintf
          "invalid plan-cache capacity %S, expected a positive integer" s)
 
-(* Parse, compile and run a whole program from source. *)
+(* Parse, compile and run a whole program from source.  [lower] pins the
+   lowering switch for the duration of the run (saved and restored, so
+   callers interleaving differently lowered runs cannot leak the
+   setting). *)
 let run_source ?(pipeline = I.full_pipeline) ?(scalars = []) ?entry
-    ?use_interval_engine ?backend ?executor ?machine ?sched ?record_trace
-    ?plans ?plan_cache src : I.result =
+    ?use_interval_engine ?backend ?executor ?machine ?sched ?lower
+    ?record_trace ?plans ?plan_cache src : I.result =
   let prog = Hpfc_parser.Parser.parse_program src in
   let entry =
     match entry with
@@ -140,8 +168,16 @@ let run_source ?(pipeline = I.full_pipeline) ?(scalars = []) ?entry
     | None, Some capacity -> Some (Redist.Plan_cache.create ~capacity ())
     | None, None -> None
   in
-  I.run ?machine ?sched ?record_trace ?use_interval_engine ?backend ?executor
-    ?plans compiled ~entry ~scalars ()
+  let run () =
+    I.run ?machine ?sched ?record_trace ?use_interval_engine ?backend
+      ?executor ?plans compiled ~entry ~scalars ()
+  in
+  match lower with
+  | None -> run ()
+  | Some l ->
+    let saved = !Comm.force_lower in
+    Comm.force_lower := l;
+    Fun.protect ~finally:(fun () -> Comm.force_lower := saved) run
 
 (* Compare the naive and the fully optimized pipeline on the same program;
    used by every Q experiment. *)
@@ -185,7 +221,8 @@ let pp_comparison ppf (c : comparison) =
     "          %12s %12s@.remaps    %12d %12d@.skipped   %12d %12d@.reuses   \
      %12d %12d@.messages  %12d %12d@.volume    %12d %12d@.plan h/m  %7d/%-4d \
      %7d/%-4d@.blits     %12d %12d@.zerocopy  %12d %12d@.staged B  %12d \
-     %12d@.pool h/m  %7d/%-4d %7d/%-4d@.time      %12.1f %12.1f@."
+     %12d@.peak B    %12d %12d@.pool h/m  %7d/%-4d %7d/%-4d@.time      %12.1f \
+     %12.1f@."
     "naive" "optimized" n.Machine.remaps_performed o.Machine.remaps_performed
     n.Machine.remaps_skipped o.Machine.remaps_skipped n.Machine.live_reuses
     o.Machine.live_reuses n.Machine.messages o.Machine.messages
@@ -193,8 +230,9 @@ let pp_comparison ppf (c : comparison) =
     n.Machine.plan_misses o.Machine.plan_hits o.Machine.plan_misses
     n.Machine.run_blits o.Machine.run_blits n.Machine.zero_copy_runs
     o.Machine.zero_copy_runs n.Machine.staged_bytes o.Machine.staged_bytes
-    n.Machine.pool_hits n.Machine.pool_misses o.Machine.pool_hits
-    o.Machine.pool_misses n.Machine.time o.Machine.time;
+    n.Machine.peak_bytes o.Machine.peak_bytes n.Machine.pool_hits
+    n.Machine.pool_misses o.Machine.pool_hits o.Machine.pool_misses
+    n.Machine.time o.Machine.time;
   if c.naive.I.machine.Machine.sched = Machine.Stepped then
     Fmt.pf ppf "steps     %12d %12d@.peak/step %12d %12d@." n.Machine.steps
       o.Machine.steps n.Machine.peak_step_volume o.Machine.peak_step_volume;

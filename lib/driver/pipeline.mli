@@ -54,13 +54,28 @@ val machine_mode : sched_spec -> Hpfc_runtime.Machine.sched_mode
     precedence over the [HPFC_PLAN_CACHE] environment variable. *)
 val plan_cache_of_string : string -> (int, string) result
 
+(** The CLI's [--lower] vocabulary, in spelling order:
+    [p2p | collective | auto] — the point-to-point step program, the
+    budget-sliced collective phase program, or a per-plan cost-model
+    choice ({!Hpfc_runtime.Comm.collective_chosen}).  The spec type is
+    [Comm.lowering] itself. *)
+val lower_specs : (string * Hpfc_runtime.Comm.lowering) list
+
+val lower_name : Hpfc_runtime.Comm.lowering -> string
+
+(** Parse a [--lower] value (case-insensitive); unknown spellings get an
+    error message listing the valid values. *)
+val lower_of_string : string -> (Hpfc_runtime.Comm.lowering, string) result
+
 (** Parse, compile and run a whole program from source.  [sched] selects
     burst or stepped communication accounting for the default machine;
-    [record_trace] turns on its structured event trace; [executor]
-    installs an alternative communication executor (e.g. the
-    domain-parallel backend's); [plans] installs an external plan cache
-    for the whole call tree, while [plan_cache] (ignored when [plans] is
-    given) creates one with that LRU capacity. *)
+    [lower] pins the lowering switch ([Comm.force_lower]) for the
+    duration of the run, saved and restored around it; [record_trace]
+    turns on its structured event trace; [executor] installs an
+    alternative communication executor (e.g. the domain-parallel
+    backend's); [plans] installs an external plan cache for the whole
+    call tree, while [plan_cache] (ignored when [plans] is given)
+    creates one with that LRU capacity. *)
 val run_source :
   ?pipeline:Hpfc_interp.Interp.pipeline ->
   ?scalars:(string * Hpfc_interp.Interp.value) list ->
@@ -70,6 +85,7 @@ val run_source :
   ?executor:Hpfc_runtime.Comm.executor ->
   ?machine:Hpfc_runtime.Machine.t ->
   ?sched:Hpfc_runtime.Machine.sched_mode ->
+  ?lower:Hpfc_runtime.Comm.lowering ->
   ?record_trace:bool ->
   ?plans:Hpfc_runtime.Redist.Plan_cache.t ->
   ?plan_cache:int ->

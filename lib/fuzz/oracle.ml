@@ -3,14 +3,17 @@
 
    Matrix: {optimized, unoptimized} x {canonical, distributed} x
    {sequential, parallel} x {zerocopy, staged, scalar} x
-   {burst, stepped, async}.  The parallel executor requires the
-   distributed payload (replicated writes into the shared canonical
-   payload would race), and the async schedule requires the parallel
-   executor (it is an execution discipline of the domain pool, charged
-   like stepped), so 21 configurations are valid — 42 runs per accepted
-   program, plus one 2-tenant pass of the optimized pipeline through the
-   multi-tenant remap service ([check_serve]) whose per-tenant
-   observables must match the reference run byte for byte.
+   {burst, stepped, async} x {p2p, collective}.  The parallel executor
+   requires the distributed payload (replicated writes into the shared
+   canonical payload would race), the async schedule requires the
+   parallel executor (it is an execution discipline of the domain pool,
+   charged like stepped), and the collective lowering is exercised only
+   under stepped accounting (under burst it charges exactly like p2p,
+   so a burst/collective run would duplicate the burst/p2p one), so 33
+   configurations are valid — 66 runs per accepted program, plus one
+   2-tenant pass of the optimized pipeline through the multi-tenant
+   remap service ([check_serve]) whose per-tenant observables must
+   match the reference run byte for byte.
 
    Checks, in decreasing order of strength:
    - final arrays (program-defined elements) and untainted scalars are
@@ -19,13 +22,22 @@
      local moves, remaps, allocation traffic, plan-cache behaviour) are
      identical across every configuration of one pipeline;
    - schedule-derived counters (modeled time, steps, peak step volume)
-     are identical across configurations sharing an accounting mode —
-     async charges like stepped, so its modeled counters are checked
-     byte-identical against the stepped runs;
-   - async configurations complete exactly the staged messages out of
-     step order (async_completions = messages on the distributed
-     backend, where every cross-rank message stages); every other
-     configuration completes none;
+     are identical across configurations sharing an (accounting mode,
+     lowering) pair — async charges like stepped, so its modeled
+     counters are checked byte-identical against the stepped runs of
+     the same lowering; the collective lowering legitimately charges a
+     different phase count and phase-program clock;
+   - peak staging bytes are identical across configurations sharing a
+     (backend, datapath, lowering) triple — the counter models the
+     schedule's staging high-water, which no executor choice may move —
+     and the collective lowering's peak never exceeds the p2p peak of
+     the same (backend, datapath): bounded peak staging memory is the
+     lowering's contract;
+   - async configurations complete exactly the staged transfers out of
+     step order (async_completions = messages under p2p on the
+     distributed backend, where every cross-rank message stages; under
+     the collective lowering, one completion per traced slice); every
+     other configuration completes none;
    - datapath accounting: the scalar oracle blits and zero-copies
      nothing, the staged path zero-copies nothing and stages every moved
      byte, the zero-copy path stages nothing on the canonical backend
@@ -34,9 +46,14 @@
      backend the staged path always blits at least as many segments as
      the zero-copy path blits plus zero-copies;
    - the event trace agrees with the counters (Message events reproduce
-     the message/volume totals, every message sits inside a
-     contention-free step, stepped step costs sum to the clock) and the
-     Message multiset is identical across every run of a pipeline;
+     the message/volume totals — one event per message under p2p, at
+     least one per message under the collective lowering, which slices
+     — every event sits inside a contention-free step, stepped step
+     costs sum to the clock); the Message multiset is identical across
+     every run of a pipeline sharing a lowering, and the per-(from, to)
+     volume totals are identical across every run of a pipeline
+     (slicing redistributes counts over events but moves the same
+     elements between the same endpoints);
    - the optimized pipeline never moves more volume or performs more
      remaps than the unoptimized one (hoisting is zero-trip safe, so
      motion cannot add traffic), and each route-preserving pass
@@ -75,6 +92,10 @@ type config = {
   par : bool;
   path : path;
   sched : sched;
+  lower : Comm.lowering;
+      (* Lower_p2p or Lower_collective; the matrix never uses Lower_auto
+         (its choice function is deterministic in the cost model and
+         tested separately) *)
 }
 
 let path_name = function
@@ -83,7 +104,7 @@ let path_name = function
   | Scalar -> "scalar"
 
 let config_name c =
-  Printf.sprintf "%s/%s/%s/%s"
+  Printf.sprintf "%s/%s/%s/%s/%s"
     (match c.backend with
     | Store.Canonical -> "canonical"
     | Store.Distributed -> "distributed")
@@ -93,9 +114,16 @@ let config_name c =
     | Burst -> "burst"
     | Stepped -> "stepped"
     | Async -> "async")
+    (match c.lower with
+    | Comm.Lower_p2p -> "p2p"
+    | Comm.Lower_collective -> "coll"
+    | Comm.Lower_auto -> "auto")
 
-(* The head config (canonical / seq / zerocopy / burst) is the reference
-   the others are compared against. *)
+(* The head config (canonical / seq / zerocopy / burst / p2p) is the
+   reference the others are compared against.  The collective lowering
+   rides on the stepped and async schedules only: under burst it charges
+   exactly like p2p, so the extra runs would duplicate existing
+   configurations. *)
 let configs =
   List.concat_map
     (fun backend ->
@@ -105,8 +133,14 @@ let configs =
           else
             List.concat_map
               (fun path ->
-                List.map
-                  (fun sched -> { backend; par; path; sched })
+                List.concat_map
+                  (fun sched ->
+                    List.filter_map
+                      (fun lower ->
+                        if lower = Comm.Lower_collective && sched = Burst
+                        then None
+                        else Some { backend; par; path; sched; lower })
+                      [ Comm.Lower_p2p; Comm.Lower_collective ])
                   (if par then [ Burst; Stepped; Async ]
                    else [ Burst; Stepped ]))
               [ Zero; Staged; Scalar ])
@@ -155,16 +189,19 @@ let run_one prog entry cfg =
   in
   let saved_scalar = !Comm.force_scalar
   and saved_staged = !Comm.force_staged
-  and saved_async = !Comm.force_async in
+  and saved_async = !Comm.force_async
+  and saved_lower = !Comm.force_lower in
   Comm.force_scalar := cfg.path = Scalar;
   Comm.force_staged := cfg.path = Staged;
   Comm.force_async := cfg.sched = Async;
+  Comm.force_lower := cfg.lower;
   let res =
     Fun.protect
       ~finally:(fun () ->
         Comm.force_scalar := saved_scalar;
         Comm.force_staged := saved_staged;
-        Comm.force_async := saved_async)
+        Comm.force_async := saved_async;
+        Comm.force_lower := saved_lower)
       (fun () ->
         I.run ~sched:(machine_mode cfg.sched) ~record_trace:true
           ~backend:cfg.backend ~executor prog ~entry ())
@@ -320,6 +357,22 @@ let messages_of (r : run) =
     r.events
   |> List.sort compare
 
+(* Per-(from, to) volume totals: the lowering-independent view of the
+   Message trace.  The collective lowering slices messages, so its event
+   multiset differs from p2p's, but summing counts per endpoint pair
+   must recover exactly the same totals — slicing may not move an
+   element between different processors. *)
+let aggregated_messages_of (r : run) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (function
+      | M.Message { from_rank; to_rank; count } ->
+        let k = (from_rank, to_rank) in
+        Hashtbl.replace tbl k (count + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+      | _ -> ())
+    r.events;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
 (* The trace must reproduce the counters: every message inside a
    contention-free step, totals matching, stepped step costs summing to
    the modeled clock. *)
@@ -357,8 +410,18 @@ let trace_self_check ~what (r : run) =
         | _ -> ())
       r.events;
     if !in_step then failf "%s: unterminated step" ctx;
-    if !n_msgs <> c.M.messages then
-      failf "%s: %d Message events but messages = %d" ctx !n_msgs c.M.messages;
+    (* one event per message under p2p; the collective lowering slices,
+       so it records at least one event per message (and the volume law
+       below pins the slice lengths to the exact moved elements) *)
+    (match r.cfg.lower with
+    | Comm.Lower_collective ->
+      if !n_msgs < c.M.messages then
+        failf "%s: %d Message events but messages = %d" ctx !n_msgs
+          c.M.messages
+    | Comm.Lower_p2p | Comm.Lower_auto ->
+      if !n_msgs <> c.M.messages then
+        failf "%s: %d Message events but messages = %d" ctx !n_msgs
+          c.M.messages);
     if !vol <> c.M.volume then
       failf "%s: traced volume %d but volume = %d" ctx !vol c.M.volume;
     if
@@ -419,6 +482,40 @@ let check_datapath ~what (runs : run list) (r : run) =
       c.M.run_blits c.M.zero_copy_runs c.M.staged_bytes c0.M.run_blits
       c0.M.zero_copy_runs c0.M.staged_bytes
       (config_name group_ref.cfg);
+  (* peak staging bytes model the schedule's staging high-water: they
+     depend on the lowering (which shapes the schedule) on top of
+     (backend, datapath), and on nothing else *)
+  let peak_ref =
+    List.find
+      (fun r' ->
+        r'.cfg.backend = r.cfg.backend
+        && r'.cfg.path = r.cfg.path
+        && r'.cfg.lower = r.cfg.lower)
+      runs
+  in
+  let cp = counters_of peak_ref in
+  if c.M.peak_bytes <> cp.M.peak_bytes then
+    failf "%s: peak_bytes = %d but %d under %s" ctx c.M.peak_bytes
+      cp.M.peak_bytes
+      (config_name peak_ref.cfg);
+  (* the collective lowering's contract: its bounded phases never stage
+     more at once than the p2p step program of the same (backend,
+     datapath) *)
+  if r.cfg.lower = Comm.Lower_collective then
+    List.iter
+      (fun r' ->
+        if
+          r'.cfg.backend = r.cfg.backend
+          && r'.cfg.path = r.cfg.path
+          && r'.cfg.lower = Comm.Lower_p2p
+        then begin
+          let c' = counters_of r' in
+          if c.M.peak_bytes > c'.M.peak_bytes then
+            failf "%s: collective peak_bytes %d > p2p peak_bytes %d (%s)"
+              ctx c.M.peak_bytes c'.M.peak_bytes
+              (config_name r'.cfg)
+        end)
+      runs;
   (* conservation: staged blits locals once and every move twice; zero
      shifts locals and Direct moves to zero_copy_runs, so per backend
      staged.run_blits >= zero.run_blits + zero.zero_copy_runs *)
@@ -436,38 +533,70 @@ let check_datapath ~what (runs : run list) (r : run) =
 
 let check_pipeline ~what (runs : run list) =
   let ref_run = List.hd runs in
-  let ref_msgs = messages_of ref_run in
+  let ref_agg = aggregated_messages_of ref_run in
   List.iter
     (fun r ->
       trace_self_check ~what r;
       same_result ~what ref_run r;
       same_counters ~what ref_run r;
       (* schedule-derived counters: compare to the first run sharing the
-         accounting mode — async charges exactly like stepped, so the
-         two configurations sit in one group and the "modeled counters
-         byte-identical" law is checked for free *)
+         (accounting mode, lowering) pair — async charges exactly like
+         stepped, so those configurations sit in one group per lowering
+         and the "modeled counters byte-identical" law is checked for
+         free; the collective lowering legitimately charges a different
+         step count (phases) and clock (phase program) *)
       let sched_ref =
         List.find
-          (fun r' -> machine_mode r'.cfg.sched = machine_mode r.cfg.sched)
+          (fun r' ->
+            machine_mode r'.cfg.sched = machine_mode r.cfg.sched
+            && r'.cfg.lower = r.cfg.lower)
           runs
       in
       same_sched_counters ~what sched_ref r;
       (* completion accounting: the async executor completes exactly the
-         staged messages out of step order — on the distributed backend
-         every cross-rank message stages, so the count is the message
-         count; every other executor never completes out of order *)
+         staged transfers out of step order — on the distributed backend
+         every cross-rank message stages, so under p2p the count is the
+         message count, and under the collective lowering one transfer
+         per slice, i.e. per traced Message event; every other executor
+         never completes out of order *)
       let c = counters_of r in
-      let expected = if r.cfg.sched = Async then c.M.messages else 0 in
-      if c.M.async_completions <> expected then
-        failf "%s %s: async_completions = %d, expected %d" what
-          (config_name r.cfg) c.M.async_completions expected;
+      let expected =
+        if r.cfg.sched <> Async then Some 0
+        else if r.cfg.lower = Comm.Lower_collective then
+          if r.dropped > 0 then None (* slice count unavailable *)
+          else Some (List.length (messages_of r))
+        else Some c.M.messages
+      in
+      (match expected with
+      | Some expected ->
+        if c.M.async_completions <> expected then
+          failf "%s %s: async_completions = %d, expected %d" what
+            (config_name r.cfg) c.M.async_completions expected
+      | None -> ());
       (* fusion is a service-only behaviour: no matrix run may charge it *)
       if c.M.fused_remaps <> 0 then
         failf "%s %s: fused_remaps = %d outside the service" what
           (config_name r.cfg) c.M.fused_remaps;
       check_datapath ~what runs r;
-      if (not (r.dropped > 0 || ref_run.dropped > 0)) && messages_of r <> ref_msgs
-      then failf "%s %s: Message multiset differs from reference" what (config_name r.cfg))
+      if r.dropped > 0 || ref_run.dropped > 0 then ()
+      else begin
+        (* the exact Message multiset is a per-lowering observable (the
+           collective lowering slices); the per-(from, to) volume totals
+           are pipeline-wide *)
+        let lower_ref =
+          List.find (fun r' -> r'.cfg.lower = r.cfg.lower) runs
+        in
+        if
+          lower_ref.dropped = 0
+          && messages_of r <> messages_of lower_ref
+        then
+          failf "%s %s: Message multiset differs from %s" what
+            (config_name r.cfg)
+            (config_name lower_ref.cfg);
+        if aggregated_messages_of r <> ref_agg then
+          failf "%s %s: per-(from, to) Message volumes differ from reference"
+            what (config_name r.cfg)
+      end)
     runs
 
 let leq ~what name a b =
@@ -509,11 +638,20 @@ let check_serve ~what (ref_run : run) prog entry =
             }
         with e -> Error e)
   in
-  let doms = [ tenant 0; tenant 1 ] in
+  (* pin the lowering to the reference configuration's for the whole
+     tenant pass: the service reads the global switch at execute time,
+     so an HPFC_FORCE_LOWER environment (the CI collective pass) would
+     otherwise make the tenants diverge from the pinned reference run *)
+  let saved_lower = !Comm.force_lower in
+  Comm.force_lower := ref_run.cfg.lower;
   let tenants =
-    List.map
-      (fun d -> match Domain.join d with Ok r -> r | Error e -> raise e)
-      doms
+    Fun.protect
+      ~finally:(fun () -> Comm.force_lower := saved_lower)
+      (fun () ->
+        let doms = [ tenant 0; tenant 1 ] in
+        List.map
+          (fun d -> match Domain.join d with Ok r -> r | Error e -> raise e)
+          doms)
   in
   ignore (Serve.shutdown svc);
   let ref_msgs = messages_of ref_run in

@@ -1,9 +1,10 @@
 (** Differential oracle for generated programs.
 
     Runs a program through both pipelines under every valid combination
-    of store backend, executor, datapath, and schedule (42 runs), and
-    cross-checks final values, modeled counters, and event traces.  See
-    the implementation header for the exact invariant list. *)
+    of store backend, executor, datapath, schedule, and lowering
+    (66 runs), and cross-checks final values, modeled counters, and
+    event traces.  See the implementation header for the exact
+    invariant list. *)
 
 (** The three {!Hpfc_runtime.Comm} datapaths: zero-copy default, forced
     staged, per-element scalar oracle. *)
@@ -25,9 +26,12 @@ type config = {
   par : bool;  (** domain-parallel executor (implies distributed) *)
   path : path;
   sched : sched;
+  lower : Hpfc_runtime.Comm.lowering;
+      (** [Lower_p2p] or [Lower_collective] (collective only under
+          stepped accounting); the matrix never uses [Lower_auto] *)
 }
 
-(** The 21 valid configurations; the head is the reference. *)
+(** The 33 valid configurations; the head is the reference. *)
 val configs : config list
 
 val config_name : config -> string

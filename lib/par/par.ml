@@ -104,11 +104,16 @@ let barrier_await b ~on_last =
 
 (* --- per-rank mailboxes ---------------------------------------------------- *)
 
-(* [p_slot] indexes the job's per-message wall array and [p_posted] is
-   the send-side post time — async bookkeeping, unused (-1 / 0.) in
-   stepped mode. *)
+(* A packet carries one staged send: a whole message under the
+   point-to-point lowering ([p_off] = 0, [p_len] = [m_count]), one
+   budget-bounded slice of it under the collective lowering.  [p_slot]
+   indexes the job's per-send wall array and [p_posted] is the
+   send-side post time — async bookkeeping, unused (-1 / 0.) in stepped
+   mode. *)
 type packet = {
   p_msg : Redist.message;
+  p_off : int;
+  p_len : int;
   p_buf : Buf.t;
   p_slot : int;
   p_posted : float;
@@ -160,28 +165,38 @@ let mailbox_try_take mb =
 
 (* --- jobs ------------------------------------------------------------------ *)
 
-(* One stepped remap, precomputed per rank and per step by the
-   coordinator so workers only move data. *)
+(* One stepped remap, precomputed per rank and per round by the
+   coordinator so workers only move data.  A round is a step of the
+   point-to-point step program or a phase of the collective phase
+   program — the lockstep send / receive / barrier body is the same;
+   only the send items differ (whole messages vs slices). *)
 type job = {
   j_nranks : int;
   j_locals : Redist.message list array;  (* rank -> on-processor moves *)
-  j_sends : Redist.message list array array;  (* step -> rank -> staged sends *)
+  j_sends : (Redist.message * int * int) list array array;
+      (* round -> rank -> staged sends as (message, off, len) *)
   j_directs : Redist.message list array array;
-      (* step -> sending rank -> direct-eligible messages: copied payload
-         to payload by the sender, never posted to a mailbox.  The step
-         is contention-free, so the receiver's buffer sees no other
-         writer this step, and the step barrier publishes the values. *)
-  j_recvs : int array array;  (* step -> rank -> expected staged messages *)
+      (* round -> sending rank -> direct-eligible messages: copied payload
+         to payload by the sender, never posted to a mailbox.  Plan
+         messages write pairwise-disjoint destination regions, so the
+         receiver's buffer sees no other writer for those elements, and
+         the round barrier publishes the values.  Under the collective
+         lowering a direct message moves whole in the round of its
+         offset-zero slice. *)
+  j_recvs : int array array;  (* round -> rank -> expected staged packets *)
   j_src : Comm.endpoint;
   j_dst : Comm.endpoint;
   j_mailboxes : mailbox array;  (* indexed by receiving rank *)
-  j_wall : float array;  (* step -> measured wall seconds *)
+  j_wall : float array;  (* round -> measured wall seconds *)
+  j_live_peak : int Atomic.t;
+      (* max process-wide outstanding staging leases sampled while this
+         job's workers held one — mirrored into [pool_lease_peak] *)
   mutable j_tick : float;  (* last barrier crossing; written by the
                               barrier's last arriver only *)
 }
 
 (* One async remap: no steps, no barrier.  Staged sends are flattened
-   per rank in plan (step-program) order; each carries the slot of its
+   per rank in plan (schedule) order; each carries the slot of its
    [a_msg_wall] cell. *)
 type ajob = {
   a_nranks : int;
@@ -190,9 +205,10 @@ type ajob = {
       (* rank -> direct-eligible messages, executed eagerly by the
          sender before its first send: their destination regions are
          disjoint from every other writer's, so no ordering is needed *)
-  a_sends : (Redist.message * int) array array;
-      (* rank -> staged sends in plan order, with their wall slot *)
-  a_recvs : int array;  (* rank -> expected staged messages *)
+  a_sends : (Redist.message * int * int * int) array array;
+      (* rank -> staged sends in schedule order as
+         (message, off, len, wall slot) *)
+  a_recvs : int array;  (* rank -> expected staged packets *)
   a_src : Comm.endpoint;
   a_dst : Comm.endpoint;
   a_mailboxes : mailbox array;  (* indexed by receiving rank *)
@@ -202,7 +218,9 @@ type ajob = {
          sending rank increments before posting; the receiving rank
          decrements after unpacking and signals the sender's worker,
          releasing one lease of the double-buffer window *)
-  a_staged : Redist.message array;  (* slot -> message (event emission) *)
+  a_staged : Redist.message array;
+      (* slot -> message (event emission; a sliced message appears once
+         per staged slice) *)
   a_msg_wall : float array;
       (* slot -> measured post-to-completion seconds; written once by
          the receiving worker, read by the coordinator after the job *)
@@ -213,6 +231,9 @@ type ajob = {
   a_max_leases : int array;
       (* rank -> high-water mark of simultaneously held staging leases;
          the double-buffer bound caps it at [lease_window] *)
+  a_live_peak : int Atomic.t;
+      (* max process-wide outstanding staging leases sampled while this
+         job's workers held one — mirrored into [pool_lease_peak] *)
 }
 
 type jobkind = Stepped_job of job | Async_job of ajob
@@ -248,37 +269,56 @@ let lease_window = 2
 let runs_of ~(src : Comm.endpoint) ~(dst : Comm.endpoint) (m : Redist.message) =
   Redist.message_runs ~src:src.Comm.addressing ~dst:dst.Comm.addressing m
 
-(* Pack one message's box into a pooled staging buffer in row-major box
-   order — the identical walk as [Comm.run_message], performed on the
-   sending rank.  The buffer's first [m_count] slots carry the payload. *)
-let pack_buf pool ~(src : Comm.endpoint) ~(dst : Comm.endpoint)
-    (m : Redist.message) =
-  let _, buf = Comm.Pool.acquire pool m.Redist.m_count in
+(* Lock-free max into a shared cell (the live-lease sample). *)
+let atomic_max cell n =
+  let rec go () =
+    let cur = Atomic.get cell in
+    if n > cur && not (Atomic.compare_and_set cell cur n) then go ()
+  in
+  go ()
+
+(* Pack positions [off, off + len) of one message's row-major box order
+   into a pooled staging buffer — the identical walk as
+   [Comm.run_message] / [Comm.run_slice], performed on the sending rank.
+   The buffer's first [len] slots carry the payload; a full-range send
+   takes the whole-message fast path. *)
+let pack_buf pool live_peak ~(src : Comm.endpoint) ~(dst : Comm.endpoint)
+    (m : Redist.message) ~off ~len =
+  let _, buf = Comm.Pool.acquire pool len in
+  atomic_max live_peak (Comm.Pool.live_leases ());
   (if !Comm.force_scalar then begin
      let k = ref 0 in
-     Redist.iter_box m.Redist.m_box (fun index ->
+     Redist.iter_box_slice m.Redist.m_box ~off ~len (fun index ->
          Buf.set buf !k (src.Comm.read ~rank:m.Redist.m_from index);
          incr k)
    end
-   else
+   else if off = 0 && len = m.Redist.m_count then
      Comm.pack_runs (runs_of ~src ~dst m)
        (src.Comm.buffer ~rank:m.Redist.m_from)
-       buf);
+       buf
+   else
+     Comm.pack_slice (runs_of ~src ~dst m)
+       (src.Comm.buffer ~rank:m.Redist.m_from)
+       buf ~off ~len);
   buf
 
 (* Unpack on the receiving rank, then release the packet buffer into the
    receiving worker's pool. *)
 let unpack_buf pool ~(src : Comm.endpoint) ~(dst : Comm.endpoint)
-    (m : Redist.message) buf =
+    (m : Redist.message) ~off ~len buf =
   (if !Comm.force_scalar then begin
      let k = ref 0 in
-     Redist.iter_box m.Redist.m_box (fun index ->
+     Redist.iter_box_slice m.Redist.m_box ~off ~len (fun index ->
          dst.Comm.write ~rank:m.Redist.m_to index (Buf.get buf !k);
          incr k)
    end
-   else
+   else if off = 0 && len = m.Redist.m_count then
      Comm.unpack_runs (runs_of ~src ~dst m) buf
-       (dst.Comm.buffer ~rank:m.Redist.m_to));
+       (dst.Comm.buffer ~rank:m.Redist.m_to)
+   else
+     Comm.unpack_slice (runs_of ~src ~dst m) buf
+       (dst.Comm.buffer ~rank:m.Redist.m_to)
+       ~off ~len);
   Comm.Pool.release pool buf
 
 (* --- the stepped job body --------------------------------------------------- *)
@@ -308,16 +348,20 @@ let run_job pool w (job : job) =
           (fun m -> Comm.run_direct ~src:job.j_src ~dst:job.j_dst m)
           job.j_directs.(i).(r);
         List.iter
-          (fun (m : Redist.message) ->
-            let buf = pack_buf my_pool ~src:job.j_src ~dst:job.j_dst m in
+          (fun ((m : Redist.message), off, len) ->
+            let buf =
+              pack_buf my_pool job.j_live_peak ~src:job.j_src ~dst:job.j_dst m
+                ~off ~len
+            in
             mailbox_post
               job.j_mailboxes.(m.Redist.m_to)
-              { p_msg = m; p_buf = buf; p_slot = -1; p_posted = 0.0 })
+              { p_msg = m; p_off = off; p_len = len; p_buf = buf; p_slot = -1; p_posted = 0.0 })
           job.j_sends.(i).(r));
     each_rank (fun r ->
         for _ = 1 to job.j_recvs.(i).(r) do
           let p = mailbox_take job.j_mailboxes.(r) in
-          unpack_buf my_pool ~src:job.j_src ~dst:job.j_dst p.p_msg p.p_buf
+          unpack_buf my_pool ~src:job.j_src ~dst:job.j_dst p.p_msg ~off:p.p_off
+            ~len:p.p_len p.p_buf
         done);
     barrier_await pool.p_barrier ~on_last:(fun () ->
         let now = Unix.gettimeofday () in
@@ -331,7 +375,8 @@ let run_job pool w (job : job) =
    worker. *)
 type rstate = {
   rs_rank : int;
-  mutable rs_pending : (Redist.message * int) list;  (* sends left, plan order *)
+  mutable rs_pending : (Redist.message * int * int * int) list;
+      (* sends left as (message, off, len, slot), schedule order *)
   mutable rs_recvs_left : int;
 }
 
@@ -375,12 +420,15 @@ let run_async_job pool w (job : ajob) =
   in
   let try_progress st =
     match st.rs_pending with
-    | (m, slot) :: rest when Atomic.get job.a_leases.(st.rs_rank) < lease_window
-      ->
-      (* a lease is free: pack the next message and post it eagerly.
+    | (m, off, len, slot) :: rest
+      when Atomic.get job.a_leases.(st.rs_rank) < lease_window ->
+      (* a lease is free: pack the next send and post it eagerly.
          Only the sending rank increments its own counter, so the window
          check cannot be raced past [lease_window] *)
-      let buf = pack_buf my_pool ~src:job.a_src ~dst:job.a_dst m in
+      let buf =
+        pack_buf my_pool job.a_live_peak ~src:job.a_src ~dst:job.a_dst m ~off
+          ~len
+      in
       st.rs_pending <- rest;
       let held = 1 + Atomic.fetch_and_add job.a_leases.(st.rs_rank) 1 in
       if held > job.a_max_leases.(st.rs_rank) then
@@ -389,6 +437,8 @@ let run_async_job pool w (job : ajob) =
         job.a_mailboxes.(m.Redist.m_to)
         {
           p_msg = m;
+          p_off = off;
+          p_len = len;
           p_buf = buf;
           p_slot = slot;
           p_posted = (if job.a_stamp then Unix.gettimeofday () else 0.0);
@@ -397,10 +447,11 @@ let run_async_job pool w (job : ajob) =
     | _ -> (
       match mailbox_try_take job.a_mailboxes.(st.rs_rank) with
       | Some p ->
-        (* complete the message as it arrives, stamp its wall clock,
+        (* complete the send as it arrives, stamp its wall clock,
            release the sender's staging lease and wake its worker in
            case it was blocked on a full window *)
-        unpack_buf my_pool ~src:job.a_src ~dst:job.a_dst p.p_msg p.p_buf;
+        unpack_buf my_pool ~src:job.a_src ~dst:job.a_dst p.p_msg ~off:p.p_off
+          ~len:p.p_len p.p_buf;
         if job.a_stamp then
           job.a_msg_wall.(p.p_slot) <- Unix.gettimeofday () -. p.p_posted;
         st.rs_recvs_left <- st.rs_recvs_left - 1;
@@ -533,9 +584,8 @@ let make_mailboxes pool nranks =
 
 let execute ?async pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
   let async = match async with Some b -> b | None -> !Comm.force_async in
+  let collective = Comm.collective_chosen mach plan in
   let nranks = max 1 (max plan.Redist.nprocs_src plan.Redist.nprocs_dst) in
-  let prog = Redist.step_program plan in
-  let nsteps = List.length prog in
   let locals = Array.make nranks [] in
   List.iter
     (fun (m : Redist.message) ->
@@ -544,7 +594,9 @@ let execute ?async pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
   (* Compile every message's runs and datapath decision here on the
      coordinator: the memo on each message is plain mutable state, so it
      must be populated before worker domains share the messages (they
-     then only read it). *)
+     then only read it).  (The schedule memos — step program, collective
+     program — are likewise populated below by the coordinator's own
+     builder walk.) *)
   if not !Comm.force_scalar then begin
     let precompile (m : Redist.message) =
       ignore (runs_of ~src ~dst m : Redist.run array)
@@ -553,6 +605,43 @@ let execute ?async pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
     List.iter precompile plan.Redist.moves
   end;
   let direct_ok = Comm.direct_enabled () in
+  (* The schedule as a list of rounds of (message, off, len) send items —
+     the step program's whole messages, or the collective phase program's
+     slices.  The stepped and async bodies below consume rounds without
+     knowing which lowering produced them.  A direct-eligible message is
+     never a send item: it moves payload to payload whole, in the round
+     of its offset-zero slice. *)
+  let rounds, direct_rounds =
+    if collective then
+      let cp = Redist.collective_program plan in
+      List.fold_right
+        (fun ph (rs, ds) ->
+          let sends, directs =
+            List.fold_right
+              (fun (sl : Redist.slice) (ss, dd) ->
+                let m = sl.Redist.sl_msg in
+                if direct_ok && Comm.message_direct ~src ~dst m then
+                  (ss, if sl.Redist.sl_off = 0 then m :: dd else dd)
+                else ((m, sl.Redist.sl_off, sl.Redist.sl_len) :: ss, dd))
+              ph ([], [])
+          in
+          (sends :: rs, directs :: ds))
+        cp.Redist.c_phases ([], [])
+    else
+      List.fold_right
+        (fun step (rs, ds) ->
+          let sends, directs =
+            List.fold_right
+              (fun (m : Redist.message) (ss, dd) ->
+                if direct_ok && Comm.message_direct ~src ~dst m then
+                  (ss, m :: dd)
+                else ((m, 0, m.Redist.m_count) :: ss, dd))
+              step ([], [])
+          in
+          (sends :: rs, directs :: ds))
+        (Redist.step_program plan) ([], [])
+  in
+  let nrounds = List.length rounds in
   let pool_totals () =
     Array.fold_left
       (fun (h, m) p -> (h + Comm.Pool.hits p, m + Comm.Pool.misses p))
@@ -560,29 +649,56 @@ let execute ?async pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
   in
   let hits0, misses0 = pool_totals () in
   let c = mach.Machine.counters in
+  (* Modeled accounting and trace replay after the job, shared with the
+     sequential executor, so real delivery order is invisible to every
+     modeled observable. *)
+  let replay_trace ?on_step () =
+    if collective then
+      Comm.record_collective_trace ?on_step mach
+        (Redist.collective_program plan)
+    else Comm.record_schedule_trace ?on_step mach (Redist.step_program plan)
+  in
+  let charge_modeled () =
+    if collective then begin
+      Comm.charge_collective mach plan (Redist.collective_program plan);
+      Comm.charge_datapath ~collective:true mach ~src ~dst plan
+    end
+    else begin
+      Comm.charge mach plan (Redist.step_program plan);
+      Comm.charge_datapath mach ~src ~dst plan
+    end
+  in
+  let mirror_pools live_peak =
+    let hits1, misses1 = pool_totals () in
+    c.Machine.pool_hits <- c.Machine.pool_hits + (hits1 - hits0);
+    c.Machine.pool_misses <- c.Machine.pool_misses + (misses1 - misses0);
+    c.Machine.pool_lease_peak <-
+      max c.Machine.pool_lease_peak (Atomic.get live_peak)
+  in
   if async then begin
-    (* flatten the schedule per sending rank, in step-program order;
-       every staged message gets the slot of its wall-clock cell *)
+    (* flatten the rounds per sending rank, in schedule order; every
+       staged send gets the slot of its wall-clock cell *)
     let directs = Array.make nranks [] in
     let sends = Array.make nranks [] in
     let recvs = Array.make nranks 0 in
     let staged = ref [] in
     let nstaged = ref 0 in
-    List.iter
-      (fun step ->
+    List.iter2
+      (fun round dround ->
         List.iter
           (fun (m : Redist.message) ->
-            if direct_ok && Comm.message_direct ~src ~dst m then
-              directs.(m.Redist.m_from) <- m :: directs.(m.Redist.m_from)
-            else begin
-              let slot = !nstaged in
-              incr nstaged;
-              staged := m :: !staged;
-              sends.(m.Redist.m_from) <- (m, slot) :: sends.(m.Redist.m_from);
-              recvs.(m.Redist.m_to) <- recvs.(m.Redist.m_to) + 1
-            end)
-          step)
-      prog;
+            directs.(m.Redist.m_from) <- m :: directs.(m.Redist.m_from))
+          dround;
+        List.iter
+          (fun ((m : Redist.message), off, len) ->
+            let slot = !nstaged in
+            incr nstaged;
+            staged := m :: !staged;
+            sends.(m.Redist.m_from) <-
+              (m, off, len, slot) :: sends.(m.Redist.m_from);
+            recvs.(m.Redist.m_to) <- recvs.(m.Redist.m_to) + 1)
+          round)
+      rounds direct_rounds;
     let job =
       {
         a_nranks = nranks;
@@ -598,17 +714,14 @@ let execute ?async pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
         a_msg_wall = Array.make !nstaged 0.0;
         a_stamp = mach.Machine.record_trace;
         a_max_leases = Array.make nranks 0;
+        a_live_peak = Atomic.make 0;
       }
     in
     let t0 = Unix.gettimeofday () in
     run_job_sync pool (Async_job job);
     let wall = Unix.gettimeofday () -. t0 in
     pool.p_last_max_leases <- Array.fold_left max 0 job.a_max_leases;
-    (* modeled accounting and trace replay are shared with the stepped
-       and sequential executors, so the out-of-step delivery is
-       invisible to every modeled observable; the per-message measured
-       walls follow the replayed schedule *)
-    Comm.record_schedule_trace mach prog;
+    replay_trace ();
     Array.iteri
       (fun slot (m : Redist.message) ->
         Machine.record mach
@@ -619,32 +732,33 @@ let execute ?async pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
                wall = job.a_msg_wall.(slot);
              }))
       job.a_staged;
-    Comm.charge mach plan prog;
-    Comm.charge_datapath mach ~src ~dst plan;
+    charge_modeled ();
     c.Machine.async_completions <-
       c.Machine.async_completions + Array.length job.a_staged;
-    let hits1, misses1 = pool_totals () in
-    c.Machine.pool_hits <- c.Machine.pool_hits + (hits1 - hits0);
-    c.Machine.pool_misses <- c.Machine.pool_misses + (misses1 - misses0);
+    mirror_pools job.a_live_peak;
     c.Machine.wall_time <- c.Machine.wall_time +. wall;
-    Machine.record mach (Machine.Wall_remap { steps = nsteps; wall })
+    Machine.record mach (Machine.Wall_remap { steps = nrounds; wall })
   end
   else begin
-    let sends = Array.init nsteps (fun _ -> Array.make nranks []) in
-    let directs = Array.init nsteps (fun _ -> Array.make nranks []) in
-    let recvs = Array.init nsteps (fun _ -> Array.make nranks 0) in
+    let sends = Array.init nrounds (fun _ -> Array.make nranks []) in
+    let directs = Array.init nrounds (fun _ -> Array.make nranks []) in
+    let recvs = Array.init nrounds (fun _ -> Array.make nranks 0) in
     List.iteri
-      (fun i step ->
+      (fun i round ->
+        List.iter
+          (fun ((m : Redist.message), off, len) ->
+            sends.(i).(m.Redist.m_from) <-
+              (m, off, len) :: sends.(i).(m.Redist.m_from);
+            recvs.(i).(m.Redist.m_to) <- recvs.(i).(m.Redist.m_to) + 1)
+          round)
+      rounds;
+    List.iteri
+      (fun i dround ->
         List.iter
           (fun (m : Redist.message) ->
-            if direct_ok && Comm.message_direct ~src ~dst m then
-              directs.(i).(m.Redist.m_from) <- m :: directs.(i).(m.Redist.m_from)
-            else begin
-              sends.(i).(m.Redist.m_from) <- m :: sends.(i).(m.Redist.m_from);
-              recvs.(i).(m.Redist.m_to) <- recvs.(i).(m.Redist.m_to) + 1
-            end)
-          step)
-      prog;
+            directs.(i).(m.Redist.m_from) <- m :: directs.(i).(m.Redist.m_from))
+          dround)
+      direct_rounds;
     let job =
       {
         j_nranks = nranks;
@@ -655,27 +769,25 @@ let execute ?async pool (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
         j_src = src;
         j_dst = dst;
         j_mailboxes = make_mailboxes pool nranks;
-        j_wall = Array.make nsteps 0.0;
+        j_wall = Array.make nrounds 0.0;
+        j_live_peak = Atomic.make 0;
         j_tick = 0.0;
       }
     in
     let t0 = Unix.gettimeofday () in
     run_job_sync pool (Stepped_job job);
     let wall = Unix.gettimeofday () -. t0 in
-    let hits1, misses1 = pool_totals () in
     (* All accounting happens here, on the coordinator, after the fact:
        the trace replays the schedule exactly as the sequential executor
-       records it, with the measured wall clock of each step appended to
+       records it, with the measured wall clock of each round appended to
        its modeled cost. *)
-    Comm.record_schedule_trace mach prog ~on_step:(fun i ->
+    replay_trace () ~on_step:(fun i ->
         Machine.record mach
           (Machine.Wall_step { index = i; wall = job.j_wall.(i) }));
-    Comm.charge mach plan prog;
-    Comm.charge_datapath mach ~src ~dst plan;
-    c.Machine.pool_hits <- c.Machine.pool_hits + (hits1 - hits0);
-    c.Machine.pool_misses <- c.Machine.pool_misses + (misses1 - misses0);
+    charge_modeled ();
+    mirror_pools job.j_live_peak;
     c.Machine.wall_time <- c.Machine.wall_time +. wall;
-    Machine.record mach (Machine.Wall_remap { steps = nsteps; wall })
+    Machine.record mach (Machine.Wall_remap { steps = nrounds; wall })
   end
 
 let executor ?async pool : Comm.executor =

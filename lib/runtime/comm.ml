@@ -95,6 +95,42 @@ let force_async =
    message, and forcing staged disables the direct fast path. *)
 let direct_enabled () = (not !force_scalar) && not !force_staged
 
+(* Lowering switch: how a plan's cross-processor traffic is scheduled
+   and executed.  [Lower_p2p] (default) walks the point-to-point step
+   program; [Lower_collective] walks the plan's collective phase program
+   (ring shift classes, budget-sliced — [Redist.collective_program]),
+   bounding peak staging memory at the price of more, smaller rounds;
+   [Lower_auto] picks per plan from the cost model.  Initialized from
+   HPFC_FORCE_LOWER ("collective" / "auto"; unset, empty, "0" or "p2p"
+   mean point-to-point), set by the --lower CLI flag.  Same write
+   discipline as [force_scalar]. *)
+type lowering = Lower_p2p | Lower_collective | Lower_auto
+
+let force_lower =
+  ref
+    (match Sys.getenv_opt "HPFC_FORCE_LOWER" with
+    | None -> Lower_p2p
+    | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "collective" -> Lower_collective
+      | "auto" -> Lower_auto
+      | _ -> Lower_p2p))
+
+(* The auto rule: lower collectively exactly when its modeled time does
+   not exceed the stepped point-to-point time (the collective never
+   loses on peak memory by construction, so time is the only axis the
+   planner needs to weigh).  Balanced many-phase slicings lose on the
+   per-phase alphas and fall back to p2p; matching-like and
+   replicated-destination plans win on the cheaper collective alphas. *)
+let collective_chosen (mach : Machine.t) (plan : Redist.plan) =
+  match !force_lower with
+  | Lower_p2p -> false
+  | Lower_collective -> true
+  | Lower_auto ->
+    plan.Redist.moves <> []
+    && Redist.modeled_time_collective mach.Machine.cost plan
+       <= Redist.modeled_time_stepped mach.Machine.cost plan
+
 (* --- staging-buffer pool ---------------------------------------------------- *)
 
 (* Size-classed free lists of staging buffers (classes are powers of
@@ -121,9 +157,19 @@ module Pool = struct
     let rec go c cap = if cap >= n then c else go (c + 1) (cap * 2) in
     go 0 1
 
+  (* Outstanding-lease census: buffers migrate between the parallel
+     backend's per-worker pools (acquired on the sender's, released
+     into the receiver's), so per-pool balances are meaningless — the
+     count of acquired-but-not-yet-released leases lives in one
+     process-wide atomic.  Executors sample it while they hold a lease
+     to charge [pool_lease_peak]. *)
+  let live = Atomic.make 0
+  let live_leases () = Atomic.get live
+
   (* A buffer with at least [n] slots (callers use the first [n]), plus
      whether it came from the pool. *)
   let acquire t n =
+    ignore (Atomic.fetch_and_add live 1);
     let c = class_of (max 1 n) in
     match t.classes.(c) with
     | buf :: rest ->
@@ -138,6 +184,7 @@ module Pool = struct
      buffers migrate between the parallel backend's per-worker pools as
      packets cross mailboxes). *)
   let release t buf =
+    ignore (Atomic.fetch_and_add live (-1));
     let c = class_of (Buf.length buf) in
     if Buf.length buf = 1 lsl c && List.length t.classes.(c) < max_per_class
     then t.classes.(c) <- buf :: t.classes.(c)
@@ -145,6 +192,15 @@ module Pool = struct
   let hits t = t.hits
   let misses t = t.misses
 end
+
+(* Record on [mach] that a staging lease is currently held: the
+   process-wide live-lease count at this instant is a lower bound the
+   run demonstrably reached.  Called right after every [Pool.acquire]
+   performed on behalf of [mach]. *)
+let note_lease (mach : Machine.t) =
+  let c = mach.Machine.counters in
+  c.Machine.pool_lease_peak <-
+    max c.Machine.pool_lease_peak (Pool.live_leases ())
 
 (* --- segment copies --------------------------------------------------------- *)
 
@@ -253,6 +309,7 @@ let default_pool = Pool.create ()
 let run_message ?(pool = default_pool) mach ~src ~dst (m : Redist.message) =
   let c = (mach : Machine.t).Machine.counters in
   let hit, staging = Pool.acquire pool m.Redist.m_count in
+  note_lease mach;
   if hit then c.Machine.pool_hits <- c.Machine.pool_hits + 1
   else c.Machine.pool_misses <- c.Machine.pool_misses + 1;
   (if !force_scalar then begin
@@ -273,6 +330,63 @@ let run_message ?(pool = default_pool) mach ~src ~dst (m : Redist.message) =
   Pool.release pool staging;
   Machine.record mach
     (Machine.Message { from_rank = m.Redist.m_from; to_rank = m.Redist.m_to; count = m.Redist.m_count })
+
+(* Pack positions [sl_off, sl_off + sl_len) of a message's row-major box
+   order into the first [sl_len] slots of [staging] — the collective
+   lowering's unit of transfer.  A full-range slice degenerates to
+   {!pack_runs}. *)
+let pack_slice (runs : Redist.run array) (sbuf : Buf.t) staging ~off ~len =
+  let k = ref 0 in
+  Redist.iter_run_slice runs ~off ~len (fun s _ n ->
+      Buf.unsafe_blit sbuf s staging !k n;
+      k := !k + n)
+
+let unpack_slice (runs : Redist.run array) staging (dbuf : Buf.t) ~off ~len =
+  let k = ref 0 in
+  Redist.iter_run_slice runs ~off ~len (fun _ d n ->
+      Buf.unsafe_blit staging !k dbuf d n;
+      k := !k + n)
+
+(* Pack, deliver, unpack one slice of a cross-processor message — the
+   collective analogue of {!run_message}.  The staging buffer only ever
+   holds [sl_len] elements, which is how the phase budget bounds peak
+   staging memory. *)
+let run_slice ?(pool = default_pool) mach ~src ~dst (sl : Redist.slice) =
+  let m = sl.Redist.sl_msg in
+  let c = (mach : Machine.t).Machine.counters in
+  let hit, staging = Pool.acquire pool sl.Redist.sl_len in
+  note_lease mach;
+  if hit then c.Machine.pool_hits <- c.Machine.pool_hits + 1
+  else c.Machine.pool_misses <- c.Machine.pool_misses + 1;
+  (if !force_scalar then begin
+     let k = ref 0 in
+     Redist.iter_box_slice m.Redist.m_box ~off:sl.Redist.sl_off
+       ~len:sl.Redist.sl_len (fun index ->
+         Buf.set staging !k (src.read ~rank:m.Redist.m_from index);
+         incr k);
+     let k = ref 0 in
+     Redist.iter_box_slice m.Redist.m_box ~off:sl.Redist.sl_off
+       ~len:sl.Redist.sl_len (fun index ->
+         dst.write ~rank:m.Redist.m_to index (Buf.get staging !k);
+         incr k)
+   end
+   else begin
+     let runs = runs_of ~src ~dst m in
+     pack_slice runs
+       (src.buffer ~rank:m.Redist.m_from)
+       staging ~off:sl.Redist.sl_off ~len:sl.Redist.sl_len;
+     unpack_slice runs staging
+       (dst.buffer ~rank:m.Redist.m_to)
+       ~off:sl.Redist.sl_off ~len:sl.Redist.sl_len
+   end);
+  Pool.release pool staging;
+  Machine.record mach
+    (Machine.Message
+       {
+         from_rank = m.Redist.m_from;
+         to_rank = m.Redist.m_to;
+         count = sl.Redist.sl_len;
+       })
 
 (* How an executor runs a plan end to end; [execute] below is the
    sequential reference, the domain-parallel backend provides another. *)
@@ -330,6 +444,64 @@ let record_schedule_trace ?(on_step = fun _ -> ()) (mach : Machine.t)
       on_step i)
     prog
 
+(* [charge] for the collective lowering: the message/volume/local-move
+   counters are lowering-independent (both lowerings move the same
+   payloads), and burst mode charges the same unordered exchange; only
+   stepped mode sees the phase structure — [steps] counts phases,
+   [peak_step_volume] is the phase-budgeted peak, time sums
+   {!Redist.phase_time} over serialized phases. *)
+let charge_collective (mach : Machine.t) (plan : Redist.plan)
+    (cp : Redist.collective) =
+  let c = mach.Machine.counters in
+  c.Machine.local_moves <- c.Machine.local_moves + Redist.local_total plan;
+  c.Machine.messages <- c.Machine.messages + Redist.nb_messages plan;
+  c.Machine.volume <- c.Machine.volume + Redist.total_moved plan;
+  match mach.Machine.sched with
+  | Machine.Burst ->
+    c.Machine.time <- c.Machine.time +. Redist.modeled_time mach.Machine.cost plan
+  | Machine.Stepped ->
+    c.Machine.steps <- c.Machine.steps + Redist.nb_phases cp;
+    c.Machine.peak_step_volume <-
+      max c.Machine.peak_step_volume
+        (Redist.peak_phase_volume cp.Redist.c_phases);
+    c.Machine.time <-
+      c.Machine.time +. Redist.modeled_time_of_phases mach.Machine.cost cp
+
+(* {!record_schedule_trace} for the collective lowering: one
+   [Step_begin] / [Step_end] bracket per phase, one [Message] event per
+   slice (its [count] is the slice length, so per-(from, to) counts
+   still sum to the message volumes).  Used by the parallel backend to
+   replay the modeled phase program after out-of-order delivery. *)
+let record_collective_trace ?(on_step = fun _ -> ()) (mach : Machine.t)
+    (cp : Redist.collective) =
+  List.iteri
+    (fun i ph ->
+      Machine.record mach
+        (Machine.Step_begin
+           {
+             index = i;
+             nb_messages = List.length ph;
+             volume = Redist.phase_volume ph;
+           });
+      List.iter
+        (fun (sl : Redist.slice) ->
+          Machine.record mach
+            (Machine.Message
+               {
+                 from_rank = sl.Redist.sl_msg.Redist.m_from;
+                 to_rank = sl.Redist.sl_msg.Redist.m_to;
+                 count = sl.Redist.sl_len;
+               }))
+        ph;
+      Machine.record mach
+        (Machine.Step_end
+           {
+             index = i;
+             time = Redist.phase_time mach.Machine.cost cp.Redist.c_kind ph;
+           });
+      on_step i)
+    cp.Redist.c_phases
+
 (* Datapath accounting for one executed plan — [run_blits],
    [zero_copy_runs] and [staged_bytes].  Derived from the memoized runs
    and datapath decisions rather than bumped inside the data movement,
@@ -343,9 +515,35 @@ let record_schedule_trace ?(on_step = fun _ -> ()) (mach : Machine.t)
      stages;
    - zero-copy (default): locals and [Direct] messages charge their
      segments to [zero_copy_runs], only [Staged] messages blit twice and
-     stage their bytes. *)
-let charge_datapath (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
+     stage their bytes.
+
+   [run_blits]/[staged_bytes] count what the datapath copies in total
+   and are charged from the same formulas under both lowerings (slicing
+   a message splits segments at execution time but moves the same
+   elements through staging exactly once).  [peak_bytes] is the one
+   datapath counter the lowering changes: the high-water of staged bytes
+   in flight within one step/phase of the schedule that actually ran —
+   [~collective] selects which schedule's peak to charge.  Staged-ness
+   is all-or-nothing across a plan's messages (a cross-processor message
+   is [Direct] iff both endpoints address row-major, a per-plan
+   property), so probing one move decides the whole plan. *)
+let staged_peak_volume ~src ~dst ~collective (plan : Redist.plan) =
+  match plan.Redist.moves with
+  | [] -> 0
+  | m :: _ ->
+    let staged =
+      !force_scalar || !force_staged || not (message_direct ~src ~dst m)
+    in
+    if not staged then 0
+    else if collective then Redist.peak_collective_volume plan
+    else Redist.peak_step_volume (Redist.step_program plan)
+
+let charge_datapath ?(collective = false) (mach : Machine.t) ~src ~dst
+    (plan : Redist.plan) =
   let c = mach.Machine.counters in
+  c.Machine.peak_bytes <-
+    max c.Machine.peak_bytes
+      (8 * staged_peak_volume ~src ~dst ~collective plan);
   let stage_all () =
     c.Machine.staged_bytes <-
       c.Machine.staged_bytes + (8 * Redist.total_moved plan)
@@ -381,43 +579,95 @@ let charge_datapath (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
     end
   end
 
-(* Execute a plan: local moves first (they need no schedule), then the
-   step program in schedule order.  Direct-eligible messages skip the
-   staging pool entirely (their datapath was decided when the message
-   was memoized); they still record a [Message] event, since the modeled
-   exchange is the same. *)
-let execute (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
+(* Execute a plan's collective phase program: local moves first, then
+   each phase's slices in order.  A direct-eligible message moves whole
+   — [run_direct] fires once, at its offset-zero slice (plan messages
+   write disjoint destination regions, so completing it "early" is
+   unobservable) — but every slice still records its [Message] event:
+   the modeled exchange is sliced either way, so the trace is
+   datapath-independent. *)
+let execute_collective ?(pool = default_pool) (mach : Machine.t) ~src ~dst
+    (plan : Redist.plan) =
   List.iter (run_local ~src ~dst) plan.Redist.locals;
-  let prog = Redist.step_program plan in
+  let cp = Redist.collective_program plan in
   let direct_ok = direct_enabled () in
   List.iteri
-    (fun i s ->
+    (fun i ph ->
       Machine.record mach
         (Machine.Step_begin
            {
              index = i;
-             nb_messages = List.length s;
-             volume = Redist.step_volume s;
+             nb_messages = List.length ph;
+             volume = Redist.phase_volume ph;
            });
       List.iter
-        (fun (m : Redist.message) ->
+        (fun (sl : Redist.slice) ->
+          let m = sl.Redist.sl_msg in
           if direct_ok && message_direct ~src ~dst m then begin
-            run_direct ~src ~dst m;
+            if sl.Redist.sl_off = 0 then run_direct ~src ~dst m;
             Machine.record mach
               (Machine.Message
                  {
                    from_rank = m.Redist.m_from;
                    to_rank = m.Redist.m_to;
-                   count = m.Redist.m_count;
+                   count = sl.Redist.sl_len;
                  })
           end
-          else run_message mach ~src ~dst m)
-        s;
+          else run_slice ~pool mach ~src ~dst sl)
+        ph;
       Machine.record mach
-        (Machine.Step_end { index = i; time = Redist.step_time mach.Machine.cost s }))
-    prog;
-  charge mach plan prog;
-  charge_datapath mach ~src ~dst plan
+        (Machine.Step_end
+           {
+             index = i;
+             time = Redist.phase_time mach.Machine.cost cp.Redist.c_kind ph;
+           }))
+    cp.Redist.c_phases;
+  charge_collective mach plan cp;
+  charge_datapath ~collective:true mach ~src ~dst plan
+
+(* Execute a plan: local moves first (they need no schedule), then the
+   step program in schedule order.  Direct-eligible messages skip the
+   staging pool entirely (their datapath was decided when the message
+   was memoized); they still record a [Message] event, since the modeled
+   exchange is the same.  When the lowering switch (or the auto cost
+   rule) picks the collective lowering, the phase program runs
+   instead. *)
+let execute (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
+  if collective_chosen mach plan then execute_collective mach ~src ~dst plan
+  else begin
+    List.iter (run_local ~src ~dst) plan.Redist.locals;
+    let prog = Redist.step_program plan in
+    let direct_ok = direct_enabled () in
+    List.iteri
+      (fun i s ->
+        Machine.record mach
+          (Machine.Step_begin
+             {
+               index = i;
+               nb_messages = List.length s;
+               volume = Redist.step_volume s;
+             });
+        List.iter
+          (fun (m : Redist.message) ->
+            if direct_ok && message_direct ~src ~dst m then begin
+              run_direct ~src ~dst m;
+              Machine.record mach
+                (Machine.Message
+                   {
+                     from_rank = m.Redist.m_from;
+                     to_rank = m.Redist.m_to;
+                     count = m.Redist.m_count;
+                   })
+            end
+            else run_message mach ~src ~dst m)
+          s;
+        Machine.record mach
+          (Machine.Step_end
+             { index = i; time = Redist.step_time mach.Machine.cost s }))
+      prog;
+    charge mach plan prog;
+    charge_datapath mach ~src ~dst plan
+  end
 
 (* --- fused batch execution -------------------------------------------------- *)
 
@@ -426,19 +676,23 @@ let execute (mach : Machine.t) ~src ~dst (plan : Redist.plan) =
    object shared by its members (same canonical layout pair, so the same
    messages against different payloads), and distinct groups carry plans
    whose rank footprints the caller has checked are disjoint, so
-   overlaying their step programs index by index keeps every fused step
-   contention-free in the modeled machine.
+   overlaying their programs index by index keeps every fused step
+   contention-free in the modeled machine.  Each group runs under the
+   lowering [execute] would pick for it solo — step program or
+   budget-sliced phase program — so fused accounting follows the
+   lowering switch exactly like solo accounting does.
 
    Per member, the observable accounting is exactly the sequential
    [execute]'s: the same [Step_begin] / [Message] / [Step_end] stream on
-   its machine (members only ever see their own steps), then [charge] and
-   [charge_datapath] from the same memoized runs.  What fusion actually
-   shares is the work: one step walk per group, and one pooled staging
-   lease per message reused across every staged member (pack member k's
-   source, deliver, unpack member k's target, fully overwriting the lease
-   before member k+1) — so only the pool totals, which executors may
-   distribute differently by design, distinguish a fused run from solo
-   runs.  The caller charges [fused_remaps]; this function is policy-free. *)
+   its machine (members only ever see their own steps), then [charge] (or
+   [charge_collective]) and [charge_datapath] from the same memoized
+   runs.  What fusion actually shares is the work: one program walk per
+   group, and one pooled staging lease per message (or per slice) reused
+   across every staged member (pack member k's source, deliver, unpack
+   member k's target, fully overwriting the lease before member k+1) — so
+   only the pool totals, which executors may distribute differently by
+   design, distinguish a fused run from solo runs.  The caller charges
+   [fused_remaps]; this function is policy-free. *)
 let execute_fused ?(pool = default_pool)
     (groups : (Redist.plan * (Machine.t * endpoint * endpoint) list) list) =
   (* local moves first, per member, exactly like [execute] *)
@@ -448,21 +702,52 @@ let execute_fused ?(pool = default_pool)
         (fun (_, src, dst) -> List.iter (run_local ~src ~dst) plan.Redist.locals)
         members)
     groups;
+  (* Each group runs under the lowering [execute] would pick for it
+     solo.  Members share the plan object and (by the fusion layer's
+     construction) equivalent cost models, so the first member's machine
+     decides for the whole group. *)
   let progs =
     List.map
-      (fun (plan, members) ->
-        (Array.of_list (Redist.step_program plan), members))
+      (fun ((plan : Redist.plan), members) ->
+        match members with
+        | (mach, _, _) :: _ when collective_chosen mach plan ->
+          let cp = Redist.collective_program plan in
+          (plan, `Coll (cp, Array.of_list cp.Redist.c_phases), members)
+        | _ -> (plan, `P2p (Array.of_list (Redist.step_program plan)), members))
       groups
   in
   let nsteps =
-    List.fold_left (fun acc (p, _) -> max acc (Array.length p)) 0 progs
+    List.fold_left
+      (fun acc (_, prog, _) ->
+        max acc
+          (match prog with
+          | `P2p steps -> Array.length steps
+          | `Coll (_, phases) -> Array.length phases))
+      0 progs
   in
   let direct_ok = direct_enabled () in
+  (* one staging lease per message (or per slice of it), shared by
+     every staged member of the group; acquired lazily so an all-direct
+     transfer touches no buffer, charged to the first staged member's
+     machine *)
+  let shared_lease count (mach : Machine.t) staging =
+    match !staging with
+    | Some b -> b
+    | None ->
+      let c = mach.Machine.counters in
+      let hit, b = Pool.acquire pool count in
+      note_lease mach;
+      if hit then c.Machine.pool_hits <- c.Machine.pool_hits + 1
+      else c.Machine.pool_misses <- c.Machine.pool_misses + 1;
+      staging := Some b;
+      b
+  in
   for i = 0 to nsteps - 1 do
     List.iter
-      (fun (prog, members) ->
-        if i < Array.length prog then begin
-          let s = prog.(i) in
+      (fun (_, prog, members) ->
+        match prog with
+        | `P2p steps when i < Array.length steps ->
+          let s = steps.(i) in
           List.iter
             (fun ((mach : Machine.t), _, _) ->
               Machine.record mach
@@ -475,28 +760,13 @@ let execute_fused ?(pool = default_pool)
             members;
           List.iter
             (fun (m : Redist.message) ->
-              (* one staging lease per message, shared by every staged
-                 member of the group; acquired lazily so an all-direct
-                 message touches no buffer, charged to the first staged
-                 member's machine *)
               let staging = ref None in
               List.iter
                 (fun ((mach : Machine.t), src, dst) ->
                   (if direct_ok && message_direct ~src ~dst m then
                      run_direct ~src ~dst m
                    else begin
-                     let buf =
-                       match !staging with
-                       | Some b -> b
-                       | None ->
-                         let c = mach.Machine.counters in
-                         let hit, b = Pool.acquire pool m.Redist.m_count in
-                         if hit then
-                           c.Machine.pool_hits <- c.Machine.pool_hits + 1
-                         else c.Machine.pool_misses <- c.Machine.pool_misses + 1;
-                         staging := Some b;
-                         b
-                     in
+                     let buf = shared_lease m.Redist.m_count mach staging in
                      if !force_scalar then begin
                        let k = ref 0 in
                        Redist.iter_box m.Redist.m_box (fun index ->
@@ -529,15 +799,86 @@ let execute_fused ?(pool = default_pool)
                 (Machine.Step_end
                    { index = i; time = Redist.step_time mach.Machine.cost s }))
             members
-        end)
+        | `Coll (cp, phases) when i < Array.length phases ->
+          let ph = phases.(i) in
+          List.iter
+            (fun ((mach : Machine.t), _, _) ->
+              Machine.record mach
+                (Machine.Step_begin
+                   {
+                     index = i;
+                     nb_messages = List.length ph;
+                     volume = Redist.phase_volume ph;
+                   }))
+            members;
+          List.iter
+            (fun (sl : Redist.slice) ->
+              let m = sl.Redist.sl_msg in
+              let staging = ref None in
+              List.iter
+                (fun ((mach : Machine.t), src, dst) ->
+                  (if direct_ok && message_direct ~src ~dst m then begin
+                     if sl.Redist.sl_off = 0 then run_direct ~src ~dst m
+                   end
+                   else begin
+                     let buf = shared_lease sl.Redist.sl_len mach staging in
+                     if !force_scalar then begin
+                       let k = ref 0 in
+                       Redist.iter_box_slice m.Redist.m_box
+                         ~off:sl.Redist.sl_off ~len:sl.Redist.sl_len
+                         (fun index ->
+                           Buf.set buf !k (src.read ~rank:m.Redist.m_from index);
+                           incr k);
+                       let k = ref 0 in
+                       Redist.iter_box_slice m.Redist.m_box
+                         ~off:sl.Redist.sl_off ~len:sl.Redist.sl_len
+                         (fun index ->
+                           dst.write ~rank:m.Redist.m_to index (Buf.get buf !k);
+                           incr k)
+                     end
+                     else begin
+                       let runs = runs_of ~src ~dst m in
+                       pack_slice runs
+                         (src.buffer ~rank:m.Redist.m_from)
+                         buf ~off:sl.Redist.sl_off ~len:sl.Redist.sl_len;
+                       unpack_slice runs buf
+                         (dst.buffer ~rank:m.Redist.m_to)
+                         ~off:sl.Redist.sl_off ~len:sl.Redist.sl_len
+                     end
+                   end);
+                  Machine.record mach
+                    (Machine.Message
+                       {
+                         from_rank = m.Redist.m_from;
+                         to_rank = m.Redist.m_to;
+                         count = sl.Redist.sl_len;
+                       }))
+                members;
+              Option.iter (Pool.release pool) !staging)
+            ph;
+          List.iter
+            (fun ((mach : Machine.t), _, _) ->
+              Machine.record mach
+                (Machine.Step_end
+                   {
+                     index = i;
+                     time =
+                       Redist.phase_time mach.Machine.cost cp.Redist.c_kind ph;
+                   }))
+            members
+        | _ -> ())
       progs
   done;
   List.iter
-    (fun (plan, members) ->
-      let prog = Redist.step_program plan in
+    (fun (plan, prog, members) ->
       List.iter
         (fun (mach, src, dst) ->
-          charge mach plan prog;
-          charge_datapath mach ~src ~dst plan)
+          match prog with
+          | `P2p steps ->
+            charge mach plan (Array.to_list steps);
+            charge_datapath mach ~src ~dst plan
+          | `Coll (cp, _) ->
+            charge_collective mach plan cp;
+            charge_datapath ~collective:true mach ~src ~dst plan)
         members)
-    groups
+    progs

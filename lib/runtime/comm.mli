@@ -63,6 +63,24 @@ val force_async : bool ref
     (neither scalar nor staged forced)? *)
 val direct_enabled : unit -> bool
 
+(** How a plan's cross-processor traffic is lowered: the point-to-point
+    step program (default), the budget-sliced collective phase program
+    ({!Redist.collective_program}), or a per-plan cost-model choice. *)
+type lowering = Lower_p2p | Lower_collective | Lower_auto
+
+(** Lowering switch.  Initialized from HPFC_FORCE_LOWER ("collective" /
+    "auto"; unset, empty, "0" or "p2p" mean point-to-point), set by the
+    [--lower] CLI flag.  Only write it between executed plans. *)
+val force_lower : lowering ref
+
+(** Does the current lowering switch pick the collective phase program
+    for this plan?  Under [Lower_auto]: yes iff the plan has
+    cross-processor moves and its modeled collective time does not
+    exceed the stepped point-to-point time (the collective never loses
+    on peak staging memory by construction, so time is the only axis
+    weighed). *)
+val collective_chosen : Machine.t -> Redist.plan -> bool
+
 (** Size-classed free lists of staging buffers (power-of-two classes,
     bounded retention per class), so steady-state remaps reuse a handful
     of buffers instead of allocating one per message.  Not thread-safe:
@@ -87,6 +105,13 @@ module Pool : sig
   val hits : t -> int
 
   val misses : t -> int
+
+  (** Process-wide count of currently outstanding leases (acquired, not
+      yet released buffers) across all pools — buffers migrate between
+      the parallel backend's per-worker pools, so the census is global.
+      Executors sample it while holding a lease to charge the machine's
+      [pool_lease_peak]. *)
+  val live_leases : unit -> int
 end
 
 (** The sequential executor's staging pool. *)
@@ -129,6 +154,29 @@ val run_message :
   Redist.message ->
   unit
 
+(** [pack_slice runs payload staging ~off ~len] copies positions
+    [off, off + len) of a message's row-major box order into the first
+    [len] slots of [staging] — the collective lowering's unit of
+    transfer ({!Redist.iter_run_slice}'s walk). *)
+val pack_slice : Redist.run array -> Buf.t -> Buf.t -> off:int -> len:int -> unit
+
+(** [unpack_slice runs staging payload ~off ~len] is the inverse walk on
+    the receive side. *)
+val unpack_slice :
+  Redist.run array -> Buf.t -> Buf.t -> off:int -> len:int -> unit
+
+(** Pack, deliver, unpack one slice of a cross-processor message — the
+    collective analogue of {!run_message}: the staging buffer only ever
+    holds [sl_len] elements.  Bumps [pool_hits]/[pool_misses] and
+    records a [Message] event whose [count] is the slice length. *)
+val run_slice :
+  ?pool:Pool.t ->
+  Machine.t ->
+  src:endpoint ->
+  dst:endpoint ->
+  Redist.slice ->
+  unit
+
 (** How an executor runs a plan end to end; {!execute} is the sequential
     reference implementation, [Hpfc_par.Par.executor] the domain-parallel
     one. *)
@@ -138,6 +186,13 @@ type executor = Machine.t -> src:endpoint -> dst:endpoint -> Redist.plan -> unit
     plan, per the machine's scheduling mode — shared by every executor so
     the accounting cannot drift between backends. *)
 val charge : Machine.t -> Redist.plan -> Redist.step list -> unit
+
+(** {!charge} for the collective lowering: message/volume/local-move
+    counters and the burst charge are lowering-independent; stepped mode
+    counts phases in [steps], charges the phase-budgeted peak to
+    [peak_step_volume], and sums {!Redist.phase_time} over serialized
+    phases. *)
+val charge_collective : Machine.t -> Redist.plan -> Redist.collective -> unit
 
 (** Replay the modeled schedule into the machine trace after the fact —
     the executor hook for out-of-step delivery: an executor that moves
@@ -149,21 +204,59 @@ val charge : Machine.t -> Redist.plan -> Redist.step list -> unit
 val record_schedule_trace :
   ?on_step:(int -> unit) -> Machine.t -> Redist.step list -> unit
 
+(** {!record_schedule_trace} for the collective lowering: one
+    [Step_begin] / [Step_end] bracket per phase, one [Message] event per
+    slice (its [count] is the slice length, so per-(from, to) counts
+    still sum to the message volumes). *)
+val record_collective_trace :
+  ?on_step:(int -> unit) -> Machine.t -> Redist.collective -> unit
+
 (** Datapath accounting for one executed plan —
-    [run_blits]/[zero_copy_runs]/[staged_bytes] — derived from the
-    memoized runs and datapath decisions rather than bumped inside the
-    data movement, so every executor charges byte-identically.  Scalar
-    runs stage every moved element ([staged_bytes = 8 * volume]); forced
-    staged charges PR 4's [run_blits = locals + 2 * moves] segments and
-    stages everything; the zero-copy default charges locals and [Direct]
-    messages to [zero_copy_runs] and only [Staged] messages to
-    [run_blits]/[staged_bytes]. *)
+    [run_blits]/[zero_copy_runs]/[staged_bytes]/[peak_bytes] — derived
+    from the memoized runs and datapath decisions rather than bumped
+    inside the data movement, so every executor charges byte-identically.
+    Scalar runs stage every moved element ([staged_bytes = 8 * volume]);
+    forced staged charges PR 4's [run_blits = locals + 2 * moves]
+    segments and stages everything; the zero-copy default charges locals
+    and [Direct] messages to [zero_copy_runs] and only [Staged] messages
+    to [run_blits]/[staged_bytes].  [run_blits]/[staged_bytes] count
+    total datapath traffic and are lowering-independent; [peak_bytes] is
+    the high-water of staged bytes in flight within one step/phase of
+    the schedule that actually ran — [collective] (default false)
+    selects which schedule's peak to charge (0 when every message is
+    direct). *)
 val charge_datapath :
-  Machine.t -> src:endpoint -> dst:endpoint -> Redist.plan -> unit
+  ?collective:bool ->
+  Machine.t ->
+  src:endpoint ->
+  dst:endpoint ->
+  Redist.plan ->
+  unit
+
+(** The peak charged by {!charge_datapath} in elements: 0 when the
+    plan's messages take the zero-copy direct path under the current
+    switches, else the executed schedule's peak step/phase volume. *)
+val staged_peak_volume :
+  src:endpoint -> dst:endpoint -> collective:bool -> Redist.plan -> int
 
 (** Execute a plan end to end: local moves first, then the step program
-    in schedule order. *)
+    in schedule order — or the collective phase program when
+    {!collective_chosen} says so. *)
 val execute : executor
+
+(** Execute a plan's collective phase program unconditionally (bypassing
+    {!collective_chosen}): local moves first, then each phase's slices
+    through [pool]-staged {!run_slice} (direct-eligible messages move
+    whole at their offset-zero slice but still record per-slice
+    [Message] events).  [pool] defaults to {!default_pool}; pass a
+    private pool from concurrent workers. *)
+val execute_collective :
+  ?pool:Pool.t ->
+  Machine.t ->
+  src:endpoint ->
+  dst:endpoint ->
+  Redist.plan ->
+  unit
 
 (** Execute several plan instances as one fused batch — the serve
     layer's remap fusion.  Each group is one plan object shared by its

@@ -12,9 +12,25 @@
 type cost_model = {
   alpha : float;  (* per-message startup cost *)
   beta : float;  (* per-element transfer cost *)
+  coll_alpha_a2a : float;  (* per-phase startup of an all-to-all phase *)
+  coll_alpha_ag : float;  (* per-phase startup of an all-gather phase *)
+  coll_alpha_scatter : float;  (* per-phase startup of a scatter phase *)
+  coll_beta : float;  (* per-element transfer cost inside a phase *)
 }
 
-let default_cost = { alpha = 50.0; beta = 1.0 }
+(* The collective alphas sit below the point-to-point alpha: one phase
+   posts up to P slices under a single startup, which is exactly the
+   amortization a portable collective buys (Rink et al.,
+   arXiv:2112.01075).  The betas match — the wires are the same. *)
+let default_cost =
+  {
+    alpha = 50.0;
+    beta = 1.0;
+    coll_alpha_a2a = 40.0;
+    coll_alpha_ag = 35.0;
+    coll_alpha_scatter = 30.0;
+    coll_beta = 1.0;
+  }
 
 (* How a remapping's messages are charged against the clock:
 
@@ -56,6 +72,18 @@ type counters = {
          traffic shows up as zero_copy_runs instead *)
   mutable pool_hits : int;  (* staging buffers served from a buffer pool *)
   mutable pool_misses : int;  (* staging buffers freshly allocated *)
+  mutable peak_bytes : int;
+      (* high-water of modeled staging bytes in flight within one
+         step/phase of the executed lowering's schedule (8 per staged
+         element); 0 when every message takes the zero-copy direct path.
+         Derived from the memoized schedule like [steps]/[time], so both
+         executors charge it identically; the collective lowering's
+         budget keeps it at or below the point-to-point value *)
+  mutable pool_lease_peak : int;
+      (* measured high-water of simultaneously outstanding staging-pool
+         leases (acquired, not yet released buffers) across the run's
+         pools — executor history like the pool totals, scrubbed by
+         cross-executor comparisons *)
   mutable async_completions : int;
       (* staged messages completed out of step order by the async
          dependency-driven executor (per-message completion flags instead
@@ -94,6 +122,8 @@ let fresh_counters () =
     staged_bytes = 0;
     pool_hits = 0;
     pool_misses = 0;
+    peak_bytes = 0;
+    pool_lease_peak = 0;
     async_completions = 0;
     fused_remaps = 0;
     time = 0.0;
@@ -303,10 +333,10 @@ let event_to_json = function
    events so a truncated trace is never mistaken for a complete one. *)
 let trace_summary_json t =
   Printf.sprintf
-    {|{"ev":"trace_summary","events":%d,"dropped":%d,"capacity":%d,"complete":%b,"pool_hits":%d,"pool_misses":%d,"zero_copy_runs":%d,"staged_bytes":%d}|}
+    {|{"ev":"trace_summary","events":%d,"dropped":%d,"capacity":%d,"complete":%b,"pool_hits":%d,"pool_misses":%d,"zero_copy_runs":%d,"staged_bytes":%d,"peak_bytes":%d,"pool_lease_peak":%d}|}
     t.trace.len t.trace.dropped (trace_capacity t) (t.trace.dropped = 0)
     t.counters.pool_hits t.counters.pool_misses t.counters.zero_copy_runs
-    t.counters.staged_bytes
+    t.counters.staged_bytes t.counters.peak_bytes t.counters.pool_lease_peak
 
 (* Copy every field of [src] into [dst].  [reset] and the cross-run
    isolation tests rely on this covering the whole record: when a counter
@@ -334,6 +364,8 @@ let copy_counters ~into:(dst : counters) (src : counters) =
   dst.staged_bytes <- src.staged_bytes;
   dst.pool_hits <- src.pool_hits;
   dst.pool_misses <- src.pool_misses;
+  dst.peak_bytes <- src.peak_bytes;
+  dst.pool_lease_peak <- src.pool_lease_peak;
   dst.async_completions <- src.async_completions;
   dst.fused_remaps <- src.fused_remaps;
   dst.time <- src.time;
@@ -354,12 +386,15 @@ let pp_counters ppf (c : counters) =
   Fmt.pf ppf
     "remaps performed=%d skipped=%d live-reuses=%d dead=%d | messages=%d \
      volume=%d local=%d | allocs=%d frees=%d evictions=%d | plans hit=%d \
-     miss=%d evict=%d | steps=%d peak-step-vol=%d | blits=%d zero-copy=%d \
-     staged-bytes=%d pool hit=%d miss=%d | time=%.1f"
+     miss=%d evict=%d | steps=%d peak-step-vol=%d peak-bytes=%d | blits=%d \
+     zero-copy=%d staged-bytes=%d pool hit=%d miss=%d | time=%.1f"
     c.remaps_performed c.remaps_skipped c.live_reuses c.dead_copies c.messages
     c.volume c.local_moves c.allocs c.frees c.evictions c.plan_hits
-    c.plan_misses c.plan_evictions c.steps c.peak_step_volume c.run_blits
-    c.zero_copy_runs c.staged_bytes c.pool_hits c.pool_misses c.time;
+    c.plan_misses c.plan_evictions c.steps c.peak_step_volume c.peak_bytes
+    c.run_blits c.zero_copy_runs c.staged_bytes c.pool_hits c.pool_misses
+    c.time;
+  if c.pool_lease_peak > 0 then
+    Fmt.pf ppf " | pool-lease-peak=%d" c.pool_lease_peak;
   if c.async_completions > 0 then
     Fmt.pf ppf " | async-completions=%d" c.async_completions;
   if c.fused_remaps > 0 then Fmt.pf ppf " | fused=%d" c.fused_remaps;

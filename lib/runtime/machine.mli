@@ -11,9 +11,18 @@
 type cost_model = {
   alpha : float;  (** per-message startup cost *)
   beta : float;  (** per-element transfer cost *)
+  coll_alpha_a2a : float;
+      (** per-phase startup of a collective all-to-all phase *)
+  coll_alpha_ag : float;
+      (** per-phase startup of a collective all-gather phase *)
+  coll_alpha_scatter : float;
+      (** per-phase startup of a collective scatter phase *)
+  coll_beta : float;  (** per-element transfer cost inside a phase *)
 }
 
-(** alpha = 50, beta = 1. *)
+(** alpha = 50, beta = 1; collective phase alphas 40/35/30 (one startup
+    covers a whole contention-free phase of up to P slices), collective
+    beta = 1. *)
 val default_cost : cost_model
 
 (** How a remapping's messages are charged to the clock: [Burst] charges
@@ -59,6 +68,19 @@ type counters = {
   mutable pool_hits : int;
       (** staging buffers served from a size-classed buffer pool *)
   mutable pool_misses : int;  (** staging buffers freshly allocated *)
+  mutable peak_bytes : int;
+      (** high-water of modeled staging bytes in flight within one
+          step/phase of the executed lowering's schedule (8 per staged
+          element); 0 when every message takes the zero-copy direct
+          path.  Derived from the memoized schedule like [steps]/[time]
+          so every executor charges it identically; the collective
+          lowering's phase budget keeps it at or below the
+          point-to-point value on every plan *)
+  mutable pool_lease_peak : int;
+      (** measured high-water of simultaneously outstanding staging-pool
+          leases (acquired, not yet released buffers) across the run's
+          pools — executor history like the pool totals, scrubbed by
+          cross-executor comparisons *)
   mutable async_completions : int;
       (** staged messages completed out of step order by the async
           dependency-driven executor ([HPFC_FORCE_ASYNC]/[--sched=async]:

@@ -91,12 +91,42 @@ type message = {
          fills safe, not free. *)
 }
 
+(* A slice of a message's staged payload: elements [sl_off, sl_off +
+   sl_len) of its row-major box order — which is exactly the staging
+   buffer order of the pack walk, so a slice is a contiguous window of
+   the message's send buffer (the dynamic-slice primitive of the
+   collective lowering, cf. Rink et al., arXiv:2112.01075). *)
+type slice = { sl_msg : message; sl_off : int; sl_len : int }
+
+(* One collective phase: a contention-free set of slices (distinct
+   senders, distinct receivers, at most one slice per message) whose
+   total volume respects the lowering's staging budget. *)
+type phase = slice list
+
+(* Which portable collective a plan's phase program realizes — a cost
+   tag (each kind carries its own alpha), not a correctness property. *)
+type phase_kind = All_to_all | All_gather | Scatter
+
+(* A plan's collective lowering: the phase program plus the budgets it
+   was built under.  [c_slice_cap] bounds any single slice (O(volume /
+   P^2), so balanced exchanges are sliced below their message size);
+   [c_phase_cap] bounds any phase's total volume by the point-to-point
+   step program's peak, which makes "collective peak <= p2p peak" hold
+   structurally on every plan. *)
+type collective = {
+  c_kind : phase_kind;
+  c_slice_cap : int;
+  c_phase_cap : int;
+  c_phases : phase list;
+}
+
 type plan = {
   moves : message list;  (* m_from <> m_to, sorted by (from, to) *)
   locals : message list;  (* m_from = m_to: on-processor moves *)
   nprocs_src : int;
   nprocs_dst : int;
   mutable sprog : step list option;  (* memoized step program *)
+  mutable cprog : collective option;  (* memoized collective lowering *)
 }
 
 (* A contention-free communication step: messages of the plan in which no
@@ -215,6 +245,139 @@ let modeled_time_of_steps (cost : Machine.cost_model) steps =
 let modeled_time_stepped cost plan =
   modeled_time_of_steps cost (step_program plan)
 
+(* --- collective lowering ---------------------------------------------------- *)
+
+(* The second lowering: compile the plan into a short sequence of
+   portable collective phases instead of point-to-point steps, trading a
+   little modeled latency (more, smaller rounds) for a hard bound on
+   peak staging memory — the memory-efficient redistribution idea of
+   Rink et al. (arXiv:2112.01075).
+
+   Structure.  Messages are grouped into *ring shift classes* by
+   (m_to - m_from) mod P: within one residue class distinct senders have
+   distinct receivers, so any subset of a class is contention-free by
+   construction.  Each message's staged payload — a contiguous window of
+   its send buffer, since pack order is row-major box order — is then
+   cut into slices of at most [c_slice_cap] = O(volume / P^2) elements,
+   and each class's slices are packed greedily into phases of total
+   volume at most [c_phase_cap] = the point-to-point step program's peak
+   step volume, at most one slice per message per phase.  Hence every
+   phase is contention-free, the phases partition every message's
+   payload exactly, and the collective peak staging volume never exceeds
+   the point-to-point peak (and sits strictly below it on balanced
+   fan-out plans, where the slice cap bites). *)
+
+let nranks plan = max plan.nprocs_src plan.nprocs_dst
+let cdiv a b = (a + b - 1) / b
+
+let phase_volume (ph : phase) =
+  List.fold_left (fun acc sl -> acc + sl.sl_len) 0 ph
+
+let peak_phase_volume phases =
+  List.fold_left (fun acc ph -> max acc (phase_volume ph)) 0 phases
+
+(* Cost tag: one sender fanning out is a (dynamic-slice) scatter; several
+   senders each broadcasting one identical box to all their receivers is
+   an all-gather (the replicated-destination shape); anything else is an
+   all-to-all.  Classification only picks the phase alpha — the phase
+   program itself is built the same way for every kind. *)
+let classify plan =
+  match plan.moves with
+  | [] -> All_to_all
+  | moves -> (
+    match List.sort_uniq compare (List.map (fun m -> m.m_from) moves) with
+    | [ _ ] -> Scatter
+    | senders ->
+      let replicated_out s =
+        match List.filter (fun m -> m.m_from = s) moves with
+        | [] | [ _ ] -> false
+        | m0 :: rest -> List.for_all (fun m -> m.m_box = m0.m_box) rest
+      in
+      if List.for_all replicated_out senders then All_gather else All_to_all)
+
+let collective_of_plan (plan : plan) : collective =
+  let p = max 1 (nranks plan) in
+  let volume = total_moved plan in
+  let slice_cap = max 1 (cdiv volume (p * p)) in
+  let phase_cap = max 1 (peak_step_volume (step_program plan)) in
+  let classes = Array.make p [] in
+  List.iter
+    (fun m ->
+      let r = (((m.m_to - m.m_from) mod p) + p) mod p in
+      classes.(r) <- m :: classes.(r))
+    plan.moves;
+  let phases = ref [] in
+  Array.iter
+    (fun cls ->
+      let cls = List.sort compare_endpoints cls in
+      let cursors = ref (List.map (fun m -> (m, ref 0)) cls) in
+      while !cursors <> [] do
+        (* one phase: walk the class in (from, to) order, taking at most
+           one slice per message, bounded by both caps.  The first
+           cursor always advances (room >= 1), so the loop terminates. *)
+        let vol = ref 0 and ph = ref [] in
+        List.iter
+          (fun (m, off) ->
+            let room = min slice_cap (phase_cap - !vol) in
+            let take = min room (m.m_count - !off) in
+            if take > 0 then begin
+              ph := { sl_msg = m; sl_off = !off; sl_len = take } :: !ph;
+              off := !off + take;
+              vol := !vol + take
+            end)
+          !cursors;
+        phases := List.rev !ph :: !phases;
+        cursors := List.filter (fun (m, off) -> !off < m.m_count) !cursors
+      done)
+    classes;
+  {
+    c_kind = classify plan;
+    c_slice_cap = slice_cap;
+    c_phase_cap = phase_cap;
+    c_phases = List.rev !phases;
+  }
+
+(* The memoized collective lowering, next to [step_program] (and
+   precompiled in [Plan_cache.find] before a plan is published to other
+   domains, for the same reason). *)
+let collective_program plan =
+  match plan.cprog with
+  | Some c -> c
+  | None ->
+    let c = collective_of_plan plan in
+    plan.cprog <- Some c;
+    c
+
+let phase_alpha (cost : Machine.cost_model) = function
+  | All_to_all -> cost.Machine.coll_alpha_a2a
+  | All_gather -> cost.Machine.coll_alpha_ag
+  | Scatter -> cost.Machine.coll_alpha_scatter
+
+(* A phase's modeled cost mirrors [step_time]: one per-kind startup plus
+   the slowest slice (slices of one phase proceed in parallel without
+   port contention, exactly like a step's messages). *)
+let phase_time cost kind (ph : phase) =
+  List.fold_left
+    (fun acc sl ->
+      Float.max acc
+        (phase_alpha cost kind
+        +. (cost.Machine.coll_beta *. float_of_int sl.sl_len)))
+    0.0 ph
+
+let modeled_time_of_phases cost (c : collective) =
+  List.fold_left (fun acc ph -> acc +. phase_time cost c.c_kind ph) 0.0 c.c_phases
+
+let modeled_time_collective cost plan =
+  modeled_time_of_phases cost (collective_program plan)
+
+let nb_phases (c : collective) = List.length c.c_phases
+
+let nb_slices (c : collective) =
+  List.fold_left (fun acc ph -> acc + List.length ph) 0 c.c_phases
+
+let peak_collective_volume plan =
+  peak_phase_volume (collective_program plan).c_phases
+
 (* --- per-dimension interval machinery -------------------------------------- *)
 
 (* Owned sets along array dimension [dim], indexed by the grid coordinate
@@ -291,6 +454,7 @@ let make_plan ~moves ~locals ~nprocs_src ~nprocs_dst =
     nprocs_src;
     nprocs_dst;
     sprog = None;
+    cprog = None;
   }
 
 (* --- interval engine ------------------------------------------------------ *)
@@ -399,6 +563,18 @@ let iter_box (b : box) f =
         ivs.(d)
   in
   if rank > 0 then loop 0
+
+(* [iter_box] restricted to positions [off, off + len) of the row-major
+   packing walk — the scalar oracle's view of one payload slice. *)
+let iter_box_slice (b : box) ~off ~len f =
+  let stop = off + len in
+  let k = ref 0 in
+  try
+    iter_box b (fun index ->
+        if !k >= stop then raise Exit;
+        if !k >= off then f index;
+        incr k)
+  with Exit -> ()
 
 (* --- box-to-run compilation ------------------------------------------------- *)
 
@@ -569,6 +745,46 @@ let message_runs ~src ~dst (m : message) =
 let nb_run_segments runs =
   Array.fold_left (fun acc r -> acc + r.r_count) 0 runs
 
+(* Visit the pieces of a message's run walk covering elements
+   [off, off + len) of its row-major payload order (= the staging-buffer
+   order of the pack walk); [f src dst n] gets the absolute flat offsets
+   and the length of each contiguous piece, in walk order.  The
+   dynamic-slice primitive of the collective lowering: a window of the
+   staged payload addressed without materializing the whole message. *)
+let iter_run_slice (runs : run array) ~off ~len f =
+  let stop = off + len in
+  let pos = ref 0 in
+  Array.iter
+    (fun r ->
+      let base = !pos in
+      let total = r.r_len * r.r_count in
+      if r.r_len > 0 && base < stop && base + total > off then begin
+        (* jump straight to the repetitions whose [s0, s0 + r_len)
+           window meets [off, stop); only the first and last of those
+           can need clipping *)
+        let i0 = if off <= base then 0 else (off - base) / r.r_len
+        and i1 =
+          if stop >= base + total then r.r_count - 1
+          else (stop - base - 1) / r.r_len
+        in
+        let s0 = ref (base + (i0 * r.r_len))
+        and sp = ref (r.r_src + (i0 * r.r_src_stride))
+        and dp = ref (r.r_dst + (i0 * r.r_dst_stride)) in
+        for _ = i0 to i1 do
+          let lo = if !s0 > off then !s0 else off
+          and hi =
+            let e = !s0 + r.r_len in
+            if e < stop then e else stop
+          in
+          if lo < hi then f (!sp + (lo - !s0)) (!dp + (lo - !s0)) (hi - lo);
+          s0 := !s0 + r.r_len;
+          sp := !sp + r.r_src_stride;
+          dp := !dp + r.r_dst_stride
+        done
+      end;
+      pos := base + total)
+    runs
+
 let pp_run ppf r =
   if r.r_count = 1 then
     Fmt.pf ppf "src+%d -> dst+%d : %d" r.r_src r.r_dst r.r_len
@@ -599,6 +815,26 @@ let pp_steps ppf plan =
         (step_volume s);
       List.iter (fun m -> Fmt.pf ppf "  %a@." pp_message m) s)
     (step_program plan)
+
+let phase_kind_name = function
+  | All_to_all -> "all-to-all"
+  | All_gather -> "all-gather"
+  | Scatter -> "scatter"
+
+let pp_phases ppf plan =
+  let c = collective_program plan in
+  Fmt.pf ppf "collective %s (slice cap %d, phase cap %d):@."
+    (phase_kind_name c.c_kind) c.c_slice_cap c.c_phase_cap;
+  List.iteri
+    (fun i ph ->
+      Fmt.pf ppf "phase %d (%d slices, %d elements):@." i (List.length ph)
+        (phase_volume ph);
+      List.iter
+        (fun sl ->
+          Fmt.pf ppf "  P%d -> P%d : [%d,%d) of %d@." sl.sl_msg.m_from
+            sl.sl_msg.m_to sl.sl_off (sl.sl_off + sl.sl_len) sl.sl_msg.m_count)
+        ph)
+    c.c_phases
 
 (* Sanity: a plan covers every element exactly once (modulo replication in
    the destination, where each element lands on several processors). *)
@@ -871,10 +1107,11 @@ module Plan_cache = struct
               | None -> compute ()
               | Some parent -> find parent ~src ~dst compute
             in
-            (* precompile the step program before publication, so other
+            (* precompile both lowerings before publication, so other
                domains that pick the plan out of the shared snapshot never
-               race its memo *)
+               race the memos *)
             ignore (step_program p);
+            ignore (collective_program p);
             if s.s_size >= s.s_capacity then begin
               evict_lru s;
               Option.iter

@@ -72,6 +72,34 @@ type message = {
           message with worker domains. *)
 }
 
+(** A slice of a message's staged payload: elements
+    [sl_off, sl_off + sl_len) of its row-major box order, which is
+    exactly the staging-buffer order of the pack walk — a contiguous
+    window of the send buffer (the dynamic-slice primitive of the
+    collective lowering). *)
+type slice = { sl_msg : message; sl_off : int; sl_len : int }
+
+(** One collective phase: a contention-free set of slices (distinct
+    senders, distinct receivers, at most one slice per message) within
+    the lowering's staging budget. *)
+type phase = slice list
+
+(** Which portable collective a plan's phase program realizes — a cost
+    tag selecting the phase alpha, not a correctness property. *)
+type phase_kind = All_to_all | All_gather | Scatter
+
+(** A plan's collective lowering: ring-shift-classed, budget-packed
+    phases.  [c_slice_cap] (O(volume / P^2)) bounds any single slice;
+    [c_phase_cap] bounds any phase's volume by the point-to-point step
+    program's peak step volume, so the collective peak staging volume
+    never exceeds the point-to-point one. *)
+type collective = {
+  c_kind : phase_kind;
+  c_slice_cap : int;
+  c_phase_cap : int;
+  c_phases : phase list;
+}
+
 type plan = {
   moves : message list;
       (** cross-processor messages, [m_from <> m_to], sorted by
@@ -80,6 +108,7 @@ type plan = {
   nprocs_src : int;
   nprocs_dst : int;
   mutable sprog : step list option;  (** memoized step program *)
+  mutable cprog : collective option;  (** memoized collective lowering *)
 }
 
 (** A contention-free communication step: messages of the plan in which
@@ -134,6 +163,46 @@ val modeled_time_stepped : Machine.cost_model -> plan -> float
 (** Same, over an already computed decomposition. *)
 val modeled_time_of_steps : Machine.cost_model -> step list -> float
 
+(** Total elements in flight within one collective phase. *)
+val phase_volume : phase -> int
+
+(** Max {!phase_volume} over a phase list. *)
+val peak_phase_volume : phase list -> int
+
+(** The plan's collective lowering, memoized like {!step_program} (and
+    precompiled by {!Plan_cache.find} before publication).  Phases
+    partition every cross-processor message's payload exactly; each
+    phase is contention-free; no phase's volume exceeds the
+    point-to-point peak step volume. *)
+val collective_program : plan -> collective
+
+(** Build the lowering without touching the memo (exposed for tests). *)
+val collective_of_plan : plan -> collective
+
+(** The per-kind phase startup cost from the machine's cost model. *)
+val phase_alpha : Machine.cost_model -> phase_kind -> float
+
+(** A phase's modeled cost, mirroring {!step_time}: per-kind alpha plus
+    [coll_beta * slowest slice]. *)
+val phase_time : Machine.cost_model -> phase_kind -> phase -> float
+
+(** Collective time: phases serialized, each costing {!phase_time}. *)
+val modeled_time_of_phases : Machine.cost_model -> collective -> float
+
+(** Same, from the plan through the memoized lowering. *)
+val modeled_time_collective : Machine.cost_model -> plan -> float
+
+val nb_phases : collective -> int
+
+(** Total slices across all phases (>= [nb_messages] on staged plans). *)
+val nb_slices : collective -> int
+
+(** Max phase volume of the memoized lowering — the collective analogue
+    of [peak_step_volume (step_program plan)]. *)
+val peak_collective_volume : plan -> int
+
+val phase_kind_name : phase_kind -> string
+
 (** Iterate all index vectors of an extent vector (exposed for tests). *)
 val iter_indices : int array -> (int array -> unit) -> unit
 
@@ -172,6 +241,17 @@ val message_datapath : src:addressing -> dst:addressing -> message -> datapath
     (sum of [r_count]). *)
 val nb_run_segments : run array -> int
 
+(** Visit the contiguous pieces of a message's run walk covering
+    elements [off, off + len) of its row-major payload order ([f src dst
+    n] per piece, in walk order) — the dynamic-slice primitive: a window
+    of the staged payload without materializing the whole message. *)
+val iter_run_slice :
+  run array -> off:int -> len:int -> (int -> int -> int -> unit) -> unit
+
+(** {!iter_box} restricted to positions [off, off + len) of the
+    row-major packing walk — the scalar oracle's view of one slice. *)
+val iter_box_slice : box -> off:int -> len:int -> (int array -> unit) -> unit
+
 (** Row-major strides of an extents vector (last dimension stride 1). *)
 val row_major_strides : int array -> int array
 
@@ -184,6 +264,10 @@ val pp_moves : Format.formatter -> plan -> unit
 
 (** The step decomposition, one step header plus its messages per step. *)
 val pp_steps : Format.formatter -> plan -> unit
+
+(** The collective phase program, one phase header plus its slices per
+    phase. *)
+val pp_phases : Format.formatter -> plan -> unit
 
 (** moved + local: the number of (element, destination-copy) pairs. *)
 val covered : plan -> int

@@ -190,7 +190,10 @@ let close_bracket (m : member) =
    a >= 2-member fused batch get [fused_remaps] charged; a singleton
    batch runs through [singleton_executor] when installed (e.g. the
    domain-parallel pool under --sched=async), else through the same
-   fused walk, which degenerates to the sequential [Comm.execute]. *)
+   fused walk, which degenerates to the sequential [Comm.execute].
+   The fused walk follows the lowering switch per group (step or phase
+   program, same as [Comm.execute] solo), so collective-lowered members
+   fuse like any other. *)
 let run_batch t pool (members : member list) =
   let batches =
     if t.cfg.fusion then

@@ -26,16 +26,16 @@ let pool =
 let async_executor () = Hpfc_par.Par.executor ~async:true (Lazy.force pool)
 let stepped_executor () = Hpfc_par.Par.executor ~async:false (Lazy.force pool)
 
-let remap_async ?(sched = Machine.Stepped) ~src ~dst fill =
+let remap_async ?(sched = Machine.Stepped) ?lower ~src ~dst fill =
   Test_comm.remap ~backend:Store.Distributed ~sched
-    ~executor:(async_executor ()) ~src ~dst fill
+    ~executor:(async_executor ()) ?lower ~src ~dst fill
 
-let remap_stepped ?(sched = Machine.Stepped) ~src ~dst fill =
+let remap_stepped ?(sched = Machine.Stepped) ?lower ~src ~dst fill =
   Test_comm.remap ~backend:Store.Distributed ~sched
-    ~executor:(stepped_executor ()) ~src ~dst fill
+    ~executor:(stepped_executor ()) ?lower ~src ~dst fill
 
-let remap_seq ?(sched = Machine.Stepped) ~src ~dst fill =
-  Test_comm.remap ~backend:Store.Distributed ~sched ~src ~dst fill
+let remap_seq ?(sched = Machine.Stepped) ?lower ~src ~dst fill =
+  Test_comm.remap ~backend:Store.Distributed ~sched ?lower ~src ~dst fill
 
 (* --- (a) async == sequential, element-wise -------------------------------------- *)
 
@@ -66,7 +66,8 @@ let prop_async_trace_matches_plan =
     ~name:"async traced message multiset = plan, schedule replay intact"
     ~print:Test_redist_props.print_pair ~count:120 Test_redist_props.gen_pair
     (fun (src, dst) ->
-      let m, s, d = remap_async ~src ~dst float_of_int in
+      (* p2p-specific: the collective trace lists slices, not messages *)
+      let m, s, d = remap_async ~lower:Comm.Lower_p2p ~src ~dst float_of_int in
       let plan = Store.plan_for s d ~src:0 ~dst:1 in
       let prog = Redist.step_program plan in
       let c = m.Machine.counters in
@@ -102,12 +103,16 @@ let prop_async_counters_equal_stepped_and_seq =
           Machine.wall_time = 0.0;
           Machine.pool_hits = 0;
           Machine.pool_misses = 0;
+          Machine.pool_lease_peak = 0;
           Machine.async_completions = 0;
         }
       in
-      let ma, _, _ = remap_async ~src ~dst float_of_int
-      and mp, _, _ = remap_stepped ~src ~dst float_of_int
-      and ms, _, _ = remap_seq ~src ~dst float_of_int in
+      (* p2p-specific: under the collective the async executor completes
+         slices, so the completion count is the slice count instead *)
+      let ma, _, _ = remap_async ~lower:Comm.Lower_p2p ~src ~dst float_of_int
+      and mp, _, _ =
+        remap_stepped ~lower:Comm.Lower_p2p ~src ~dst float_of_int
+      and ms, _, _ = remap_seq ~lower:Comm.Lower_p2p ~src ~dst float_of_int in
       scrub ma = scrub mp
       && scrub ma = scrub ms
       (* on the distributed backend every cross-rank message stages, so
@@ -141,7 +146,8 @@ let prop_async_completions_exactly_once =
   QCheck2.Test.make ~name:"every staged message completes exactly once"
     ~print:Test_redist_props.print_pair ~count:150 Test_redist_props.gen_pair
     (fun (src, dst) ->
-      let m, s, d = remap_async ~src ~dst float_of_int in
+      (* p2p-specific: the collective completes one Wall_msg per slice *)
+      let m, s, d = remap_async ~lower:Comm.Lower_p2p ~src ~dst float_of_int in
       let plan = Store.plan_for s d ~src:0 ~dst:1 in
       let walls =
         List.filter_map

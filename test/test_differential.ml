@@ -419,6 +419,7 @@ let test_counters_isolated () =
       Machine.wall_time = 0.0;
       Machine.pool_hits = 0;
       Machine.pool_misses = 0;
+      Machine.pool_lease_peak = 0;
     }
   in
   let eq a b =

@@ -277,6 +277,33 @@ let test_sched_of_string () =
           (Astring.String.is_infix ~affix:valid msg))
       [ "bogus"; "burst"; "stepped"; "async" ]
 
+(* --lower=<unknown> must be a usage error naming the valid values; the
+   CLI converter wraps [Pipeline.lower_of_string], mirroring --sched. *)
+let test_lower_of_string () =
+  let module P = Hpfc_driver.Pipeline in
+  let module Comm = Hpfc_runtime.Comm in
+  let ok s spec =
+    match P.lower_of_string s with
+    | Ok got ->
+      Alcotest.(check string) ("parse " ^ s) (P.lower_name spec)
+        (P.lower_name got)
+    | Error msg -> Alcotest.failf "%s rejected: %s" s msg
+  in
+  ok "p2p" Comm.Lower_p2p;
+  ok "collective" Comm.Lower_collective;
+  ok "auto" Comm.Lower_auto;
+  ok "AUTO" Comm.Lower_auto;
+  match P.lower_of_string "bogus" with
+  | Ok _ -> Alcotest.fail "bogus lowering accepted"
+  | Error msg ->
+    List.iter
+      (fun valid ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names %S" valid)
+          true
+          (Astring.String.is_infix ~affix:valid msg))
+      [ "bogus"; "p2p"; "collective"; "auto" ]
+
 (* --plan-cache=<not a positive int> must be a usage error too; same
    contract shape as --sched. *)
 let test_plan_cache_of_string () =
@@ -329,6 +356,8 @@ let test_bench_check () =
     {|{"bench":"fuzz","seed":42,"programs":120,"executed":100,"rejected":20,"divergences":0,"pipeline_runs":4200,"programs_per_sec":9.5}|};
   ok
     {|{"bench":"time_serve","n":50000,"tenants":4,"requests":32,"cores":1,"rows":[{"tenants":4,"workers":1,"requests":128,"serial_rps":743.6,"serve_rps":633.5,"speedup":0.85,"p50_ms":0.93,"p99_ms":14.7,"fused_remaps":96}]}|};
+  ok
+    {|{"bench":"time_collective","n":100000,"reps":20,"cores":1,"rows":[{"p":8,"p2p_ms":1.5,"coll_ms":1.2,"p2p_peak_bytes":100000,"coll_peak_bytes":87552,"phases":14,"steps":8}]}|};
   bad "malformed JSON" {|{"bench":"fuzz","seed":|};
   bad "trailing garbage" {|{"bench":"fuzz","seed":1}}|};
   bad "missing bench tag" {|{"n":1,"reps":2,"cores":1,"rows":[]}|};
@@ -344,6 +373,8 @@ let test_bench_check () =
     {|{"bench":"time_serve","n":50000,"tenants":4,"requests":32,"cores":1,"rows":[{"tenants":4,"workers":1,"requests":128,"serial_rps":743.6,"serve_rps":633.5,"speedup":0.85,"p50_ms":0.93,"fused_remaps":96}]}|};
   bad "time_serve missing rows"
     {|{"bench":"time_serve","n":50000,"tenants":4,"requests":32,"cores":1}|};
+  bad "time_collective row missing peak key"
+    {|{"bench":"time_collective","n":100000,"reps":20,"cores":1,"rows":[{"p":8,"p2p_ms":1.5,"coll_ms":1.2,"p2p_peak_bytes":100000,"phases":14,"steps":8}]}|};
   (* whole-artifact checks: counts per bench, blank lines skipped, an
      empty artifact is rot *)
   (match
@@ -390,6 +421,7 @@ let suite =
       Alcotest.test_case "intent(in) write rejected" `Quick test_intent_in_write_rejected;
       Alcotest.test_case "all figures compile" `Quick test_all_figures_compile;
       Alcotest.test_case "--sched value parsing" `Quick test_sched_of_string;
+      Alcotest.test_case "--lower value parsing" `Quick test_lower_of_string;
       Alcotest.test_case "--plan-cache value parsing" `Quick
         test_plan_cache_of_string;
       Alcotest.test_case "bench.json schema checker" `Quick test_bench_check;

@@ -13,6 +13,7 @@ let () =
       ("comm", Test_comm.suite);
       ("par", Test_par.suite);
       ("async", Test_async.suite);
+      ("collective", Test_collective.suite);
       ("serve", Test_serve.suite);
       ("pack", Test_pack.suite);
       ("codegen", Test_codegen.suite);

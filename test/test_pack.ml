@@ -158,8 +158,10 @@ let observe ?(staged = false) ~scalar ~backend ?executor (src, dst) =
           Machine.run_blits = 0;
           Machine.zero_copy_runs = 0;
           Machine.staged_bytes = 0;
+          Machine.peak_bytes = 0;
           Machine.pool_hits = 0;
           Machine.pool_misses = 0;
+          Machine.pool_lease_peak = 0;
           Machine.wall_time = 0.0;
           Machine.async_completions = 0;
         }
@@ -350,10 +352,13 @@ let test_pool_steady_state () =
   with_path ~scalar:false ~staged:true (fun () ->
       let src = layout_nd ~extents:[| 64 |] [| Dist.block |] 4
       and dst = layout_nd ~extents:[| 64 |] [| Dist.cyclic |] 4 in
+      (* p2p-pinned so hits count messages, not collective slices *)
       let (_ : Machine.t * Store.t * Store.descriptor) =
-        Test_comm.remap ~src ~dst float_of_int
+        Test_comm.remap ~lower:Comm.Lower_p2p ~src ~dst float_of_int
       in
-      let m, _, _ = Test_comm.remap ~src ~dst float_of_int in
+      let m, _, _ =
+        Test_comm.remap ~lower:Comm.Lower_p2p ~src ~dst float_of_int
+      in
       let c = m.Machine.counters in
       Alcotest.(check bool) "plan has messages" true (c.Machine.messages > 0);
       Alcotest.(check int) "warm pool never allocates" 0 c.Machine.pool_misses;

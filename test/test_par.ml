@@ -23,15 +23,17 @@ let pool =
 
 let par_executor ?async () = Hpfc_par.Par.executor ?async (Lazy.force pool)
 
-(* [async] pins the execution discipline for discipline-specific tests;
-   left out, the executor follows [Comm.force_async] so the generic
-   properties run under whichever discipline the environment forces. *)
-let remap_par ?(sched = Machine.Burst) ?async ~src ~dst fill =
+(* [async] pins the execution discipline for discipline-specific tests
+   and [lower] the plan lowering for lowering-specific ones; left out,
+   the executor follows [Comm.force_async] / [Comm.force_lower] so the
+   generic properties run under whichever discipline and lowering the
+   environment forces. *)
+let remap_par ?(sched = Machine.Burst) ?async ?lower ~src ~dst fill =
   Test_comm.remap ~backend:Store.Distributed ~sched
-    ~executor:(par_executor ?async ()) ~src ~dst fill
+    ~executor:(par_executor ?async ()) ?lower ~src ~dst fill
 
-let remap_seq ?(sched = Machine.Burst) ~src ~dst fill =
-  Test_comm.remap ~backend:Store.Distributed ~sched ~src ~dst fill
+let remap_seq ?(sched = Machine.Burst) ?lower ~src ~dst fill =
+  Test_comm.remap ~backend:Store.Distributed ~sched ?lower ~src ~dst fill
 
 (* --- (a) parallel == sequential, element-wise ---------------------------------- *)
 
@@ -63,7 +65,8 @@ let prop_par_trace_matches_plan =
     ~name:"parallel traced message multiset = plan, modeled counters match"
     ~print:Test_redist_props.print_pair ~count:150 Test_redist_props.gen_pair
     (fun (src, dst) ->
-      let m, s, d = remap_par ~src ~dst float_of_int in
+      (* p2p-specific: the collective trace lists slices, not messages *)
+      let m, s, d = remap_par ~lower:Comm.Lower_p2p ~src ~dst float_of_int in
       let plan = Store.plan_for s d ~src:0 ~dst:1 in
       let c = m.Machine.counters in
       List.sort compare (Test_comm.traced_messages m) = Redist.pairs plan
@@ -76,8 +79,10 @@ let prop_par_trace_replays_schedule =
     ~name:"stepped parallel trace replays the schedule, one wall per step"
     ~print:Test_redist_props.print_pair ~count:120 Test_redist_props.gen_pair
     (fun (src, dst) ->
+      (* p2p-specific: the collective replays its phase program instead *)
       let m, s, d =
-        remap_par ~sched:Machine.Stepped ~async:false ~src ~dst float_of_int
+        remap_par ~sched:Machine.Stepped ~async:false ~lower:Comm.Lower_p2p
+          ~src ~dst float_of_int
       in
       let plan = Store.plan_for s d ~src:0 ~dst:1 in
       let prog = Redist.step_program plan in
@@ -132,6 +137,7 @@ let prop_par_counters_equal_seq =
           Machine.wall_time = 0.0;
           Machine.pool_hits = 0;
           Machine.pool_misses = 0;
+          Machine.pool_lease_peak = 0;
           Machine.async_completions = 0;
         }
       in

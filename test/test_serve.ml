@@ -264,6 +264,7 @@ let plan_on ranks =
     nprocs_src = 8;
     nprocs_dst = 8;
     sprog = None;
+    cprog = None;
   }
 
 let batch_shape batches =
@@ -336,6 +337,7 @@ let test_execute_fused_equals_solo () =
       Machine.wall_time = 0.0;
       Machine.pool_hits = 0;
       Machine.pool_misses = 0;
+      Machine.pool_lease_peak = 0;
     }
   in
   Alcotest.(check bool) "member 1 counters = solo" true (scrub m1 = scrub ms);
@@ -374,6 +376,7 @@ let scrub (m : Machine.t) =
     Machine.wall_time = 0.0;
     Machine.pool_hits = 0;
     Machine.pool_misses = 0;
+    Machine.pool_lease_peak = 0;
     Machine.fused_remaps = 0;
   }
 

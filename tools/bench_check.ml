@@ -209,6 +209,14 @@ let schemas : (string * schema) list =
             "identity_zero_eps"; "canon_zero_staged_bytes"; "canon_zero_runs" ];
         rows = None;
       } );
+    ( "time_collective",
+      {
+        top = [ "n"; "reps"; "cores" ];
+        rows =
+          Some
+            [ "p"; "p2p_ms"; "coll_ms"; "p2p_peak_bytes"; "coll_peak_bytes";
+              "phases"; "steps" ];
+      } );
     ( "time_serve",
       {
         top = [ "n"; "tenants"; "requests"; "cores" ];
